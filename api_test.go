@@ -1,0 +1,111 @@
+package compaction_test
+
+import (
+	"math"
+	"testing"
+
+	"compaction"
+)
+
+func TestFacadeBounds(t *testing.T) {
+	p := compaction.BoundParams{M: 256 << 20, N: 1 << 20, C: 100}
+	h, ell, err := compaction.LowerBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-3.485) > 0.01 || ell != 3 {
+		t.Fatalf("LowerBound = (%.4f, %d)", h, ell)
+	}
+	lbw, err := compaction.LowerBoundWords(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lbw <= p.M {
+		t.Fatalf("LowerBoundWords = %d", lbw)
+	}
+	ub, err := compaction.UpperBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ub <= h {
+		t.Fatalf("upper %.3f <= lower %.3f", ub, h)
+	}
+	if rb := compaction.RobsonBound(p.M, p.N); math.Abs(rb-10.996) > 0.01 {
+		t.Fatalf("RobsonBound = %.4f", rb)
+	}
+	if pu := compaction.PreviousUpperBound(p); pu != 22 {
+		t.Fatalf("PreviousUpperBound = %v", pu)
+	}
+	if pl := compaction.PreviousLowerBound(p); pl >= 1 {
+		t.Fatalf("PreviousLowerBound = %v, expected vacuous", pl)
+	}
+}
+
+func TestFacadeManagersList(t *testing.T) {
+	names := compaction.Managers()
+	if len(names) < 14 {
+		t.Fatalf("only %d managers registered: %v", len(names), names)
+	}
+	for _, n := range names {
+		mgr, err := compaction.NewManager(n)
+		if err != nil {
+			t.Fatalf("NewManager(%q): %v", n, err)
+		}
+		if mgr.Name() == "" {
+			t.Fatalf("manager %q has empty Name", n)
+		}
+	}
+	if _, err := compaction.NewManager("bogus"); err == nil {
+		t.Fatal("bogus manager accepted")
+	}
+}
+
+func TestFacadeRunAdversaries(t *testing.T) {
+	cfg := compaction.Config{M: 1 << 14, N: 1 << 6, C: 8, Pow2Only: true}
+	progs := []compaction.Program{
+		compaction.NewPF(compaction.PFOptions{}),
+		compaction.NewRobson(0),
+		compaction.NewPW(),
+	}
+	for _, prog := range progs {
+		mgr, err := compaction.NewManager("first-fit")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := compaction.Run(cfg, prog, mgr)
+		if err != nil {
+			t.Fatalf("%s: %v", prog.Name(), err)
+		}
+		if res.WasteFactor() < 1 {
+			t.Fatalf("%s: waste %.3f", prog.Name(), res.WasteFactor())
+		}
+	}
+}
+
+func TestFacadeRunWorkloads(t *testing.T) {
+	cfg := compaction.Config{M: 1 << 12, N: 1 << 5, C: compaction.NoCompaction, Pow2Only: true}
+	progs := []compaction.Program{
+		compaction.NewRandomWorkload(compaction.WorkloadConfig{Seed: 1, Rounds: 30}),
+		compaction.NewRampDown(1),
+	}
+	for _, prog := range progs {
+		mgr, err := compaction.NewManager("tlsf")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := compaction.Run(cfg, prog, mgr); err != nil {
+			t.Fatalf("%s: %v", prog.Name(), err)
+		}
+	}
+}
+
+func TestFacadeRejectsBadConfig(t *testing.T) {
+	mgr, err := compaction.NewManager("first-fit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := compaction.Config{M: 0, N: 0}
+	if _, err := compaction.Run(bad, compaction.NewRobson(0), mgr); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}

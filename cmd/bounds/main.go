@@ -1,0 +1,91 @@
+// Command bounds prints the closed-form space bounds of the
+// partial-compaction theory for given model parameters:
+//
+//	bounds -M 268435456 -n 1048576 -c 100
+//
+// prints Theorem 1's lower bound (with the maximizing ℓ), Theorem 2's
+// upper bound, Robson's compaction-free bound and the prior
+// Bendersky–Petrank bounds. With -sweep, it prints a table over a
+// range of c values instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"compaction/internal/bounds"
+	"compaction/internal/word"
+)
+
+func main() {
+	var (
+		mFlag  = word.NewFlagSize(flag.CommandLine, "M", 256*word.MiW, "live-space bound M in words (e.g. 256Mi)")
+		nFlag  = word.NewFlagSize(flag.CommandLine, "n", word.MiW, "largest object size n in words (power of two, e.g. 1Mi)")
+		cFlag  = flag.Int64("c", 100, "compaction bound: 1/c of allocated space may move")
+		sweep  = flag.Bool("sweep", false, "print a table over c = 10..100 instead of one row")
+		stride = flag.Int64("stride", 10, "c stride for -sweep")
+	)
+	flag.Parse()
+
+	if *sweep {
+		if err := printSweep(mFlag.Size(), nFlag.Size(), *stride); err != nil {
+			fmt.Fprintln(os.Stderr, "bounds:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := printOne(bounds.Params{M: mFlag.Size(), N: nFlag.Size(), C: *cFlag}); err != nil {
+		fmt.Fprintln(os.Stderr, "bounds:", err)
+		os.Exit(1)
+	}
+}
+
+func printOne(p bounds.Params) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	fmt.Printf("parameters: M=%s words, n=%s words, c=%d (may move %.2f%% of allocations)\n",
+		word.Format(p.M), word.Format(p.N), p.C, 100/float64(p.C))
+	h, ell, err := bounds.Theorem1(p)
+	if err != nil {
+		return err
+	}
+	lb, err := bounds.Theorem1Words(p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Theorem 1 lower bound:  h = %.4f  (ℓ = %d) — every c-partial manager needs ≥ %s words\n",
+		h, ell, word.Format(lb))
+	if ub, err := bounds.Theorem2(p); err == nil {
+		fmt.Printf("Theorem 2 upper bound:  %.4f·M — some c-partial manager always suffices\n", ub)
+	} else {
+		fmt.Printf("Theorem 2 upper bound:  n/a (%v)\n", err)
+	}
+	fmt.Printf("Robson (no compaction): %.4f·M (tight for P2 programs)\n", bounds.RobsonLower(p.M, p.N))
+	fmt.Printf("previous upper bound:   %.4f·M (min of Robson-rounding, (c+1)·M)\n", bounds.PreviousUpper(p))
+	fmt.Printf("previous lower bound:   %.4f·M (Bendersky–Petrank 2011; < 1 is vacuous)\n", bounds.BPLower(p))
+	return nil
+}
+
+func printSweep(m, n, stride int64) error {
+	if stride <= 0 {
+		return fmt.Errorf("stride must be positive, got %d", stride)
+	}
+	fmt.Printf("M=%s n=%s\n", word.Format(m), word.Format(n))
+	fmt.Printf("%6s %10s %4s %12s %14s %12s\n", "c", "Thm1 h", "ℓ", "Thm2 UB", "prev UB", "prev LB")
+	for c := int64(10); c <= 100; c += stride {
+		p := bounds.Params{M: m, N: n, C: c}
+		h, ell, err := bounds.Theorem1(p)
+		if err != nil {
+			return err
+		}
+		ubs := "n/a"
+		if ub, err := bounds.Theorem2(p); err == nil {
+			ubs = fmt.Sprintf("%.4f", ub)
+		}
+		fmt.Printf("%6d %10.4f %4d %12s %14.4f %12.4f\n",
+			c, h, ell, ubs, bounds.PreviousUpper(p), bounds.BPLower(p))
+	}
+	return nil
+}

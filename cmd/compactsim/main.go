@@ -1,0 +1,248 @@
+// Command compactsim runs an adversary or workload against one or all
+// memory managers and reports heap usage:
+//
+//	compactsim -adversary pf -M 65536 -n 256 -c 16
+//	compactsim -adversary robson -manager best-fit
+//	compactsim -adversary random -seed 7 -rounds 200 -manager all
+//	compactsim -adversary profile:server           # canned app profile
+//	compactsim -adversary profile:my.json          # profile from a file
+//	compactsim -adversary pf -sweep 8,16,32,64     # parallel c sweep
+//
+// The engine enforces the model (live bound M, compaction budget s/c,
+// no overlapping placements); any violation aborts the run with an
+// error identifying the guilty party.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"compaction/internal/adversary/pw"
+	"compaction/internal/adversary/robson"
+	"compaction/internal/bounds"
+	"compaction/internal/budget"
+	"compaction/internal/core"
+	"compaction/internal/mm"
+	"compaction/internal/profile"
+	"compaction/internal/sim"
+	"compaction/internal/stats"
+	"compaction/internal/sweep"
+	"compaction/internal/word"
+	"compaction/internal/workload"
+
+	_ "compaction/internal/mm/bitmapff"
+	_ "compaction/internal/mm/bpcompact"
+	_ "compaction/internal/mm/buddy"
+	_ "compaction/internal/mm/fits"
+	_ "compaction/internal/mm/halffit"
+	_ "compaction/internal/mm/improved"
+	_ "compaction/internal/mm/markcompact"
+	_ "compaction/internal/mm/rounding"
+	_ "compaction/internal/mm/segregated"
+	_ "compaction/internal/mm/threshold"
+	_ "compaction/internal/mm/tlsf"
+)
+
+func main() {
+	var (
+		adv     = flag.String("adversary", "pf", "program: pf, robson, pw, random, rampdown")
+		manager = flag.String("manager", "all", `manager name or "all"`)
+		mFlag   = word.NewFlagSize(flag.CommandLine, "M", 1<<16, "live-space bound M in words (e.g. 64Ki, 256Mi)")
+		nFlag   = word.NewFlagSize(flag.CommandLine, "n", 1<<8, "largest object size in words (e.g. 256, 1Mi)")
+		cFlag   = flag.Int64("c", 16, "compaction bound (0 = unlimited, -1 = none)")
+		seed    = flag.Int64("seed", 1, "seed for random workloads")
+		rounds  = flag.Int("rounds", 100, "rounds for random workloads")
+		ell     = flag.Int("ell", 0, "fix P_F's density exponent ℓ (0 = optimal)")
+		showMap = flag.Bool("heapmap", false, "print an ASCII occupancy map after each run")
+		sweepCs = flag.String("sweep", "", "comma-separated c values: run the manager matrix in parallel")
+		csvOut  = flag.String("csv", "", "write sweep results as CSV to this file")
+		seeds   = flag.Int("seeds", 1, "run seed-driven workloads this many times and report mean±sd")
+	)
+	flag.Parse()
+	var err error
+	if *seeds > 1 {
+		err = runSeeds(*adv, *manager, mFlag.Size(), nFlag.Size(), *cFlag, *seeds, *rounds, *ell)
+	} else if *sweepCs != "" {
+		err = runSweep(*adv, *manager, mFlag.Size(), nFlag.Size(), *sweepCs, *csvOut, *seed, *rounds, *ell)
+	} else {
+		err = run(*adv, *manager, mFlag.Size(), nFlag.Size(), *cFlag, *seed, *rounds, *ell, *showMap)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compactsim:", err)
+		os.Exit(1)
+	}
+}
+
+func runSweep(adv, manager string, m, n int64, sweepCs, csvOut string, seed int64, rounds, ell int) error {
+	makeProg, pow2, err := newProgram(adv, seed, rounds, ell)
+	if err != nil {
+		return err
+	}
+	var cs []int64
+	for _, part := range strings.Split(sweepCs, ",") {
+		c, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad -sweep value %q: %w", part, err)
+		}
+		cs = append(cs, c)
+	}
+	managers := []string{manager}
+	if manager == "all" {
+		managers = mm.Names()
+	}
+	base := sim.Config{M: m, N: n, Pow2Only: pow2}
+	cells := sweep.Grid(base, cs, managers, adv, makeProg)
+	outs := sweep.Run(cells, 0)
+	fmt.Printf("sweep: adversary=%s M=%s n=%s\n", adv, word.Format(m), word.Format(n))
+	fmt.Print(sweep.Summary(outs))
+	if csvOut != "" {
+		f, err := os.Create(csvOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := sweep.WriteCSV(f, outs); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", csvOut)
+		return f.Close()
+	}
+	return nil
+}
+
+func newProgram(adv string, seed int64, rounds, ell int) (func() sim.Program, bool, error) {
+	switch adv {
+	case "pf":
+		return func() sim.Program { return core.NewPF(core.Options{Ell: ell}) }, true, nil
+	case "robson":
+		return func() sim.Program { return robson.New(0) }, true, nil
+	case "pw":
+		return func() sim.Program { return pw.New() }, true, nil
+	case "random":
+		return func() sim.Program {
+			return workload.NewRandom(workload.Config{Seed: seed, Rounds: rounds, Dist: workload.Geometric})
+		}, false, nil
+	case "rampdown":
+		return func() sim.Program { return workload.NewRampDown(seed) }, false, nil
+	case "generational":
+		return func() sim.Program { return workload.NewGenerational(seed, rounds) }, false, nil
+	case "sawtooth":
+		return func() sim.Program { return workload.NewSawtooth(seed, rounds/2) }, false, nil
+	default:
+		if name, ok := strings.CutPrefix(adv, "profile:"); ok {
+			p, err := loadProfile(name)
+			if err != nil {
+				return nil, false, err
+			}
+			return func() sim.Program { return p.Program(seed) }, false, nil
+		}
+		return nil, false, fmt.Errorf("unknown adversary %q", adv)
+	}
+}
+
+// runSeeds repeats a seed-driven workload across seeds 1..n per
+// manager and prints aggregate fragmentation statistics.
+func runSeeds(adv, manager string, m, n, c int64, seeds, rounds, ell int) error {
+	cfg := sim.Config{M: m, N: n, C: c}
+	// Resolve pow2 from the adversary kind via a probe construction.
+	_, pow2, err := newProgram(adv, 1, rounds, ell)
+	if err != nil {
+		return err
+	}
+	cfg.Pow2Only = pow2
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	seedList := make([]int64, seeds)
+	for i := range seedList {
+		seedList[i] = int64(i + 1)
+	}
+	managers := []string{manager}
+	if manager == "all" {
+		managers = mm.Names()
+	}
+	fmt.Printf("adversary=%s M=%s n=%s c=%d seeds=%d\n", adv, word.Format(m), word.Format(n), c, seeds)
+	fmt.Printf("%-20s %10s %10s %10s %10s %s\n", "manager", "mean", "min", "max", "sd", "failures")
+	for _, name := range managers {
+		agg, _ := sweep.RepeatSeeds(cfg, name, seedList, func(seed int64) sim.Program {
+			mk, _, err := newProgram(adv, seed, rounds, ell)
+			if err != nil {
+				panic(err) // validated above
+			}
+			return mk()
+		}, 0)
+		fmt.Printf("%-20s %9.3fx %9.3fx %9.3fx %10.4f %d\n",
+			name, agg.Mean, agg.Min, agg.Max, agg.StdDev, agg.Failures)
+	}
+	return nil
+}
+
+// loadProfile resolves a canned profile name or a JSON file path.
+func loadProfile(name string) (*profile.Profile, error) {
+	if p, ok := profile.Canned()[name]; ok {
+		return p, nil
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("profile %q is not canned and not readable: %w", name, err)
+	}
+	defer f.Close()
+	return profile.Parse(f)
+}
+
+func run(adv, manager string, m, n, c, seed int64, rounds, ell int, showMap bool) error {
+	makeProg, pow2, err := newProgram(adv, seed, rounds, ell)
+	if err != nil {
+		return err
+	}
+	cfg := sim.Config{M: m, N: n, C: c, Pow2Only: pow2}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	names := []string{manager}
+	if manager == "all" {
+		names = mm.Names()
+	}
+	var rows []stats.RunRow
+	for _, name := range names {
+		mgr, err := mm.New(name)
+		if err != nil {
+			return err
+		}
+		e, err := sim.NewEngine(cfg, makeProg(), mgr)
+		if err != nil {
+			return err
+		}
+		res, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s vs %s: %w", adv, name, err)
+		}
+		rows = append(rows, stats.RunRow{Manager: name, Result: res})
+		if showMap {
+			fmt.Printf("%-18s %s", name, stats.HeapMap(e.Objects(), e.Extent(), 72))
+		}
+	}
+	fmt.Printf("adversary=%s M=%s n=%s c=%d\n", adv, word.Format(m), word.Format(n), c)
+	fmt.Print(stats.Table(rows))
+	printBounds(adv, cfg)
+	return nil
+}
+
+func printBounds(adv string, cfg sim.Config) {
+	switch adv {
+	case "pf":
+		if cfg.C >= 2 {
+			if h, ellUsed, err := bounds.Theorem1(bounds.Params{M: cfg.M, N: cfg.N, C: cfg.C}); err == nil {
+				fmt.Printf("Theorem 1 floor: every manager above must be ≥ %.4f·M (ℓ=%d)\n", h, ellUsed)
+			}
+		}
+	case "robson":
+		if cfg.C == budget.NoCompaction {
+			fmt.Printf("Robson floor for non-moving managers: %.4f·M\n",
+				bounds.RobsonLower(cfg.M, cfg.N))
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestNewProgramKinds(t *testing.T) {
+	for _, adv := range []string{"pf", "robson", "pw", "random", "rampdown", "generational", "sawtooth", "profile:server"} {
+		mk, _, err := newProgram(adv, 1, 20, 0)
+		if err != nil {
+			t.Errorf("%s: %v", adv, err)
+			continue
+		}
+		if p := mk(); p == nil || p.Name() == "" {
+			t.Errorf("%s: empty program", adv)
+		}
+	}
+	if _, _, err := newProgram("bogus", 1, 20, 0); err == nil {
+		t.Error("bogus adversary accepted")
+	}
+	if _, _, err := newProgram("profile:no-such-profile", 1, 20, 0); err == nil {
+		t.Error("bogus profile accepted")
+	}
+}
+
+func TestLoadProfileFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.json")
+	data := `{"name":"filetest","phases":[{"rounds":3,"live":0.5,"sizes":[{"words":2,"weight":1}]}]}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := loadProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "filetest" {
+		t.Fatalf("loaded %q", p.Name)
+	}
+	if _, err := loadProfile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunSingleManagerEndToEnd(t *testing.T) {
+	if err := run("robson", "first-fit", 1<<10, 1<<4, -1, 1, 10, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("pf", "no-such", 1<<12, 1<<6, 8, 1, 10, 0, false); err == nil {
+		t.Fatal("unknown manager accepted")
+	}
+	if err := run("pf", "first-fit", 0, 0, 8, 1, 10, 0, false); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestRunSweepEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "out.csv")
+	if err := runSweep("robson", "first-fit", 1<<10, 1<<4, "0", csv, 1, 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(csv); err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+	if err := runSweep("pf", "first-fit", 1<<12, 1<<6, "8,bogus", "", 1, 10, 0); err == nil {
+		t.Fatal("bad sweep list accepted")
+	}
+}

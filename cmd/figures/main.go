@@ -1,0 +1,115 @@
+// Command figures regenerates the paper's evaluation figures.
+//
+//	figures                 # all figures, ASCII charts on stdout
+//	figures -fig 1          # just Figure 1
+//	figures -format csv     # CSV instead of ASCII
+//	figures -out data/      # write figure{1,2,3}.csv files
+//	figures -fig sim        # the simulated Figure-1 analogue (runs P_F)
+//
+// Figures 1–3 evaluate the closed-form bounds at the paper's
+// parameters (M = 256Mi words, n = 1Mi words); "sim" runs the actual
+// adversary P_F against a set of managers at laptop-scale parameters
+// and plots measured waste against the Theorem 1 curve.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"compaction/internal/figures"
+	"compaction/internal/plot"
+	"compaction/internal/sim"
+
+	_ "compaction/internal/mm/bitmapff"
+	_ "compaction/internal/mm/bpcompact"
+	_ "compaction/internal/mm/buddy"
+	_ "compaction/internal/mm/fits"
+	_ "compaction/internal/mm/halffit"
+	_ "compaction/internal/mm/improved"
+	_ "compaction/internal/mm/markcompact"
+	_ "compaction/internal/mm/rounding"
+	_ "compaction/internal/mm/segregated"
+	_ "compaction/internal/mm/threshold"
+	_ "compaction/internal/mm/tlsf"
+)
+
+func main() {
+	var (
+		figFlag = flag.String("fig", "all", `which figure: "1", "2", "3", "sim", "growth" or "all"`)
+		format  = flag.String("format", "ascii", `"ascii" or "csv"`)
+		outDir  = flag.String("out", "", "directory to write CSV files to (implies -format csv)")
+		width   = flag.Int("width", 72, "ASCII chart width")
+		height  = flag.Int("height", 18, "ASCII chart height")
+	)
+	flag.Parse()
+	if err := run(*figFlag, *format, *outDir, *width, *height); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(which, format, outDir string, width, height int) error {
+	type job struct {
+		key   string
+		build func() (plot.Figure, error)
+	}
+	jobs := []job{
+		{"1", func() (plot.Figure, error) { return figures.Figure1(figures.PaperM, figures.PaperN) }},
+		{"2", func() (plot.Figure, error) { return figures.Figure2(100) }},
+		{"3", func() (plot.Figure, error) { return figures.Figure3(figures.PaperM, figures.PaperN) }},
+		{"sim", func() (plot.Figure, error) {
+			return figures.PFWasteSeries(1<<16, 1<<8,
+				[]int64{8, 16, 32, 64},
+				[]string{"first-fit", "best-fit", "bp-compact", "threshold", "improved"})
+		}},
+		{"growth", func() (plot.Figure, error) {
+			cfg := sim.Config{M: 1 << 16, N: 1 << 8, C: 16, Pow2Only: true}
+			return figures.GrowthFigure(cfg,
+				[]string{"first-fit", "threshold", "improved"})
+		}},
+	}
+	ran := false
+	for _, j := range jobs {
+		if which != "all" && which != j.key {
+			continue
+		}
+		if which == "all" && (j.key == "sim" || j.key == "growth") {
+			continue // simulations run only on request; they take a while
+		}
+		ran = true
+		fig, err := j.build()
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", j.key, err)
+		}
+		if err := emit(j.key, fig, format, outDir, width, height); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown figure %q (want 1, 2, 3, sim, growth or all)", which)
+	}
+	return nil
+}
+
+func emit(key string, fig plot.Figure, format, outDir string, width, height int) error {
+	if outDir != "" {
+		path := filepath.Join(outDir, "figure"+key+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := fig.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+		return f.Close()
+	}
+	if format == "csv" {
+		return fig.WriteCSV(os.Stdout)
+	}
+	fmt.Println(fig.ASCII(width, height))
+	return nil
+}

@@ -1,0 +1,72 @@
+// Adversary demo: the three bad programs of the literature — Robson's
+// P_R (1971), Bendersky–Petrank's P_W (2011) and the paper's P_F
+// (2013) — each run against the same portfolio of memory managers.
+// The output shows the paper's core claim in action: without
+// compaction everyone suffers Robson's ~(½ log n)·M; with a little
+// compaction the old adversary loses its teeth, but P_F still forces
+// h×M.
+//
+//	go run ./examples/adversary_demo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"compaction"
+)
+
+const (
+	m = 1 << 16
+	n = 1 << 8
+	c = 16
+)
+
+func run(progName string, prog compaction.Program, cc int64, managers []string) {
+	fmt.Printf("――― %s (M=%d, n=%d, c=%d) ―――\n", progName, m, n, cc)
+	for _, name := range managers {
+		mgr, err := compaction.NewManager(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := compaction.Config{M: m, N: n, C: cc, Pow2Only: true}
+		res, err := compaction.Run(cfg, prog, mgr)
+		if err != nil {
+			log.Fatalf("%s vs %s: %v", progName, name, err)
+		}
+		fmt.Printf("  %-18s HS = %8d words  (%.3f×M), moved %d words\n",
+			name, res.HighWater, res.WasteFactor(), res.Moved)
+		prog = remake(progName) // adversaries are single-use
+	}
+	fmt.Println()
+}
+
+func remake(progName string) compaction.Program {
+	switch progName {
+	case "P_R (Robson)":
+		return compaction.NewRobson(0)
+	case "P_W (Bendersky-Petrank, reconstruction)":
+		return compaction.NewPW()
+	default:
+		return compaction.NewPF(compaction.PFOptions{})
+	}
+}
+
+func main() {
+	managers := []string{"first-fit", "best-fit", "buddy", "bp-compact", "threshold", "improved"}
+
+	// Without compaction, Robson's adversary hurts everyone.
+	fmt.Printf("Robson bound (no compaction): %.3f×M\n", compaction.RobsonBound(m, n))
+	run("P_R (Robson)", compaction.NewRobson(0), compaction.NoCompaction, managers)
+
+	// With compaction allowed, the 2011 adversary is mostly harmless...
+	run("P_W (Bendersky-Petrank, reconstruction)", compaction.NewPW(), c, managers)
+
+	// ...but P_F forces the Theorem 1 bound out of every manager.
+	h, ell, err := compaction.LowerBound(compaction.BoundParams{M: m, N: n, C: c})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Theorem 1 bound at c=%d: %.3f×M (ℓ=%d)\n", c, h, ell)
+	run("P_F (this paper)", compaction.NewPF(compaction.PFOptions{}), c, managers)
+}

@@ -1,0 +1,90 @@
+// Real-time sizing: the practitioner's use of the paper. For a
+// critical system you must provision a heap that is guaranteed to be
+// enough — benchmarks do not count, worst case does. Given the live
+// data bound M, the largest object n and how much compaction your
+// collector can afford (1/c of allocations), this example prints:
+//
+//   - how much heap you must provision to be safe (Theorem 2 / prior
+//     upper bounds: a manager exists that never needs more), and
+//   - how much you cannot hope to shave off (Theorem 1: below h×M no
+//     manager can guarantee anything).
+//
+// Usage:
+//
+//	go run ./examples/realtime_sizing -live 268435456 -maxobj 1048576 -budget 2
+//
+// -budget is the percentage of allocated space your collector may
+// move; 2 means c = 50.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"compaction"
+)
+
+func main() {
+	var (
+		live   = flag.Int64("live", 256<<20, "bound on simultaneously live words (M)")
+		maxObj = flag.Int64("maxobj", 1<<20, "largest object size in words (n, power of two)")
+		budget = flag.Float64("budget", 2, "compaction budget as a percentage of allocated space")
+	)
+	flag.Parse()
+	if *budget <= 0 || *budget > 50 {
+		fmt.Fprintln(os.Stderr, "budget must be in (0, 50] percent")
+		os.Exit(1)
+	}
+	c := int64(100 / *budget)
+	p := compaction.BoundParams{M: *live, N: *maxObj, C: c}
+
+	fmt.Printf("Provisioning a heap for: live ≤ %d words, objects ≤ %d words,\n", *live, *maxObj)
+	fmt.Printf("collector may move %.1f%% of allocated space (c = %d).\n\n", *budget, c)
+
+	h, ell, err := compaction.LowerBound(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	floor, err := compaction.LowerBoundWords(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Hard floor (Theorem 1, ℓ=%d):\n", ell)
+	fmt.Printf("  no allocator can guarantee less than %.3f×M = %d words.\n", h, floor)
+	fmt.Printf("  Provisioning below that is unsound for worst-case guarantees.\n\n")
+
+	fmt.Println("Safe provisioning options (waste factor × M):")
+	if ub, err := compaction.UpperBound(p); err == nil {
+		fmt.Printf("  %.3f×M  — Theorem 2 manager (size classes + partial compaction)\n", ub)
+	} else {
+		fmt.Printf("  Theorem 2 manager: not applicable (%v)\n", err)
+	}
+	fmt.Printf("  %.3f×M  — previous best (min of Robson's bound, (c+1)·M)\n",
+		compaction.PreviousUpperBound(p))
+	fmt.Printf("  %.3f×M  — Robson bound with NO compaction at all\n\n",
+		compaction.RobsonBound(*live, *maxObj))
+
+	// How the floor moves with the budget: a small what-if table.
+	fmt.Println("What-if: hard floor versus compaction budget")
+	fmt.Printf("  %8s %8s %12s\n", "budget%", "c", "floor (×M)")
+	for _, pct := range []float64{10, 5, 2, 1} {
+		cc := int64(100 / pct)
+		hh, _, err := compaction.LowerBound(compaction.BoundParams{M: *live, N: *maxObj, C: cc})
+		if err != nil {
+			continue
+		}
+		fmt.Printf("  %8.1f %8d %12.3f\n", pct, cc, hh)
+	}
+	fmt.Println("\nMore budget for the collector buys a smaller guaranteed heap;")
+	fmt.Println("this quantifies the trade precisely.")
+
+	// The inverse question: if the hardware budget fixes the heap at,
+	// say, 3×M, how little compaction can the collector get away with?
+	if c3, err := compaction.BudgetForTarget(*live, *maxObj, 3.0); err == nil {
+		fmt.Printf("\nInverse query: to keep a 3.0×M guarantee on the table, the\n")
+		fmt.Printf("collector must be able to move at least 1/%d ≈ %.2f%% of allocations.\n",
+			c3, 100/float64(c3))
+	}
+}

@@ -1,0 +1,3 @@
+module compaction
+
+go 1.22

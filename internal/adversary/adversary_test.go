@@ -1,0 +1,141 @@
+package adversary
+
+import (
+	"testing"
+	"testing/quick"
+
+	"compaction/internal/heap"
+	"compaction/internal/word"
+)
+
+func TestOccupying(t *testing.T) {
+	cases := []struct {
+		s     heap.Span
+		f     word.Addr
+		align word.Size
+		want  bool
+	}{
+		// Chunk size 8, offset 3: occupied words are 3, 11, 19, ...
+		{heap.Span{Addr: 0, Size: 4}, 3, 8, true},   // covers word 3
+		{heap.Span{Addr: 0, Size: 3}, 3, 8, false},  // [0,3) misses 3
+		{heap.Span{Addr: 4, Size: 4}, 3, 8, false},  // [4,8) misses 3, 11
+		{heap.Span{Addr: 10, Size: 2}, 3, 8, true},  // covers 11
+		{heap.Span{Addr: 12, Size: 8}, 3, 8, true},  // size = align always occupies
+		{heap.Span{Addr: 12, Size: 20}, 3, 8, true}, // larger than align
+		{heap.Span{Addr: 3, Size: 1}, 3, 8, true},   // exactly the word
+		{heap.Span{Addr: 19, Size: 1}, 3, 8, true},  // word 19 = 2·8+3
+		{heap.Span{Addr: 20, Size: 7}, 3, 8, false}, // [20,27) misses 19, 27
+	}
+	for _, c := range cases {
+		if got := Occupying(c.s, c.f, c.align); got != c.want {
+			t.Errorf("Occupying(%v, f=%d, align=%d) = %v, want %v", c.s, c.f, c.align, got, c.want)
+		}
+	}
+}
+
+func TestOccupyingWord(t *testing.T) {
+	cases := []struct {
+		s     heap.Span
+		f     word.Addr
+		align word.Size
+		want  word.Addr
+	}{
+		{heap.Span{Addr: 0, Size: 4}, 3, 8, 3},
+		{heap.Span{Addr: 10, Size: 2}, 3, 8, 11},
+		{heap.Span{Addr: 12, Size: 8}, 3, 8, 19},
+		{heap.Span{Addr: 3, Size: 1}, 3, 8, 3},
+	}
+	for _, c := range cases {
+		if got := OccupyingWord(c.s, c.f, c.align); got != c.want {
+			t.Errorf("OccupyingWord(%v, f=%d, align=%d) = %d, want %d", c.s, c.f, c.align, got, c.want)
+		}
+	}
+}
+
+func TestOccupyingWordPanicsWhenNotOccupying(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-occupying object")
+		}
+	}()
+	OccupyingWord(heap.Span{Addr: 0, Size: 3}, 3, 8)
+}
+
+// Property: Occupying agrees with a brute-force word scan.
+func TestOccupyingProperty(t *testing.T) {
+	f := func(addrRaw, sizeRaw, fRaw uint16, alignExp uint8) bool {
+		align := word.Pow2(int(alignExp%6) + 1) // 2..64
+		s := heap.Span{Addr: int64(addrRaw % 1024), Size: int64(sizeRaw%64) + 1}
+		off := int64(fRaw) % align
+		want := false
+		for a := s.Addr; a < s.End(); a++ {
+			if a%align == off {
+				want = true
+				break
+			}
+		}
+		got := Occupying(s, off, align)
+		if got != want {
+			return false
+		}
+		if got {
+			w := OccupyingWord(s, off, align)
+			if w < s.Addr || w >= s.End() || w%align != off {
+				return false
+			}
+			// Must be the lowest such word.
+			for a := s.Addr; a < w; a++ {
+				if a%align == off {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFigure5OffsetChoice mirrors the paper's Figure 5 situation: at a
+// step change the adversary picks whichever of the two candidate
+// offsets traps more wasted space, and objects missing the chosen
+// offset (like O3 in the figure) are freed.
+func TestFigure5OffsetChoice(t *testing.T) {
+	// Chunks of size 4 (step 2), previous offset 0. Candidates: 0, 2.
+	objs := []Tracked{
+		{ID: 1, Span: heap.Span{Addr: 0, Size: 1}},  // occupies offset 0
+		{ID: 2, Span: heap.Span{Addr: 6, Size: 1}},  // occupies offset 2
+		{ID: 3, Span: heap.Span{Addr: 10, Size: 1}}, // occupies offset 2
+	}
+	got := ChooseOffset(objs, 0, 4)
+	if got != 2 {
+		t.Fatalf("ChooseOffset = %d, want 2 (two trapped objects beat one)", got)
+	}
+	// Waste accounting: each unit object traps 4−1 = 3 words.
+	if w := WastePerOffset(objs, 2, 4); w != 6 {
+		t.Fatalf("WastePerOffset(f=2) = %d, want 6", w)
+	}
+	if w := WastePerOffset(objs, 0, 4); w != 3 {
+		t.Fatalf("WastePerOffset(f=0) = %d, want 3", w)
+	}
+}
+
+func TestChooseOffsetTieKeepsPrevious(t *testing.T) {
+	objs := []Tracked{
+		{ID: 1, Span: heap.Span{Addr: 0, Size: 1}}, // offset 0
+		{ID: 2, Span: heap.Span{Addr: 2, Size: 1}}, // offset 2
+	}
+	if got := ChooseOffset(objs, 0, 4); got != 0 {
+		t.Fatalf("tie should keep previous offset, got %d", got)
+	}
+}
+
+func TestWastePerOffsetCountsBigObjectsOnce(t *testing.T) {
+	// An object of exactly chunk size occupies every offset and traps
+	// zero waste.
+	objs := []Tracked{{ID: 1, Span: heap.Span{Addr: 5, Size: 8}}}
+	if w := WastePerOffset(objs, 3, 8); w != 0 {
+		t.Fatalf("waste = %d, want 0", w)
+	}
+}

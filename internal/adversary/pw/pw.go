@@ -1,0 +1,121 @@
+// Package pw implements a reconstruction of P_W, the bad program of
+// Bendersky & Petrank (POPL 2011) quoted in Section 2.2 of Cohen &
+// Petrank (PLDI 2013). Only its bound is stated there, so this is a
+// documented reconstruction (DESIGN.md §5): a Robson-style offset
+// adversary whose step sizes grow by a factor b ≈ c instead of 2.
+// With chunks growing that fast, each surviving object holds roughly a
+// 1/c fraction of its chunk — exactly the density at which evacuating
+// the chunk stops being profitable for a c-partial manager — but the
+// number of steps shrinks from log2(n) to log_c(n), which is why the
+// resulting bound (bounds.BPLower) is so much weaker than Theorem 1.
+//
+// Objects the manager moves are freed immediately, as in P_F, so the
+// program never benefits from compaction.
+package pw
+
+import (
+	"sort"
+
+	"compaction/internal/adversary"
+	"compaction/internal/heap"
+	"compaction/internal/sim"
+	"compaction/internal/word"
+)
+
+// Program is the reconstructed P_W adversary.
+type Program struct {
+	step  int
+	b     word.Size // step growth factor (power of two, ≈ c)
+	align word.Size // current chunk size b^step
+	f     word.Addr
+	objs  map[heap.ObjectID]heap.Span
+	done  bool
+}
+
+var _ sim.Program = (*Program)(nil)
+
+// New returns a P_W adversary; the growth factor is derived from the
+// engine config at the first step.
+func New() *Program { return &Program{} }
+
+// Name implements sim.Program.
+func (p *Program) Name() string { return "pw" }
+
+// Step implements sim.Program.
+func (p *Program) Step(v *sim.View) ([]heap.ObjectID, []word.Size, bool) {
+	if p.objs == nil {
+		p.objs = make(map[heap.ObjectID]heap.Span)
+		b := word.Size(2)
+		if v.Config.C >= 2 {
+			b = word.RoundUpPow2(word.Size(v.Config.C))
+		}
+		p.b = b
+		p.align = 1
+	}
+	defer func() { p.step++ }()
+	if p.step == 0 {
+		p.f = 0
+		allocs := make([]word.Size, v.Config.M)
+		for i := range allocs {
+			allocs[i] = 1
+		}
+		return nil, allocs, false
+	}
+	// Grow the chunk size by b; stop once it would exceed n.
+	next := p.align * p.b
+	if next > v.Config.N {
+		p.done = true
+		return nil, nil, true
+	}
+	prevAlign := p.align
+	p.align = next
+
+	tracked := p.trackedObjects()
+	// Choose the offset among {f + k·prevAlign} maximizing waste.
+	best, bestWaste := p.f, word.Size(-1)
+	for k := word.Size(0); k*prevAlign < p.align; k++ {
+		cand := p.f + k*prevAlign
+		w := adversary.WastePerOffset(tracked, cand, p.align)
+		if w > bestWaste {
+			best, bestWaste = cand, w
+		}
+	}
+	p.f = best
+
+	var frees []heap.ObjectID
+	var liveWords word.Size
+	for _, o := range tracked {
+		if adversary.Occupying(o.Span, p.f, p.align) {
+			liveWords += o.Span.Size
+		} else {
+			frees = append(frees, o.ID)
+			delete(p.objs, o.ID)
+		}
+	}
+	count := (v.Config.M - liveWords) / p.align
+	allocs := make([]word.Size, count)
+	for i := range allocs {
+		allocs[i] = p.align
+	}
+	return frees, allocs, false
+}
+
+func (p *Program) trackedObjects() []adversary.Tracked {
+	out := make([]adversary.Tracked, 0, len(p.objs))
+	for id, s := range p.objs {
+		out = append(out, adversary.Tracked{ID: id, Span: s})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Span.Addr < out[j].Span.Addr })
+	return out
+}
+
+// Placed implements sim.Program.
+func (p *Program) Placed(id heap.ObjectID, s heap.Span) {
+	p.objs[id] = s
+}
+
+// Moved implements sim.Program: moved objects are freed immediately.
+func (p *Program) Moved(id heap.ObjectID, _, _ heap.Span) bool {
+	delete(p.objs, id)
+	return true
+}

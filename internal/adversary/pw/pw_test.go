@@ -1,0 +1,94 @@
+package pw
+
+import (
+	"testing"
+
+	"compaction/internal/bounds"
+	"compaction/internal/budget"
+	"compaction/internal/core"
+	"compaction/internal/mm"
+	"compaction/internal/sim"
+
+	_ "compaction/internal/mm/bpcompact"
+	_ "compaction/internal/mm/fits"
+	_ "compaction/internal/mm/threshold"
+)
+
+func runPW(t *testing.T, mgrName string, cfg sim.Config) sim.Result {
+	t.Helper()
+	mgr, err := mm.New(mgrName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.NewEngine(cfg, New(), mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatalf("P_W vs %s failed: %v", mgrName, err)
+	}
+	return res
+}
+
+func TestPWRunsAgainstManagers(t *testing.T) {
+	cfg := sim.Config{M: 1 << 14, N: 1 << 8, C: 8, Pow2Only: true}
+	for _, name := range []string{"first-fit", "best-fit", "bp-compact", "threshold"} {
+		res := runPW(t, name, cfg)
+		if res.Allocs == 0 {
+			t.Errorf("%s: no allocations", name)
+		}
+		if res.WasteFactor() < 1 {
+			t.Errorf("%s: waste %.3f < 1", name, res.WasteFactor())
+		}
+		t.Logf("%s: HS=%.3f·M", name, res.WasteFactor())
+	}
+}
+
+// TestPWWeakerThanPF demonstrates the paper's point: against the same
+// compacting manager, the old adversary extracts (much) less
+// fragmentation than P_F does.
+func TestPWWeakerThanPF(t *testing.T) {
+	cfg := sim.Config{M: 1 << 16, N: 1 << 8, C: 16, Pow2Only: true}
+	pwRes := runPW(t, "threshold", cfg)
+
+	mgr, err := mm.New("threshold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := core.NewPF(core.Options{})
+	e, err := sim.NewEngine(cfg, pf, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfRes, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("P_W: %.3f·M, P_F: %.3f·M", pwRes.WasteFactor(), pfRes.WasteFactor())
+	if pwRes.WasteFactor() >= pfRes.WasteFactor() {
+		t.Errorf("P_W (%.3f·M) should fragment less than P_F (%.3f·M) against a compactor",
+			pwRes.WasteFactor(), pfRes.WasteFactor())
+	}
+}
+
+// TestPWNonMoving: without compaction P_W still fragments (it is a
+// Robson-style program), though with fewer steps than P_R.
+func TestPWNonMoving(t *testing.T) {
+	cfg := sim.Config{M: 1 << 12, N: 1 << 8, C: budget.NoCompaction, Pow2Only: true}
+	res := runPW(t, "first-fit", cfg)
+	if res.WasteFactor() < 1.2 {
+		t.Errorf("P_W extracted only %.3f·M from first-fit", res.WasteFactor())
+	}
+}
+
+// TestPWAboveBPLowerFormula: the reconstruction should at least force
+// the (weak) BP 2011 closed-form bound at compatible parameters.
+func TestPWAboveBPLowerFormula(t *testing.T) {
+	cfg := sim.Config{M: 1 << 16, N: 1 << 8, C: 16, Pow2Only: true}
+	res := runPW(t, "bp-compact", cfg)
+	v := bounds.BPLower(bounds.Params{M: cfg.M, N: cfg.N, C: cfg.C})
+	if res.WasteFactor() < v {
+		t.Errorf("P_W forced %.3f·M, below BP formula %.3f·M", res.WasteFactor(), v)
+	}
+}

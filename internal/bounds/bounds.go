@@ -1,0 +1,300 @@
+// Package bounds implements the closed-form space bounds around
+// partial compaction:
+//
+//   - Theorem 1 of Cohen & Petrank (PLDI 2013): the lower bound M·h on
+//     the heap size any c-partial memory manager needs against the
+//     adversary P_F ∈ P2(M, n);
+//   - Theorem 2 of the same paper: the upper bound achieved by their
+//     improved manager (the a_i recursion);
+//   - Robson's classical matching bounds for compaction-free managers
+//     (JACM 1971, 1974);
+//   - the earlier bounds of Bendersky & Petrank (POPL 2011): the
+//     (c+1)·M upper bound and their asymptotic lower bound.
+//
+// All formulas are reconstructed from the paper's text (the source is
+// OCR-garbled); DESIGN.md §5–6 records the derivations and checks. The
+// waste factors returned here are multiples of M: a factor of 3.5
+// means the manager needs a heap of 3.5·M words.
+package bounds
+
+import (
+	"fmt"
+	"math"
+
+	"compaction/internal/word"
+)
+
+// Params bundles the model parameters of a bound query.
+type Params struct {
+	M word.Size // bound on simultaneously live words
+	N word.Size // largest object size (words); smallest is 1
+	C int64     // compaction bound: at most 1/C of allocated space moves
+}
+
+// Validate checks that the parameters are in the regime the theorems
+// cover.
+func (p Params) Validate() error {
+	if p.N <= 1 {
+		return fmt.Errorf("bounds: need n > 1, got %d", p.N)
+	}
+	if !word.IsPow2(p.N) {
+		return fmt.Errorf("bounds: n must be a power of two, got %d", p.N)
+	}
+	if p.M <= p.N {
+		return fmt.Errorf("bounds: need M > n, got M=%d n=%d", p.M, p.N)
+	}
+	if p.C < 2 {
+		return fmt.Errorf("bounds: need c >= 2, got %d", p.C)
+	}
+	return nil
+}
+
+// sumS computes S(ℓ) = Σ_{i=1..ℓ} i/(2^i − 1), the series from
+// Claim 4.11 bounding the space allocated by the first stage.
+func sumS(ell int) float64 {
+	s := 0.0
+	for i := 1; i <= ell; i++ {
+		s += float64(i) / float64((int64(1)<<uint(i))-1)
+	}
+	return s
+}
+
+// MaxEll returns the largest admissible density exponent ℓ for a given
+// parameter set: 2^ℓ < (3/4)·c, so that the coefficient
+// g = 3/4 − 2^ℓ/c of the stage-two allocation stays positive, and
+// ℓ ≤ (log2(n) − 2)/2, so the adversary's second stage (steps
+// 2ℓ..log2(n)−2) has at least one step.
+func MaxEll(p Params) int {
+	L := word.Log2(p.N)
+	maxByC := 0
+	for e := 1; ; e++ {
+		if float64(int64(1)<<uint(e))/float64(p.C) >= 0.75 {
+			break
+		}
+		maxByC = e
+	}
+	maxByL := (L - 2) / 2
+	if maxByC < maxByL {
+		return maxByC
+	}
+	return maxByL
+}
+
+// Theorem1Ell evaluates the lower-bound waste factor h(M, n, c, ℓ) for
+// one value of the density exponent ℓ (Theorem 1 of the paper).
+//
+//	h = [ (ℓ+2)/2 − (2^ℓ/c)(ℓ+1−S(ℓ)/2) + g·R − 2n/M ] / [ 1 + 2^{−ℓ}·g·R ]
+//
+// with g = 3/4 − 2^ℓ/c and R = (log2(n) − 2ℓ − 1)/(ℓ+1).
+func Theorem1Ell(p Params, ell int) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if ell < 1 || ell > MaxEll(p) {
+		return 0, fmt.Errorf("bounds: ℓ=%d outside [1, %d] for c=%d, n=%d", ell, MaxEll(p), p.C, p.N)
+	}
+	L := float64(word.Log2(p.N))
+	el := float64(ell)
+	pow := float64(int64(1) << uint(ell)) // 2^ℓ
+	g := 0.75 - pow/float64(p.C)
+	r := (L - 2*el - 1) / (el + 1)
+	nOverM := float64(p.N) / float64(p.M)
+	num := (el+2)/2 - (pow/float64(p.C))*(el+1-sumS(ell)/2) + g*r - 2*nOverM
+	den := 1 + g*r/pow
+	return num / den, nil
+}
+
+// Theorem1 returns the lower-bound waste factor h(M, n, c), maximized
+// over the admissible integer ℓ, together with the maximizing ℓ.
+// The result is clamped below at 1: a heap of M words is always
+// required since the program keeps M words live.
+func Theorem1(p Params) (h float64, bestEll int, err error) {
+	if err := p.Validate(); err != nil {
+		return 0, 0, err
+	}
+	h, bestEll = 1, 0
+	for ell := 1; ell <= MaxEll(p); ell++ {
+		v, verr := Theorem1Ell(p, ell)
+		if verr != nil {
+			return 0, 0, verr
+		}
+		if v > h {
+			h, bestEll = v, ell
+		}
+	}
+	return h, bestEll, nil
+}
+
+// Theorem1Words returns the lower bound in words: ⌈M·h⌉.
+func Theorem1Words(p Params) (word.Size, error) {
+	h, _, err := Theorem1(p)
+	if err != nil {
+		return 0, err
+	}
+	return word.Size(math.Ceil(h * float64(p.M))), nil
+}
+
+// Theorem2Coefficients returns a_0..a_L of the Theorem 2 recursion:
+//
+//	a_0 = 1,  a_i = (1 − 1/c)·max_{0<=j<i} max(1/c, 2^{j−i}·a_j).
+func Theorem2Coefficients(c int64, L int) []float64 {
+	a := make([]float64, L+1)
+	a[0] = 1
+	inv := 1 / float64(c)
+	for i := 1; i <= L; i++ {
+		best := 0.0
+		for j := 0; j < i; j++ {
+			v := a[j] / float64(int64(1)<<uint(i-j))
+			if v < inv {
+				v = inv
+			}
+			if v > best {
+				best = v
+			}
+		}
+		a[i] = (1 - inv) * best
+	}
+	return a
+}
+
+// Theorem2 returns the upper-bound waste factor of the paper's
+// improved manager:
+//
+//	UB/M = 2·Σ_{i=0..L} max(a_i, 1/(4 − 2/c)) + 2·(n/M)·L
+//
+// valid for c > ½·log2(n). See DESIGN.md §5 for the transcription
+// caveat on this formula.
+func Theorem2(p Params) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	L := word.Log2(p.N)
+	if float64(p.C) <= float64(L)/2 {
+		return 0, fmt.Errorf("bounds: Theorem 2 needs c > log2(n)/2 = %g, got c=%d", float64(L)/2, p.C)
+	}
+	a := Theorem2Coefficients(p.C, L)
+	floor := 1 / (4 - 2/float64(p.C))
+	sum := 0.0
+	for _, ai := range a {
+		if ai < floor {
+			ai = floor
+		}
+		sum += ai
+	}
+	return 2*sum + 2*float64(p.N)/float64(p.M)*float64(L), nil
+}
+
+// RobsonLower returns Robson's tight bound for compaction-free
+// managers on P2(M, n) programs, as a waste factor:
+//
+//	(M·(½·log2(n) + 1) − n + 1) / M.
+//
+// It is both a lower bound (some program forces it) and, with Robson's
+// allocator, an upper bound.
+func RobsonLower(m, n word.Size) float64 {
+	L := float64(word.Log2(n))
+	return (float64(m)*(L/2+1) - float64(n) + 1) / float64(m)
+}
+
+// RobsonUpperPow2 is the matching upper bound for P2(M, n); equal to
+// RobsonLower by Robson's theorem.
+func RobsonUpperPow2(m, n word.Size) float64 { return RobsonLower(m, n) }
+
+// RobsonUpperArbitrary bounds compaction-free management of arbitrary
+// (not power-of-two) sizes by rounding each request up to a power of
+// two, doubling the bound: 2·(½·log2(n) + 1) as a waste factor.
+// This is the "previous upper bound" curve of Figure 3 when it beats
+// (c+1)·M.
+func RobsonUpperArbitrary(m, n word.Size) float64 {
+	L := float64(word.Log2(n))
+	return 2 * (L/2 + 1)
+}
+
+// BPUpper is the (c+1)·M upper bound of Bendersky & Petrank's simple
+// compacting collector, as a waste factor.
+func BPUpper(c int64) float64 { return float64(c) + 1 }
+
+// PreviousUpper is the best upper bound known before the paper:
+// min(Robson's rounding bound, (c+1)·M).
+func PreviousUpper(p Params) float64 {
+	r := RobsonUpperArbitrary(p.M, p.N)
+	b := BPUpper(p.C)
+	if r < b {
+		return r
+	}
+	return b
+}
+
+// BudgetForTarget answers the practitioner's inverse query: given a
+// heap budget of targetH×M, what is the weakest compaction capability
+// (the largest c, i.e. the smallest fraction 1/c of allocated space
+// that may move) for which the Theorem 1 lower bound still permits a
+// guarantee of targetH? It returns the largest c in [2, cMax] with
+// h(M, n, c) <= targetH, using that h is non-decreasing in c. An error
+// means even c = 2 (moving half of all allocations) cannot guarantee
+// targetH.
+//
+// Note this is a necessary condition derived from the lower bound, not
+// a sufficient one: an actual manager must still be constructed (the
+// Theorem 2 upper bound speaks to that side).
+func BudgetForTarget(m, n word.Size, targetH float64, cMax int64) (int64, error) {
+	if cMax < 2 {
+		cMax = 1 << 20
+	}
+	check := func(c int64) (bool, error) {
+		h, _, err := Theorem1(Params{M: m, N: n, C: c})
+		if err != nil {
+			return false, err
+		}
+		return h <= targetH, nil
+	}
+	ok, err := check(2)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("bounds: no compaction budget can guarantee %.3f×M for M=%d n=%d (h(c=2) already exceeds it)",
+			targetH, m, n)
+	}
+	lo, hi := int64(2), cMax // invariant: check(lo) is true
+	for lo < hi {
+		mid := lo + (hi-lo+1)/2
+		ok, err := check(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, nil
+}
+
+// BPLower is the lower bound of Bendersky & Petrank (POPL 2011), as a
+// waste factor (reconstruction; see DESIGN.md §5):
+//
+//	c ≤ 4·log2 n:  min(c, log2(n)/(10·log2(c)+1)) − 5n/M
+//	c > 4·log2 n:  (1/6)·log2(n)/(log2(log2 n)+2) − n/(2M)
+//
+// For practical parameters it stays below 1 (the trivial bound), which
+// is exactly the gap the 2013 paper closes.
+func BPLower(p Params) float64 {
+	L := float64(word.Log2(p.N))
+	nOverM := float64(p.N) / float64(p.M)
+	var v float64
+	if float64(p.C) <= 4*L {
+		f := L / (10*math.Log2(float64(p.C)) + 1)
+		if float64(p.C) < f {
+			f = float64(p.C)
+		}
+		v = f - 5*nOverM
+	} else {
+		v = L/(math.Log2(L)+2)/6 - nOverM/2
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}

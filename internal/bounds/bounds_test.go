@@ -1,0 +1,351 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+
+	"compaction/internal/word"
+)
+
+// paperParams are the "realistic parameters" the paper plots:
+// M = 256 MB of live space, n = 1 MB largest object (in words, with
+// the smallest object = 1).
+func paperParams(c int64) Params {
+	return Params{M: 256 * word.MiW, N: word.MiW, C: c}
+}
+
+// TestTheorem1PaperValues checks the three numeric claims made in the
+// paper's prose for Figure 1 (M = 256MB, n = 1MB):
+//
+//	c = 10  → h ≈ 2     ("2x ... when 10% can be compacted")
+//	c = 50  → h ≈ 3.15  ("heap size of at least 3.15·M")
+//	c = 100 → h ≈ 3.5   ("overhead of 3.5x is required")
+func TestTheorem1PaperValues(t *testing.T) {
+	cases := []struct {
+		c    int64
+		want float64
+		tol  float64
+	}{
+		{10, 2.0, 0.05},
+		{50, 3.15, 0.05},
+		{100, 3.5, 0.05},
+	}
+	for _, cse := range cases {
+		h, ell, err := Theorem1(paperParams(cse.c))
+		if err != nil {
+			t.Fatalf("c=%d: %v", cse.c, err)
+		}
+		if math.Abs(h-cse.want) > cse.tol {
+			t.Errorf("c=%d: h=%.4f (ℓ=%d), paper says ≈%.2f", cse.c, h, ell, cse.want)
+		}
+	}
+}
+
+func TestTheorem1MonotoneInC(t *testing.T) {
+	// Less compaction allowed (larger c) must not loosen the bound.
+	prev := 0.0
+	for _, c := range []int64{10, 20, 30, 50, 70, 100} {
+		h, _, err := Theorem1(paperParams(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h < prev-1e-9 {
+			t.Errorf("h decreased at c=%d: %.4f after %.4f", c, h, prev)
+		}
+		prev = h
+	}
+}
+
+func TestTheorem1AlwaysAtLeastTrivial(t *testing.T) {
+	for _, c := range []int64{2, 3, 5, 200, 1000} {
+		h, _, err := Theorem1(paperParams(c))
+		if err != nil {
+			t.Fatalf("c=%d: %v", c, err)
+		}
+		if h < 1 {
+			t.Errorf("c=%d: h=%.4f below the trivial bound 1", c, h)
+		}
+	}
+}
+
+func TestTheorem1GrowsWithN(t *testing.T) {
+	// Figure 2: with c=100 and M=256n, the bound grows with n.
+	var prev float64
+	for exp := 10; exp <= 30; exp += 5 {
+		n := word.Pow2(exp)
+		h, _, err := Theorem1(Params{M: 256 * n, N: n, C: 100})
+		if err != nil {
+			t.Fatalf("n=2^%d: %v", exp, err)
+		}
+		if h < prev-1e-9 {
+			t.Errorf("h decreased at n=2^%d: %.4f after %.4f", exp, h, prev)
+		}
+		prev = h
+	}
+	if prev < 4.0 {
+		t.Errorf("h at n=1Gi = %.4f, expected above 4 (paper's Figure 2 shape)", prev)
+	}
+}
+
+func TestTheorem1EllValidation(t *testing.T) {
+	p := paperParams(100)
+	if _, err := Theorem1Ell(p, 0); err == nil {
+		t.Error("ℓ=0 accepted")
+	}
+	if _, err := Theorem1Ell(p, MaxEll(p)+1); err == nil {
+		t.Error("ℓ beyond MaxEll accepted")
+	}
+	if _, err := Theorem1Ell(p, 1); err != nil {
+		t.Errorf("ℓ=1 rejected: %v", err)
+	}
+}
+
+func TestMaxEll(t *testing.T) {
+	// 2^ℓ < 0.75c: c=100 → 2^ℓ < 75 → ℓ ≤ 6.
+	if got := MaxEll(paperParams(100)); got != 6 {
+		t.Errorf("MaxEll(c=100) = %d, want 6", got)
+	}
+	// c=10 → 2^ℓ < 7.5 → ℓ ≤ 2.
+	if got := MaxEll(paperParams(10)); got != 2 {
+		t.Errorf("MaxEll(c=10) = %d, want 2", got)
+	}
+	// Small n caps ℓ at (L−2)/2: n=2^6, c huge → (6−2)/2 = 2.
+	if got := MaxEll(Params{M: 1 << 20, N: 1 << 6, C: 1 << 30}); got != 2 {
+		t.Errorf("MaxEll(small n) = %d, want 2", got)
+	}
+}
+
+func TestTheorem1Words(t *testing.T) {
+	p := paperParams(100)
+	w, err := Theorem1Words(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _, _ := Theorem1(p)
+	if w != word.Size(math.Ceil(h*float64(p.M))) {
+		t.Errorf("Theorem1Words inconsistent with Theorem1")
+	}
+	if w <= p.M {
+		t.Errorf("lower bound %d not above M=%d", w, p.M)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{M: 100, N: 1, C: 10},           // n too small
+		{M: 100, N: 12, C: 10},          // n not a power of two
+		{M: 16, N: 16, C: 10},           // M not > n
+		{M: 1 << 20, N: 1 << 10, C: 1},  // c too small
+		{M: 1 << 20, N: 1 << 10, C: -3}, // c negative
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d validated: %+v", i, p)
+		}
+	}
+	if err := (Params{M: 1 << 20, N: 1 << 10, C: 10}).Validate(); err != nil {
+		t.Errorf("good params rejected: %v", err)
+	}
+}
+
+func TestTheorem2Coefficients(t *testing.T) {
+	a := Theorem2Coefficients(20, 20)
+	if a[0] != 1 {
+		t.Fatalf("a_0 = %v", a[0])
+	}
+	// Hand-computed prefix for c = 20 (see DESIGN.md §6):
+	want := []float64{1, 0.475, 0.2375, 0.11875, 0.059375, 0.0475}
+	for i, w := range want {
+		if math.Abs(a[i]-w) > 1e-9 {
+			t.Errorf("a_%d = %.6f, want %.6f", i, a[i], w)
+		}
+	}
+	// Tail is pinned at (1−1/c)·(1/c).
+	tail := (1 - 1.0/20) * (1.0 / 20)
+	for i := 6; i <= 20; i++ {
+		if math.Abs(a[i]-tail) > 1e-9 {
+			t.Errorf("a_%d = %.6f, want tail %.6f", i, a[i], tail)
+		}
+	}
+	// Coefficients are non-increasing.
+	for i := 1; i < len(a); i++ {
+		if a[i] > a[i-1]+1e-12 {
+			t.Errorf("a_%d = %v > a_%d = %v", i, a[i], i-1, a[i-1])
+		}
+	}
+}
+
+func TestTheorem2CoefficientsNoCompactionLimit(t *testing.T) {
+	// As c → ∞ the recursion degenerates to Robson's halving a_i = 2^-i.
+	a := Theorem2Coefficients(1<<40, 12)
+	for i := 0; i <= 12; i++ {
+		want := 1 / float64(int64(1)<<uint(i))
+		if math.Abs(a[i]-want) > 1e-6 {
+			t.Errorf("a_%d = %v, want 2^-%d = %v", i, a[i], i, want)
+		}
+	}
+}
+
+func TestTheorem2ImprovesOnPreviousInPaperRange(t *testing.T) {
+	// Figure 3: for c between 20 and 100 the new upper bound is below
+	// the previous best min((c+1)M, Robson-doubled).
+	for _, c := range []int64{20, 30, 50, 70, 100} {
+		p := paperParams(c)
+		ub, err := Theorem2(p)
+		if err != nil {
+			t.Fatalf("c=%d: %v", c, err)
+		}
+		prev := PreviousUpper(p)
+		if ub >= prev {
+			t.Errorf("c=%d: Theorem2=%.3f not below previous=%.3f", c, ub, prev)
+		}
+	}
+}
+
+func TestTheorem2AboveTheorem1(t *testing.T) {
+	// Sanity: the upper bound must dominate the lower bound.
+	for _, c := range []int64{20, 50, 100} {
+		p := paperParams(c)
+		lo, _, err := Theorem1(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hi, err := Theorem2(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hi <= lo {
+			t.Errorf("c=%d: upper %.3f <= lower %.3f", c, hi, lo)
+		}
+	}
+}
+
+func TestTheorem2RequiresLargeC(t *testing.T) {
+	if _, err := Theorem2(Params{M: 1 << 24, N: 1 << 20, C: 10}); err == nil {
+		t.Error("Theorem2 accepted c <= log2(n)/2")
+	}
+}
+
+func TestRobsonBounds(t *testing.T) {
+	m, n := 256*word.MiW, word.MiW
+	lo := RobsonLower(m, n)
+	// (256·(10+1) − 1 + 2^-20·...)/256 ≈ 11 − 1/256.
+	want := (float64(m)*11 - float64(n) + 1) / float64(m)
+	if math.Abs(lo-want) > 1e-12 {
+		t.Errorf("RobsonLower = %v, want %v", lo, want)
+	}
+	if RobsonUpperPow2(m, n) != lo {
+		t.Errorf("Robson upper != lower for P2")
+	}
+	if RobsonUpperArbitrary(m, n) != 22 {
+		t.Errorf("RobsonUpperArbitrary = %v, want 22 (log n = 20)", RobsonUpperArbitrary(m, n))
+	}
+}
+
+func TestBPUpperAndPrevious(t *testing.T) {
+	if BPUpper(10) != 11 {
+		t.Errorf("BPUpper(10) = %v", BPUpper(10))
+	}
+	// For small c the (c+1)M bound wins; for c > log n + 1 Robson wins.
+	p := paperParams(10)
+	if PreviousUpper(p) != 11 {
+		t.Errorf("PreviousUpper(c=10) = %v, want 11", PreviousUpper(p))
+	}
+	p = paperParams(100)
+	if PreviousUpper(p) != 22 {
+		t.Errorf("PreviousUpper(c=100) = %v, want 22", PreviousUpper(p))
+	}
+}
+
+// TestBPLowerTrivialInPaperRange reproduces the paper's claim that for
+// M=256MB, n=1MB the prior lower bound of [4] stays below the trivial
+// factor 1 throughout c = 10..100 (Figure 1's flat line).
+func TestBPLowerTrivialInPaperRange(t *testing.T) {
+	for c := int64(10); c <= 100; c += 5 {
+		v := BPLower(paperParams(c))
+		if v >= 1 {
+			t.Errorf("c=%d: BPLower=%.4f, expected < 1", c, v)
+		}
+		if v < 0 {
+			t.Errorf("c=%d: BPLower=%.4f negative", c, v)
+		}
+	}
+}
+
+// TestNewLowerBeatsOldEverywhere: the paper's contribution is that its
+// bound strictly dominates the old one at practical parameters.
+func TestNewLowerBeatsOldEverywhere(t *testing.T) {
+	for c := int64(10); c <= 100; c += 10 {
+		p := paperParams(c)
+		h, _, err := Theorem1(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h <= BPLower(p) {
+			t.Errorf("c=%d: new bound %.3f does not beat old %.3f", c, h, BPLower(p))
+		}
+	}
+}
+
+func TestSumS(t *testing.T) {
+	if sumS(0) != 0 {
+		t.Errorf("sumS(0) = %v", sumS(0))
+	}
+	if math.Abs(sumS(1)-1) > 1e-12 {
+		t.Errorf("sumS(1) = %v", sumS(1))
+	}
+	// S(3) = 1 + 2/3 + 3/7.
+	if math.Abs(sumS(3)-(1+2.0/3+3.0/7)) > 1e-12 {
+		t.Errorf("sumS(3) = %v", sumS(3))
+	}
+	// Converges below 2.75.
+	if sumS(60) >= 2.75 {
+		t.Errorf("sumS(60) = %v, expected < 2.75", sumS(60))
+	}
+}
+
+func TestBudgetForTarget(t *testing.T) {
+	m, n := 256*word.MiW, word.MiW
+	// h(c=10) ≈ 2.0, h(c=50) ≈ 3.18: a 3.0×M budget should land c in
+	// between, and the result must be the LARGEST admissible c.
+	c, err := BudgetForTarget(m, n, 3.0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := Theorem1(Params{M: m, N: n, C: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h > 3.0 {
+		t.Fatalf("returned c=%d has h=%.4f > target", c, h)
+	}
+	hNext, _, err := Theorem1(Params{M: m, N: n, C: c + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hNext <= 3.0 {
+		t.Fatalf("c=%d not maximal: h(c+1)=%.4f still within target", c, hNext)
+	}
+	if c < 10 || c > 50 {
+		t.Fatalf("c=%d outside the expected bracket", c)
+	}
+}
+
+func TestBudgetForTargetGenerousTarget(t *testing.T) {
+	// A huge target saturates at cMax.
+	c, err := BudgetForTarget(256*word.MiW, word.MiW, 100, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 500 {
+		t.Fatalf("c = %d, want cMax 500", c)
+	}
+}
+
+func TestBudgetForTargetImpossible(t *testing.T) {
+	// h is clamped at the trivial factor 1, so a target below 1 is
+	// unachievable at any c.
+	if _, err := BudgetForTarget(256*word.MiW, word.MiW, 0.9, 1000); err == nil {
+		t.Fatal("target below the trivial bound accepted")
+	}
+}

@@ -1,0 +1,49 @@
+package bounds_test
+
+import (
+	"fmt"
+
+	"compaction/internal/bounds"
+	"compaction/internal/word"
+)
+
+// The paper's headline computation: realistic parameters, 1%
+// compaction budget.
+func ExampleTheorem1() {
+	p := bounds.Params{M: 256 * word.MiW, N: word.MiW, C: 100}
+	h, ell, err := bounds.Theorem1(p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("h = %.4f at ℓ = %d\n", h, ell)
+	// Output: h = 3.4849 at ℓ = 3
+}
+
+// The per-ℓ view shows why the maximization matters: the bound is far
+// weaker at a poorly chosen density exponent.
+func ExampleTheorem1Ell() {
+	p := bounds.Params{M: 256 * word.MiW, N: word.MiW, C: 100}
+	for ell := 1; ell <= 4; ell++ {
+		h, err := bounds.Theorem1Ell(p, ell)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("ℓ=%d: h=%.4f\n", ell, h)
+	}
+	// Output:
+	// ℓ=1: h=1.8689
+	// ℓ=2: h=2.8903
+	// ℓ=3: h=3.4849
+	// ℓ=4: h=3.4031
+}
+
+// Sizing a real-time system: the largest c (weakest collector) that
+// still leaves a 3×M guarantee on the table.
+func ExampleBudgetForTarget() {
+	c, err := bounds.BudgetForTarget(256*word.MiW, word.MiW, 3.0, 1000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("must move at least 1/%d of allocations\n", c)
+	// Output: must move at least 1/39 of allocations
+}

@@ -1,0 +1,127 @@
+// Package budget implements the compaction-budget accounting of the
+// c-partial memory manager model (Bendersky & Petrank, POPL 2011;
+// Cohen & Petrank, PLDI 2013).
+//
+// A c-partial memory manager may compact (move) at most s/c words at
+// any point of the execution, where s is the total number of words the
+// program has allocated so far. The Ledger tracks both quantities and
+// rejects moves that would exceed the quota. A ledger with c = 0
+// represents an unlimited compactor; a ledger with c = NoCompaction
+// represents a manager that may never move objects.
+package budget
+
+import (
+	"errors"
+	"fmt"
+
+	"compaction/internal/word"
+)
+
+// NoCompaction is a sentinel compaction bound meaning "no moves at
+// all" (c = ∞ in the paper's notation).
+const NoCompaction = -1
+
+// ErrExceeded is returned when a move would exceed the compaction
+// quota.
+var ErrExceeded = errors.New("budget: compaction quota exceeded")
+
+// Ledger tracks allocated words s and moved words q, and enforces
+// q <= s/c.
+type Ledger struct {
+	c         int64
+	allocated word.Size // s: total words allocated so far
+	moved     word.Size // q: total words moved so far
+}
+
+// NewLedger returns a ledger for a c-partial manager. c > 0 bounds
+// compaction to 1/c of the allocated space; c == 0 allows unlimited
+// compaction; c == NoCompaction forbids moves entirely.
+func NewLedger(c int64) *Ledger {
+	if c < NoCompaction {
+		panic(fmt.Sprintf("budget.NewLedger: invalid compaction bound %d", c))
+	}
+	return &Ledger{c: c}
+}
+
+// Bound returns the compaction bound c (0 = unlimited, NoCompaction =
+// none).
+func (l *Ledger) Bound() int64 { return l.c }
+
+// Allocated returns s, the total words allocated so far.
+func (l *Ledger) Allocated() word.Size { return l.allocated }
+
+// Moved returns q, the total words moved so far.
+func (l *Ledger) Moved() word.Size { return l.moved }
+
+// Quota returns the maximum number of words that may have been moved
+// at this point, i.e. s/c (or an effectively unlimited value for
+// unlimited ledgers, 0 for non-moving ones).
+func (l *Ledger) Quota() word.Size {
+	switch l.c {
+	case 0:
+		return 1 << 62
+	case NoCompaction:
+		return 0
+	default:
+		return l.allocated / l.c
+	}
+}
+
+// Remaining returns the number of words that may still be moved now.
+func (l *Ledger) Remaining() word.Size {
+	q := l.Quota()
+	if l.moved >= q {
+		return 0
+	}
+	return q - l.moved
+}
+
+// RecordAlloc credits the ledger with an allocation of size words.
+func (l *Ledger) RecordAlloc(size word.Size) {
+	if size <= 0 {
+		panic(fmt.Sprintf("budget.RecordAlloc: non-positive size %d", size))
+	}
+	l.allocated += size
+}
+
+// Move debits size words of compaction. It fails (and records nothing)
+// if the quota would be exceeded.
+func (l *Ledger) Move(size word.Size) error {
+	if size <= 0 {
+		return fmt.Errorf("budget.Move: non-positive size %d", size)
+	}
+	if l.c == NoCompaction {
+		return fmt.Errorf("%w: manager is non-moving", ErrExceeded)
+	}
+	if l.moved+size > l.Quota() {
+		return fmt.Errorf("%w: moved %d + %d > quota %d (allocated %d, c=%d)",
+			ErrExceeded, l.moved, size, l.Quota(), l.allocated, l.c)
+	}
+	l.moved += size
+	return nil
+}
+
+// CanMove reports whether size words could be moved now without
+// exceeding the quota.
+func (l *Ledger) CanMove(size word.Size) bool {
+	if size <= 0 || l.c == NoCompaction {
+		return false
+	}
+	return l.moved+size <= l.Quota()
+}
+
+// Snapshot returns (s, q) for reporting.
+func (l *Ledger) Snapshot() (allocated, moved word.Size) {
+	return l.allocated, l.moved
+}
+
+func (l *Ledger) String() string {
+	switch l.c {
+	case 0:
+		return fmt.Sprintf("budget{unlimited, s=%d, q=%d}", l.allocated, l.moved)
+	case NoCompaction:
+		return fmt.Sprintf("budget{non-moving, s=%d}", l.allocated)
+	default:
+		return fmt.Sprintf("budget{c=%d, s=%d, q=%d/%d}", l.c, l.allocated, l.moved, l.Quota())
+	}
+}

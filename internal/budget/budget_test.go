@@ -1,0 +1,134 @@
+package budget
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestQuotaGrowsWithAllocation(t *testing.T) {
+	l := NewLedger(10)
+	if l.Quota() != 0 || l.CanMove(1) {
+		t.Fatalf("fresh ledger should have zero quota")
+	}
+	l.RecordAlloc(100)
+	if l.Quota() != 10 {
+		t.Fatalf("quota = %d, want 10", l.Quota())
+	}
+	if err := l.Move(10); err != nil {
+		t.Fatalf("move within quota failed: %v", err)
+	}
+	if err := l.Move(1); !errors.Is(err, ErrExceeded) {
+		t.Fatalf("move beyond quota: %v", err)
+	}
+	l.RecordAlloc(50)
+	if l.Remaining() != 5 {
+		t.Fatalf("remaining = %d, want 5", l.Remaining())
+	}
+	if err := l.Move(5); err != nil {
+		t.Fatalf("move after refill failed: %v", err)
+	}
+}
+
+func TestNonMovingLedger(t *testing.T) {
+	l := NewLedger(NoCompaction)
+	l.RecordAlloc(1000)
+	if l.CanMove(1) {
+		t.Fatalf("non-moving ledger claims it can move")
+	}
+	if err := l.Move(1); !errors.Is(err, ErrExceeded) {
+		t.Fatalf("non-moving move: %v", err)
+	}
+	if l.Quota() != 0 {
+		t.Fatalf("non-moving quota = %d", l.Quota())
+	}
+}
+
+func TestUnlimitedLedger(t *testing.T) {
+	l := NewLedger(0)
+	l.RecordAlloc(1)
+	if err := l.Move(1 << 40); err != nil {
+		t.Fatalf("unlimited move failed: %v", err)
+	}
+	if !l.CanMove(1 << 40) {
+		t.Fatalf("unlimited ledger refuses move")
+	}
+}
+
+func TestMoveRejectsNonPositive(t *testing.T) {
+	l := NewLedger(10)
+	l.RecordAlloc(100)
+	if err := l.Move(0); err == nil {
+		t.Fatalf("zero move accepted")
+	}
+	if err := l.Move(-5); err == nil {
+		t.Fatalf("negative move accepted")
+	}
+}
+
+func TestRecordAllocPanicsOnNonPositive(t *testing.T) {
+	l := NewLedger(10)
+	for _, s := range []int64{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RecordAlloc(%d) did not panic", s)
+				}
+			}()
+			l.RecordAlloc(s)
+		}()
+	}
+}
+
+func TestNewLedgerValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("NewLedger(-2) did not panic")
+		}
+	}()
+	NewLedger(-2)
+}
+
+func TestSnapshotAndString(t *testing.T) {
+	l := NewLedger(4)
+	l.RecordAlloc(40)
+	if err := l.Move(3); err != nil {
+		t.Fatal(err)
+	}
+	s, q := l.Snapshot()
+	if s != 40 || q != 3 {
+		t.Fatalf("snapshot = (%d,%d)", s, q)
+	}
+	for _, c := range []int64{0, NoCompaction, 4} {
+		if NewLedger(c).String() == "" {
+			t.Fatalf("empty String for c=%d", c)
+		}
+	}
+}
+
+// Property: after any sequence of allocations and accepted moves,
+// the invariant moved <= allocated/c holds.
+func TestInvariantUnderRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		c := int64(1 + rng.Intn(100))
+		l := NewLedger(c)
+		for step := 0; step < 500; step++ {
+			if rng.Intn(2) == 0 {
+				l.RecordAlloc(int64(1 + rng.Intn(1000)))
+			} else {
+				size := int64(1 + rng.Intn(100))
+				err := l.Move(size)
+				if err == nil && !errors.Is(err, ErrExceeded) && l.Moved() > l.Allocated()/c {
+					t.Fatalf("invariant violated: q=%d > s/c=%d", l.Moved(), l.Allocated()/c)
+				}
+			}
+			if l.Moved() > l.Allocated()/c {
+				t.Fatalf("invariant violated: q=%d s=%d c=%d", l.Moved(), l.Allocated(), c)
+			}
+			if l.CanMove(l.Remaining()+1) && l.Remaining() >= 0 {
+				t.Fatalf("CanMove accepts more than Remaining")
+			}
+		}
+	}
+}

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"compaction/internal/heap"
+	"compaction/internal/word"
+)
+
+// portion says how much of an object a chunk's association set holds:
+// the whole object, or exactly half of it (Section 4's half-objects:
+// an object lying on the border of two chunks may have half of its
+// size associated with each, "ignoring the actual way the object is
+// split between the chunks").
+type portion int
+
+const (
+	half portion = iota
+	full
+)
+
+// object is P_F's record of one allocation. Live objects always sit at
+// their allocation-time span (P_F frees every object the manager
+// moves, so nothing live ever changes address).
+type object struct {
+	id   heap.ObjectID
+	span heap.Span
+	live bool
+	// ghost marks a stage-I object that was compacted and immediately
+	// freed but is still counted by the program at its original address
+	// (Definition 4.1).
+	ghost bool
+}
+
+func (o *object) size() word.Size { return o.span.Size }
+
+// chunkTable maintains the paper's association of objects with aligned
+// chunks during the second stage: the sets O_D, the set E of middle
+// chunks, and the step-change merging. Chunk k at step i spans
+// [k·2^i, (k+1)·2^i).
+type chunkTable struct {
+	step   int // current step i; chunk size is 2^i
+	ell    int // density exponent ℓ; the target density is 2^-ℓ
+	chunks map[int64]map[*object]portion
+	inE    map[int64]bool
+	// where tracks which chunks hold an association for each object
+	// (one chunk for full, two for halves).
+	where map[*object][]int64
+
+	// Diagnostics for the Claim 4.16 accounting: accumulated prior
+	// potential of chunks overwritten by placeNew, split by whether it
+	// came from dead entries, E membership, or live entries.
+	reusedDeadU, reusedEU word.Size
+}
+
+func newChunkTable(step, ell int) *chunkTable {
+	return &chunkTable{
+		step:   step,
+		ell:    ell,
+		chunks: make(map[int64]map[*object]portion),
+		inE:    make(map[int64]bool),
+		where:  make(map[*object][]int64),
+	}
+}
+
+// chunkSize returns the current chunk size 2^step.
+func (t *chunkTable) chunkSize() word.Size { return word.Pow2(t.step) }
+
+// contribution returns the words an entry contributes to Σ_{o∈O_D}|o|.
+func contribution(o *object, p portion) word.Size {
+	if p == half {
+		return o.size() / 2
+	}
+	return o.size()
+}
+
+// sum returns Σ_{o∈O_D}|o| for chunk d, counting dead (compacted-away)
+// entries too: association is only removed when P_F de-allocates the
+// object or a new object is placed on the chunk.
+func (t *chunkTable) sum(d int64) word.Size {
+	var s word.Size
+	for o, p := range t.chunks[d] {
+		s += contribution(o, p)
+	}
+	return s
+}
+
+// associateFull records a whole-object association (line 9 of
+// Algorithm 1 and merged halves).
+func (t *chunkTable) associateFull(o *object, d int64) {
+	t.addEntry(o, d, full)
+}
+
+func (t *chunkTable) addEntry(o *object, d int64, p portion) {
+	set := t.chunks[d]
+	if set == nil {
+		set = make(map[*object]portion)
+		t.chunks[d] = set
+	}
+	if prev, ok := set[o]; ok {
+		if prev == half && p == half {
+			// Two halves of the same object in one chunk merge into a
+			// full association; the existing where entry stays as the
+			// single record for the merged full entry.
+			set[o] = full
+			return
+		}
+		panic(fmt.Sprintf("core: duplicate association of object %d with chunk %d", o.id, d))
+	}
+	set[o] = p
+	t.where[o] = append(t.where[o], d)
+	delete(t.inE, d) // an associated chunk is never a middle chunk
+}
+
+// removeEntry drops the association of o with chunk d.
+func (t *chunkTable) removeEntry(o *object, d int64) {
+	set := t.chunks[d]
+	if _, ok := set[o]; !ok {
+		panic(fmt.Sprintf("core: object %d not associated with chunk %d", o.id, d))
+	}
+	delete(set, o)
+	if len(set) == 0 {
+		delete(t.chunks, d)
+	}
+	t.removeWhereOnce(o, d)
+}
+
+func (t *chunkTable) removeWhereOnce(o *object, d int64) {
+	ws := t.where[o]
+	for i, w := range ws {
+		if w == d {
+			ws = append(ws[:i], ws[i+1:]...)
+			break
+		}
+	}
+	if len(ws) == 0 {
+		delete(t.where, o)
+	} else {
+		t.where[o] = ws
+	}
+}
+
+// otherChunk returns the chunk holding the other half of o, given one
+// of its chunks.
+func (t *chunkTable) otherChunk(o *object, d int64) (int64, bool) {
+	for _, w := range t.where[o] {
+		if w != d {
+			return w, true
+		}
+	}
+	return 0, false
+}
+
+// doubleStep advances to step+1: each pair of adjacent chunks becomes
+// one chunk (O_D = O_D1 ∪ O_D2, line 12), halves of the same object
+// that meet merge into full entries, and E is cleared.
+func (t *chunkTable) doubleStep() {
+	old := t.chunks
+	t.step++
+	t.chunks = make(map[int64]map[*object]portion, len(old))
+	t.inE = make(map[int64]bool)
+	t.where = make(map[*object][]int64)
+	for d, set := range old {
+		nd := d >> 1
+		for o, p := range set {
+			if p == full {
+				t.addEntry(o, nd, full)
+			} else {
+				t.addEntry(o, nd, half) // addEntry merges meeting halves
+			}
+		}
+	}
+}
+
+// placeNew implements the association updates of line 14: the newly
+// allocated object o fully covers chunks d1, d2, d3; the first half of
+// o is associated with d1, the second half with d3, and d2 becomes a
+// middle chunk in E. Any previous associations of those chunks are
+// discarded — their objects must all be dead (the chunks had to be
+// physically empty for the placement), which is asserted.
+func (t *chunkTable) placeNew(o *object, d1, d2, d3 int64) {
+	cs := t.chunkSize()
+	for _, d := range []int64{d1, d2, d3} {
+		if t.inE[d] {
+			t.reusedEU += cs
+		} else if s := t.sum(d); s > 0 {
+			v := s << uint(t.ell)
+			if v > cs {
+				v = cs
+			}
+			t.reusedDeadU += v
+		}
+		set := t.chunks[d]
+		for prev := range set {
+			if prev.live {
+				panic(fmt.Sprintf("core: live object %d still associated with overwritten chunk %d", prev.id, d))
+			}
+			t.removeEntry(prev, d)
+		}
+		delete(t.inE, d)
+	}
+	t.addEntry(o, d1, half)
+	t.addEntry(o, d3, half)
+	t.inE[d2] = true
+}
+
+// coveredChunks returns the indices of the chunks fully covered by
+// span s at the current step, in address order.
+func (t *chunkTable) coveredChunks(s heap.Span) []int64 {
+	cs := t.chunkSize()
+	first := word.AlignUp(s.Addr, cs) / cs
+	var out []int64
+	for k := first; (k+1)*cs <= s.End(); k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
+// sortedChunkIndices returns the indices of non-empty chunks in order.
+func (t *chunkTable) sortedChunkIndices() []int64 {
+	idx := make([]int64, 0, len(t.chunks))
+	for d := range t.chunks {
+		idx = append(idx, d)
+	}
+	sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+	return idx
+}
+
+// trim implements line 13 for every chunk: free as many objects from
+// O_D as possible while Σ_{o∈O_D}|o| stays at least 2^(step−ℓ). When a
+// half is freed, the object's association transfers to the chunk
+// holding the other half, and that chunk is re-evaluated. Chunks whose
+// sum is already at or below the threshold are left alone (freeing
+// from them would let the potential function drop, breaking Claim
+// 4.16). Physically freed objects are reported through freeCb.
+func (t *chunkTable) trim(freeCb func(*object)) {
+	threshold := word.Pow2(t.step - t.ell)
+	work := t.sortedChunkIndices()
+	queued := make(map[int64]bool, len(work))
+	for _, d := range work {
+		queued[d] = true
+	}
+	for len(work) > 0 {
+		d := work[0]
+		work = work[1:]
+		queued[d] = false
+		requeue := t.trimChunk(d, threshold, freeCb, func(next int64) {
+			if !queued[next] {
+				queued[next] = true
+				work = append(work, next)
+			}
+		})
+		if requeue && !queued[d] {
+			queued[d] = true
+			work = append(work, d)
+		}
+	}
+}
+
+// trimChunk processes one chunk; enqueue is called for chunks that
+// received a transferred half and need re-evaluation.
+func (t *chunkTable) trimChunk(d int64, threshold word.Size, freeCb func(*object), enqueue func(int64)) bool {
+	set := t.chunks[d]
+	if len(set) == 0 {
+		return false
+	}
+	// Deterministic order: largest contribution first, ties by id.
+	type ent struct {
+		o *object
+		p portion
+	}
+	entries := make([]ent, 0, len(set))
+	sum := word.Size(0)
+	for o, p := range set {
+		entries = append(entries, ent{o, p})
+		sum += contribution(o, p)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		ci, cj := contribution(entries[i].o, entries[i].p), contribution(entries[j].o, entries[j].p)
+		if ci != cj {
+			return ci > cj
+		}
+		return entries[i].o.id < entries[j].o.id
+	})
+	for _, e := range entries {
+		if !e.o.live {
+			continue // dead entries hold density but cannot be freed
+		}
+		c := contribution(e.o, e.p)
+		if sum-c < threshold {
+			// Freeing would drop the chunk below the density floor
+			// 2^-ℓ; line 13 keeps it (this is what makes evacuation
+			// unprofitable for the manager and keeps u(t) from ever
+			// decreasing, Claim 4.16).
+			continue
+		}
+		sum -= c
+		if e.p == full {
+			t.removeEntry(e.o, d)
+			e.o.live = false
+			freeCb(e.o)
+			continue
+		}
+		// Freeing a half: transfer the object to the chunk holding the
+		// other half and re-evaluate that chunk.
+		other, ok := t.otherChunk(e.o, d)
+		if !ok {
+			panic(fmt.Sprintf("core: half object %d has no other chunk", e.o.id))
+		}
+		t.removeEntry(e.o, d)
+		t.chunks[other][e.o] = full
+		enqueue(other)
+	}
+	return false
+}
+
+// potential computes the paper's potential function u(t) restricted to
+// the current partition: Σ_D u_D(t) − n/4, where u_D = 2^i for middle
+// chunks in E and min(2^ℓ·Σ_{o∈O_D}|o|, 2^i) otherwise (Definitions
+// 4.3 and 4.4). It lower-bounds the heap size the manager has used.
+func (t *chunkTable) potential(n word.Size) word.Size {
+	cs := t.chunkSize()
+	var u word.Size
+	for d := range t.chunks {
+		v := t.sum(d) << uint(t.ell)
+		if v > cs {
+			v = cs
+		}
+		u += v
+	}
+	u += word.Size(len(t.inE)) * cs
+	return u - n/4
+}

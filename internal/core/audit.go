@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+
+	"compaction/internal/heap"
+	"compaction/internal/word"
+)
+
+// Audit verifies the structural invariants of the stage-II association
+// (Claim 4.15 of the paper and the E-set rules) and returns the first
+// violation found. It is meant to be called from tests between rounds;
+// it returns nil before stage II begins.
+//
+// Checked invariants:
+//
+//  1. the sets O_D are consistent: every association entry is indexed
+//     by the object's `where` list and vice versa;
+//  2. every object is associated with exactly one chunk (full) or two
+//     chunks (one half each);
+//  3. every LIVE associated object physically intersects each chunk it
+//     is associated with;
+//  4. chunks in E have no associated objects;
+//  5. association sums are positive (no empty chunk entries linger).
+func (p *PF) Audit() error {
+	if !p.stage2 {
+		return nil
+	}
+	t := p.table
+	cs := t.chunkSize()
+
+	// 1 & 5: chunk-side consistency.
+	seen := make(map[*object][]int64)
+	for d, set := range t.chunks {
+		if len(set) == 0 {
+			return fmt.Errorf("core audit: chunk %d has an empty association set", d)
+		}
+		if t.inE[d] {
+			return fmt.Errorf("core audit: chunk %d is in E but has %d entries", d, len(set))
+		}
+		var sum word.Size
+		for o, portionOf := range set {
+			seen[o] = append(seen[o], d)
+			sum += contribution(o, portionOf)
+			if o.live {
+				chunkSpan := heap.Span{Addr: d * cs, Size: cs}
+				if !o.span.Overlaps(chunkSpan) {
+					return fmt.Errorf("core audit: live object %d %v associated with chunk %d %v it does not intersect (Claim 4.15)",
+						o.id, o.span, d, chunkSpan)
+				}
+			}
+		}
+		if sum <= 0 {
+			return fmt.Errorf("core audit: chunk %d has non-positive association sum %d", d, sum)
+		}
+	}
+
+	// 2: object-side consistency against `where`.
+	for o, ds := range seen {
+		if len(ds) > 2 {
+			return fmt.Errorf("core audit: object %d associated with %d chunks", o.id, len(ds))
+		}
+		if len(t.where[o]) != len(ds) {
+			return fmt.Errorf("core audit: object %d where-list has %d entries, chunks show %d",
+				o.id, len(t.where[o]), len(ds))
+		}
+		if len(ds) == 2 {
+			for _, d := range ds {
+				if t.chunks[d][o] != half {
+					return fmt.Errorf("core audit: object %d in two chunks but not as halves", o.id)
+				}
+			}
+		}
+	}
+	for o, ws := range t.where {
+		if len(seen[o]) != len(ws) {
+			return fmt.Errorf("core audit: object %d has stale where entries", o.id)
+		}
+	}
+
+	// 4 is covered above; verify E chunks are truly empty.
+	for d := range t.inE {
+		if len(t.chunks[d]) != 0 {
+			return fmt.Errorf("core audit: E chunk %d has entries", d)
+		}
+	}
+	return nil
+}

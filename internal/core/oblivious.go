@@ -1,0 +1,41 @@
+package core
+
+import (
+	"fmt"
+
+	"compaction/internal/mm"
+	"compaction/internal/sim"
+	"compaction/internal/trace"
+)
+
+// ObliviousTrace operationalizes the paper's remark in Section 2.1:
+// the adversary does not really need to be told object addresses at
+// run time — "it is enough to let the program know the allocator's
+// algorithm and when GC is invoked" to construct the same bad request
+// sequence in advance. Given a registered deterministic manager, it
+// runs P_F against a shadow instance, records the request stream, and
+// returns a trace that can be replayed obliviously (with no feedback)
+// against a fresh instance of the same manager, producing the same
+// fragmentation.
+//
+// The construction is exact for deterministic non-moving managers. For
+// compacting managers the recorded stream shifts frees that P_F issued
+// in response to moves to the start of the following round, so the
+// replay may transiently hold more live space than the adaptive run;
+// the engine will reject the replay if that exceeds M.
+func ObliviousTrace(cfg sim.Config, managerName string, opts Options) (*trace.Trace, sim.Result, error) {
+	mgr, err := mm.New(managerName)
+	if err != nil {
+		return nil, sim.Result{}, err
+	}
+	rec := trace.NewRecorder(NewPF(opts))
+	e, err := sim.NewEngine(cfg, rec, mgr)
+	if err != nil {
+		return nil, sim.Result{}, err
+	}
+	res, err := e.Run()
+	if err != nil {
+		return nil, sim.Result{}, fmt.Errorf("core: shadow run failed: %w", err)
+	}
+	return rec.Result(), res, nil
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"compaction/internal/mm"
+	"compaction/internal/sim"
+	"compaction/internal/trace"
+)
+
+// TestObliviousReplayForcesSameHeap: the precomputed request stream,
+// replayed with no feedback against a fresh instance of the same
+// deterministic manager, forces exactly the heap the adaptive
+// adversary forced.
+func TestObliviousReplayForcesSameHeap(t *testing.T) {
+	cfg := validationConfig()
+	for _, name := range []string{"first-fit", "best-fit", "buddy", "tlsf"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			tr, shadowRes, err := ObliviousTrace(cfg, name, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mgr, err := mm.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := sim.NewEngine(cfg, trace.NewReplayer(tr), mgr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			replayRes, err := e.Run()
+			if err != nil {
+				t.Fatalf("oblivious replay failed: %v", err)
+			}
+			if replayRes.HighWater != shadowRes.HighWater {
+				t.Errorf("oblivious replay HS=%d, adaptive HS=%d", replayRes.HighWater, shadowRes.HighWater)
+			}
+		})
+	}
+}
+
+// TestObliviousTraceIsSelfContained: the trace carries the model
+// parameters of the shadow run.
+func TestObliviousTraceIsSelfContained(t *testing.T) {
+	cfg := validationConfig()
+	tr, _, err := ObliviousTrace(cfg, "first-fit", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.M != cfg.M || tr.N != cfg.N || tr.C != cfg.C {
+		t.Fatalf("trace header %+v does not match config", tr)
+	}
+	if len(tr.Rounds) != Rounds(cfg.N) {
+		t.Fatalf("trace rounds %d, want %d", len(tr.Rounds), Rounds(cfg.N))
+	}
+}
+
+func TestObliviousTraceUnknownManager(t *testing.T) {
+	if _, _, err := ObliviousTrace(validationConfig(), "nope", Options{}); err == nil {
+		t.Fatal("unknown manager accepted")
+	}
+}

@@ -1,0 +1,362 @@
+// Package core implements the primary contribution of Cohen & Petrank
+// (PLDI 2013): the adversarial program P_F (Algorithm 1) that forces
+// every c-partial memory manager to use a heap of at least M·h words
+// (Theorem 1, computed in internal/bounds), together with the
+// association and potential-function machinery of Section 4.
+//
+// P_F runs in two stages:
+//
+//   - Stage I (steps 0..ℓ) is Robson's bad program adapted to
+//     compaction with ghost objects: any object the manager moves is
+//     freed immediately but continues to be counted at its original
+//     address, so the de-allocation decisions match the compaction-free
+//     execution of the reduction theorem (Claim 4.8). Steps ℓ+1..2ℓ−1
+//     are null steps.
+//   - Stage II (steps 2ℓ..log2(n)−2) maintains, for every aligned
+//     chunk of size 2^i, an association set O_D with density at least
+//     2^-ℓ > 1/c, so evacuating a chunk always costs the manager more
+//     compaction budget than the allocation that reuses it refunds. At
+//     each step it frees as much associated space as the density floor
+//     allows (line 13) and allocates ⌊x·M·2^{-i-2}⌋ objects of size
+//     2^{i+2} (line 14), each claiming three fresh chunks.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"compaction/internal/adversary"
+	"compaction/internal/bounds"
+	"compaction/internal/heap"
+	"compaction/internal/sim"
+	"compaction/internal/word"
+)
+
+// Options configure P_F. The zero value selects the paper's algorithm
+// with the bound-maximizing ℓ; the Disable* switches implement the
+// ablations studied in the benchmarks.
+type Options struct {
+	// Ell fixes the density exponent ℓ; 0 picks the ℓ that maximizes
+	// the Theorem 1 bound for the run's (M, n, c).
+	Ell int
+	// DisableStage1 skips Robson's first stage (ablation).
+	DisableStage1 bool
+	// DisableDensity makes stage II free greedily with no density
+	// floor (ablation: chunks become cheap to evacuate).
+	DisableDensity bool
+	// DisableGhosts makes stage I forget compacted objects instead of
+	// keeping them as ghosts (ablation: compaction perturbs Robson's
+	// offsets).
+	DisableGhosts bool
+}
+
+// PF is the paper's adversary program.
+type PF struct {
+	opts Options
+
+	// Parameters resolved at the first Step call.
+	initialized bool
+	m, n        word.Size
+	c           int64
+	ell         int
+	bigL        int     // log2(n)
+	x           float64 // per-step allocation fraction of line 14
+	hEll        float64 // Theorem 1 bound at the chosen ℓ
+
+	round  int
+	f      word.Addr // Robson offset f_i
+	objs   map[heap.ObjectID]*object
+	liveW  word.Size // live words (engine ground truth mirror)
+	table  *chunkTable
+	stage2 bool
+
+	// uFirst is the potential right after the line-9 association, the
+	// quantity Lemma 4.5 bounds from below (exposed for validation).
+	uFirst word.Size
+}
+
+var _ sim.Program = (*PF)(nil)
+
+// NewPF builds the adversary.
+func NewPF(opts Options) *PF {
+	return &PF{opts: opts, objs: make(map[heap.ObjectID]*object)}
+}
+
+// Name implements sim.Program.
+func (p *PF) Name() string { return "pf" }
+
+// Ell returns the density exponent in use (after the first step).
+func (p *PF) Ell() int { return p.ell }
+
+// TargetH returns the Theorem 1 waste factor h(M, n, c, ℓ) the run is
+// designed to force (after the first step).
+func (p *PF) TargetH() float64 { return p.hEll }
+
+// Rounds returns the total number of engine rounds P_F uses for a
+// given maximum object size: steps 0..log2(n)−2.
+func Rounds(n word.Size) int { return word.Log2(n) - 1 }
+
+func (p *PF) init(v *sim.View) error {
+	p.m, p.n, p.c = v.Config.M, v.Config.N, v.Config.C
+	p.bigL = word.Log2(p.n)
+	if !v.Config.Pow2Only {
+		return fmt.Errorf("core: P_F requires a P2 run (Pow2Only)")
+	}
+	params := bounds.Params{M: p.m, N: p.n, C: p.c}
+	if err := params.Validate(); err != nil {
+		return fmt.Errorf("core: %v", err)
+	}
+	if p.opts.Ell > 0 {
+		p.ell = p.opts.Ell
+		h, err := bounds.Theorem1Ell(params, p.ell)
+		if err != nil {
+			return err
+		}
+		p.hEll = h
+	} else {
+		h, ell, err := bounds.Theorem1(params)
+		if err != nil {
+			return err
+		}
+		if ell == 0 {
+			return fmt.Errorf("core: no admissible ℓ for M=%d n=%d c=%d", p.m, p.n, p.c)
+		}
+		p.ell, p.hEll = ell, h
+	}
+	p.x = (1 - p.hEll/float64(word.Pow2(p.ell))) / float64(p.ell+1)
+	if p.x <= 0 {
+		return fmt.Errorf("core: non-positive allocation fraction x=%g (h=%g, ℓ=%d)", p.x, p.hEll, p.ell)
+	}
+	p.initialized = true
+	return nil
+}
+
+// Step implements sim.Program, mapping engine rounds to the steps of
+// Algorithm 1: round r is step r; stage I covers steps 0..ℓ, steps
+// ℓ+1..2ℓ−1 are null, and stage II covers steps 2ℓ..log2(n)−2.
+func (p *PF) Step(v *sim.View) ([]heap.ObjectID, []word.Size, bool) {
+	if !p.initialized {
+		if err := p.init(v); err != nil {
+			panic(err)
+		}
+	}
+	step := p.round
+	p.round++
+	last := p.bigL - 2
+	done := step >= last
+	switch {
+	case step < 2*p.ell:
+		if p.opts.DisableStage1 {
+			return nil, nil, done
+		}
+		frees, allocs := p.stage1(step)
+		return frees, allocs, done
+	default:
+		if !p.stage2 {
+			p.enterStage2()
+		}
+		if p.table.step < step {
+			p.table.doubleStep()
+			if p.table.step != step {
+				panic(fmt.Sprintf("core: step skew: table at %d, program at %d", p.table.step, step))
+			}
+		}
+		frees := p.stage2Frees()
+		allocs := p.stage2Allocs(step)
+		return frees, allocs, done
+	}
+}
+
+// stage1 runs step i of the Robson-with-ghosts stage.
+func (p *PF) stage1(step int) ([]heap.ObjectID, []word.Size) {
+	switch {
+	case step == 0:
+		p.f = 0
+		allocs := make([]word.Size, p.m)
+		for i := range allocs {
+			allocs[i] = 1
+		}
+		return nil, allocs
+	case step <= p.ell:
+		align := word.Pow2(step)
+		tracked := p.trackedStage1()
+		p.f = adversary.ChooseOffset(tracked, p.f, align)
+		var frees []heap.ObjectID
+		var counted word.Size // live + ghost words that remain
+		for _, tr := range tracked {
+			o := p.objs[tr.ID]
+			if adversary.Occupying(o.span, p.f, align) {
+				counted += o.size()
+				continue
+			}
+			if o.live {
+				frees = append(frees, o.id)
+				o.live = false
+				p.liveW -= o.size()
+			}
+			// Non-occupying ghosts disappear from consideration.
+			delete(p.objs, o.id)
+		}
+		count := (p.m - counted) / align
+		allocs := make([]word.Size, count)
+		for i := range allocs {
+			allocs[i] = align
+		}
+		return frees, allocs
+	default:
+		return nil, nil // null steps ℓ+1..2ℓ−1
+	}
+}
+
+// trackedStage1 returns live objects and ghosts in address order.
+func (p *PF) trackedStage1() []adversary.Tracked {
+	out := make([]adversary.Tracked, 0, len(p.objs))
+	for _, o := range p.objs {
+		if o.live || o.ghost {
+			out = append(out, adversary.Tracked{ID: o.id, Span: o.span, Ghost: o.ghost})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Span.Addr < out[j].Span.Addr })
+	return out
+}
+
+// enterStage2 performs line 9: associate every remaining live object
+// with the chunk (size 2^{2ℓ−1}) containing its f_ℓ-occupying word.
+//
+// Ghosts are dropped here, not associated: Definition 4.1 says ghost
+// objects "are no longer considered by PF in subsequent steps". This
+// matters for the bound — if ghosts entered O_D as dead mass, line 13
+// could free the live objects colocated with them and hand the manager
+// reusable chunks that were never paid for with stage-II compaction,
+// breaking Proposition 4.19 (we verified exactly this leak against the
+// threshold evacuator before fixing it; see TestLemmaAccounting).
+func (p *PF) enterStage2() {
+	p.stage2 = true
+	start := 2*p.ell - 1
+	if p.opts.DisableStage1 || start < 0 {
+		start = 2 * p.ell
+		p.table = newChunkTable(start, p.ell)
+		return
+	}
+	p.table = newChunkTable(start, p.ell)
+	alignL := word.Pow2(p.ell)
+	cs := p.table.chunkSize()
+	for _, o := range p.objs {
+		if o.ghost {
+			o.ghost = false // ghosts disappear at the stage boundary
+			delete(p.objs, o.id)
+			continue
+		}
+		if !o.live {
+			continue
+		}
+		if !adversary.Occupying(o.span, p.f, alignL) {
+			// Everything surviving stage I is f_ℓ-occupying by
+			// construction; defensive check.
+			panic(fmt.Sprintf("core: stage-I survivor %d is not f_ℓ-occupying", o.id))
+		}
+		w := adversary.OccupyingWord(o.span, p.f, alignL)
+		p.table.associateFull(o, w/cs)
+	}
+	p.uFirst = p.table.potential(p.n)
+}
+
+// UFirst returns u(t_first), the potential right after the line-9
+// association (0 before stage II).
+func (p *PF) UFirst() word.Size { return p.uFirst }
+
+// stage2Frees runs line 13 (the density-preserving trim).
+func (p *PF) stage2Frees() []heap.ObjectID {
+	var frees []heap.ObjectID
+	if p.opts.DisableDensity {
+		// Ablation: free every live associated object outright.
+		for d := range p.table.chunks {
+			for o := range p.table.chunks[d] {
+				if o.live {
+					o.live = false
+					p.liveW -= o.size()
+					frees = append(frees, o.id)
+				}
+			}
+		}
+		// Associations of freed objects are removed (P_F de-allocated
+		// them).
+		for _, id := range frees {
+			o := p.objs[id]
+			for len(p.table.where[o]) > 0 {
+				p.table.removeEntry(o, p.table.where[o][0])
+			}
+		}
+		sort.Slice(frees, func(i, j int) bool { return frees[i] < frees[j] })
+		return frees
+	}
+	p.table.trim(func(o *object) {
+		p.liveW -= o.size()
+		frees = append(frees, o.id)
+	})
+	return frees
+}
+
+// stage2Allocs runs line 14: ⌊x·M·2^{−i−2}⌋ objects of size 2^{i+2},
+// capped by the M-bound.
+func (p *PF) stage2Allocs(step int) []word.Size {
+	size := word.Pow2(step + 2)
+	count := word.Size(p.x * float64(p.m) / float64(size))
+	if maxByM := (p.m - p.liveW) / size; count > maxByM {
+		count = maxByM
+	}
+	allocs := make([]word.Size, count)
+	for i := range allocs {
+		allocs[i] = size
+	}
+	return allocs
+}
+
+// Placed implements sim.Program.
+func (p *PF) Placed(id heap.ObjectID, s heap.Span) {
+	o := &object{id: id, span: s, live: true}
+	p.objs[id] = o
+	p.liveW += s.Size
+	if !p.stage2 {
+		return
+	}
+	covered := p.table.coveredChunks(s)
+	if len(covered) < 3 {
+		panic(fmt.Sprintf("core: stage-II object %v covers %d chunks, need 3", s, len(covered)))
+	}
+	p.table.placeNew(o, covered[0], covered[1], covered[2])
+}
+
+// Moved implements sim.Program: compacted objects are freed
+// immediately. In stage I they persist as ghosts at their original
+// address; in stage II their associations persist as dead entries.
+func (p *PF) Moved(id heap.ObjectID, from, _ heap.Span) bool {
+	o, ok := p.objs[id]
+	if !ok {
+		panic(fmt.Sprintf("core: move of untracked object %d", id))
+	}
+	if !o.live {
+		panic(fmt.Sprintf("core: move of dead object %d", id))
+	}
+	o.live = false
+	p.liveW -= o.size()
+	if !p.stage2 {
+		if p.opts.DisableGhosts {
+			delete(p.objs, id)
+		} else {
+			o.ghost = true
+			o.span = from // counted at its pre-move address
+		}
+	}
+	return true
+}
+
+// Potential returns the paper's potential function u(t) over the
+// current stage-II partition, a certified lower bound on the heap size
+// used so far. It returns 0 before stage II begins.
+func (p *PF) Potential() word.Size {
+	if !p.stage2 {
+		return 0
+	}
+	return p.table.potential(p.n)
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"compaction/internal/bounds"
+	"compaction/internal/mm"
+	"compaction/internal/sim"
+	"compaction/internal/word"
+
+	// Register all managers for the cross-product validation.
+	_ "compaction/internal/mm/bitmapff"
+	_ "compaction/internal/mm/bpcompact"
+	_ "compaction/internal/mm/buddy"
+	_ "compaction/internal/mm/fits"
+	_ "compaction/internal/mm/halffit"
+	_ "compaction/internal/mm/improved"
+	_ "compaction/internal/mm/markcompact"
+	_ "compaction/internal/mm/rounding"
+	_ "compaction/internal/mm/segregated"
+	_ "compaction/internal/mm/threshold"
+	_ "compaction/internal/mm/tlsf"
+)
+
+// validationConfig is the small-scale P2 setting used to validate
+// Theorem 1 empirically: M = 2^16, n = 2^8 (so M/n = 256, the paper's
+// ratio), c = 16.
+func validationConfig() sim.Config {
+	return sim.Config{M: 1 << 16, N: 1 << 8, C: 16, Pow2Only: true}
+}
+
+func runPF(t *testing.T, mgrName string, cfg sim.Config, opts Options) (*PF, sim.Result) {
+	t.Helper()
+	mgr, err := mm.New(mgrName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := NewPF(opts)
+	e, err := sim.NewEngine(cfg, pf, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatalf("P_F vs %s failed: %v", mgrName, err)
+	}
+	return pf, res
+}
+
+// TestTheorem1AgainstAllManagers is the headline validation (Sim-1 of
+// DESIGN.md): Theorem 1 quantifies over every c-partial manager, so
+// every implemented manager must end a P_F run with HS >= M·h.
+func TestTheorem1AgainstAllManagers(t *testing.T) {
+	cfg := validationConfig()
+	p := bounds.Params{M: cfg.M, N: cfg.N, C: cfg.C}
+	h, ell, err := bounds.Theorem1(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := word.Size(h * float64(cfg.M))
+	t.Logf("Theorem 1: h=%.4f (ℓ=%d), M·h=%d words", h, ell, floor)
+	for _, name := range mm.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			pf, res := runPF(t, name, cfg, Options{})
+			t.Logf("%s: HS=%d (%.3f·M), target %.3f·M, moves=%d",
+				name, res.HighWater, res.WasteFactor(), h, res.Moves)
+			if pf.TargetH() != h {
+				t.Errorf("P_F targeted h=%.4f, bounds computed %.4f", pf.TargetH(), h)
+			}
+			if res.HighWater < floor {
+				t.Errorf("manager %s beat the lower bound: HS=%d < M·h=%d",
+					name, res.HighWater, floor)
+			}
+		})
+	}
+}
+
+// TestTheorem1AcrossParameters varies (M, n, c) and checks the bound
+// holds for a representative non-moving and a compacting manager.
+func TestTheorem1AcrossParameters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parameter sweep in -short mode")
+	}
+	cases := []sim.Config{
+		{M: 1 << 14, N: 1 << 6, C: 8, Pow2Only: true},
+		{M: 1 << 15, N: 1 << 7, C: 16, Pow2Only: true},
+		{M: 1 << 16, N: 1 << 8, C: 32, Pow2Only: true},
+		{M: 1 << 17, N: 1 << 8, C: 64, Pow2Only: true},
+	}
+	for _, cfg := range cases {
+		for _, mgrName := range []string{"first-fit", "bp-compact", "threshold"} {
+			cfg, mgrName := cfg, mgrName
+			t.Run(fmt.Sprintf("M=%d,n=%d,c=%d/%s", cfg.M, cfg.N, cfg.C, mgrName), func(t *testing.T) {
+				p := bounds.Params{M: cfg.M, N: cfg.N, C: cfg.C}
+				h, _, err := bounds.Theorem1(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, res := runPF(t, mgrName, cfg, Options{})
+				if got := res.WasteFactor(); got < h {
+					t.Errorf("HS/M = %.4f below h = %.4f", got, h)
+				}
+			})
+		}
+	}
+}
+
+// TestPotentialLowerBoundsHeap checks the core soundness property of
+// the analysis: the potential function u(t) never exceeds the heap
+// size actually used, and never decreases across rounds (Claim 4.16).
+func TestPotentialLowerBoundsHeap(t *testing.T) {
+	cfg := validationConfig()
+	for _, mgrName := range []string{"first-fit", "bp-compact", "improved"} {
+		mgrName := mgrName
+		t.Run(mgrName, func(t *testing.T) {
+			mgr, err := mm.New(mgrName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pf := NewPF(Options{})
+			e, err := sim.NewEngine(cfg, pf, mgr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var prevU word.Size
+			var lastHS word.Addr
+			e.RoundHook = func(r sim.Result) {
+				u := pf.Potential()
+				if u < prevU {
+					t.Errorf("potential decreased: %d after %d (round %d)", u, prevU, r.Rounds)
+				}
+				prevU = u
+				if u > r.HighWater {
+					t.Errorf("potential %d exceeds heap size %d (round %d)", u, r.HighWater, r.Rounds)
+				}
+				lastHS = r.HighWater
+			}
+			if _, err := e.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if prevU <= 0 {
+				t.Error("final potential not positive")
+			}
+			if lastHS == 0 {
+				t.Error("no rounds observed")
+			}
+		})
+	}
+}
+
+// TestPFParameterDerivation checks ℓ, h and x wiring.
+func TestPFParameterDerivation(t *testing.T) {
+	cfg := validationConfig()
+	pf, _ := runPF(t, "first-fit", cfg, Options{})
+	p := bounds.Params{M: cfg.M, N: cfg.N, C: cfg.C}
+	h, ell, err := bounds.Theorem1(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Ell() != ell {
+		t.Errorf("P_F chose ℓ=%d, bounds says %d", pf.Ell(), ell)
+	}
+	if pf.TargetH() != h {
+		t.Errorf("P_F h=%.4f, bounds %.4f", pf.TargetH(), h)
+	}
+}
+
+func TestPFFixedEll(t *testing.T) {
+	cfg := validationConfig()
+	pf, res := runPF(t, "first-fit", cfg, Options{Ell: 1})
+	if pf.Ell() != 1 {
+		t.Fatalf("ℓ = %d, want 1", pf.Ell())
+	}
+	hl, err := bounds.Theorem1Ell(bounds.Params{M: cfg.M, N: cfg.N, C: cfg.C}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WasteFactor() < hl {
+		t.Errorf("fixed-ℓ run: HS/M = %.4f below h(ℓ=1) = %.4f", res.WasteFactor(), hl)
+	}
+}
+
+// TestPFAblations: disabling the design ingredients must not crash,
+// and the full P_F should fragment at least as well as the ablated
+// variants against the compacting manager (Sim-4).
+func TestPFAblations(t *testing.T) {
+	cfg := validationConfig()
+	_, fullRes := runPF(t, "bp-compact", cfg, Options{})
+	abl := map[string]Options{
+		"no-stage1":  {DisableStage1: true},
+		"no-density": {DisableDensity: true},
+		"no-ghosts":  {DisableGhosts: true},
+	}
+	for name, opts := range abl {
+		name, opts := name, opts
+		t.Run(name, func(t *testing.T) {
+			_, res := runPF(t, "bp-compact", cfg, opts)
+			t.Logf("full=%.3f·M ablated(%s)=%.3f·M", fullRes.WasteFactor(), name, res.WasteFactor())
+			// Ablations remove adversarial power; allow a small noise
+			// margin but catch inversions.
+			if res.WasteFactor() > fullRes.WasteFactor()*1.10 {
+				t.Errorf("ablation %s fragments MORE than the full adversary: %.3f vs %.3f",
+					name, res.WasteFactor(), fullRes.WasteFactor())
+			}
+		})
+	}
+}
+
+// TestPFIsLegal: P_F must be a legal P2(M, n) program — the engine
+// enforces M and the power-of-two sizes, so a clean run suffices; we
+// also confirm it stays comfortably under the round budget.
+func TestPFIsLegal(t *testing.T) {
+	cfg := validationConfig()
+	_, res := runPF(t, "best-fit", cfg, Options{})
+	if res.Rounds != Rounds(cfg.N) {
+		t.Errorf("rounds = %d, want %d", res.Rounds, Rounds(cfg.N))
+	}
+	if res.MaxLive > cfg.M {
+		t.Errorf("max live %d exceeds M=%d", res.MaxLive, cfg.M)
+	}
+}
+
+func TestPFRejectsNonPow2Config(t *testing.T) {
+	cfg := validationConfig()
+	cfg.Pow2Only = false
+	mgr, err := mm.New("first-fit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.NewEngine(cfg, NewPF(Options{}), mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("P_F accepted a non-P2 configuration")
+		}
+	}()
+	_, _ = e.Run()
+}

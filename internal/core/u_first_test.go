@@ -1,0 +1,30 @@
+package core
+
+import (
+	"testing"
+
+	"compaction/internal/mm"
+	"compaction/internal/sim"
+)
+
+func TestUFirstPerManager(t *testing.T) {
+	cfg := validationConfig()
+	for _, name := range []string{"first-fit", "best-fit", "aligned-first-fit", "threshold", "bp-compact"} {
+		mgr, _ := mm.New(name)
+		pf := NewPF(Options{})
+		e, _ := sim.NewEngine(cfg, pf, mgr)
+		var q1 int64
+		e.RoundHook = func(r sim.Result) {
+			if r.Rounds <= 2*pf.Ell() {
+				q1 = r.Moved
+			}
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ell := pf.Ell()
+		bound := float64(cfg.M)*(float64(ell)+2)/2 - float64(int64(1)<<uint(ell))*float64(q1) - float64(cfg.N)/4
+		t.Logf("%s: uFirst=%d lemma4.5=%.0f q1=%d HS=%d", name, pf.UFirst(), bound, q1, res.HighWater)
+	}
+}

@@ -1,0 +1,218 @@
+// Package figures regenerates the evaluation artifacts of the paper:
+// the three bound figures (Figures 1–3) and the simulation experiments
+// of DESIGN.md (Sim-1..Sim-4). The cmd/figures tool and the root
+// benchmark suite are thin wrappers around this package.
+package figures
+
+import (
+	"fmt"
+
+	"compaction/internal/bounds"
+	"compaction/internal/core"
+	"compaction/internal/mm"
+	"compaction/internal/plot"
+	"compaction/internal/sim"
+	"compaction/internal/word"
+)
+
+// PaperM and PaperN are the "realistic parameters" of the paper's
+// figures: 256 MB of live space with 1 MB maximum objects, in words
+// with the smallest object = 1.
+const (
+	PaperM = 256 * word.MiW
+	PaperN = word.MiW
+)
+
+// Figure1 reproduces Figure 1: the lower bound on the waste factor h
+// as a function of the compaction bound c ∈ [10, 100] for M, n, with
+// the (trivial) bound of Bendersky & Petrank 2011 for comparison.
+func Figure1(m, n word.Size) (plot.Figure, error) {
+	var hx, hy, bx, by []float64
+	for c := int64(10); c <= 100; c++ {
+		p := bounds.Params{M: m, N: n, C: c}
+		h, _, err := bounds.Theorem1(p)
+		if err != nil {
+			return plot.Figure{}, fmt.Errorf("figure1 at c=%d: %w", c, err)
+		}
+		hx = append(hx, float64(c))
+		hy = append(hy, h)
+		bp := bounds.BPLower(p)
+		if bp < 1 {
+			bp = 1 // the old bound never beats the trivial factor here
+		}
+		bx = append(bx, float64(c))
+		by = append(by, bp)
+	}
+	return plot.Figure{
+		Title:  fmt.Sprintf("Figure 1: lower bound on waste factor h (M=%s, n=%s)", word.Format(m), word.Format(n)),
+		XLabel: "c (compaction bound: 1/c of allocated space may move)",
+		YLabel: "h (required heap as multiple of M)",
+		Series: []plot.Series{
+			{Name: "this paper (Theorem 1)", X: hx, Y: hy},
+			{Name: "Bendersky-Petrank 2011", X: bx, Y: by},
+		},
+	}, nil
+}
+
+// Figure2 reproduces Figure 2: the lower bound as a function of the
+// maximum object size n ∈ [1Ki, 1Gi] with c = 100 and M = 256·n.
+func Figure2(c int64) (plot.Figure, error) {
+	var xs, ys []float64
+	for exp := 10; exp <= 30; exp++ {
+		n := word.Pow2(exp)
+		p := bounds.Params{M: 256 * n, N: n, C: c}
+		h, _, err := bounds.Theorem1(p)
+		if err != nil {
+			return plot.Figure{}, fmt.Errorf("figure2 at n=2^%d: %w", exp, err)
+		}
+		xs = append(xs, float64(exp))
+		ys = append(ys, h)
+	}
+	return plot.Figure{
+		Title:  fmt.Sprintf("Figure 2: lower bound on waste factor h vs n (c=%d, M=256n)", c),
+		XLabel: "log2(n) (n = 1Ki .. 1Gi)",
+		YLabel: "h",
+		Series: []plot.Series{{Name: "this paper (Theorem 1)", X: xs, Y: ys}},
+	}, nil
+}
+
+// Figure3 reproduces Figure 3: the new upper bound (Theorem 2) against
+// the previous best, min((c+1)·M, Robson's rounding bound), for
+// c ∈ [11, 100] (Theorem 2 needs c > ½·log2 n).
+func Figure3(m, n word.Size) (plot.Figure, error) {
+	var nx, ny, px, py []float64
+	lo := int64(word.Log2(n))/2 + 1
+	if lo < 10 {
+		lo = 10
+	}
+	for c := lo; c <= 100; c++ {
+		p := bounds.Params{M: m, N: n, C: c}
+		ub, err := bounds.Theorem2(p)
+		if err != nil {
+			return plot.Figure{}, fmt.Errorf("figure3 at c=%d: %w", c, err)
+		}
+		nx = append(nx, float64(c))
+		ny = append(ny, ub)
+		px = append(px, float64(c))
+		py = append(py, bounds.PreviousUpper(p))
+	}
+	return plot.Figure{
+		Title:  fmt.Sprintf("Figure 3: upper bound on waste factor (M=%s, n=%s)", word.Format(m), word.Format(n)),
+		XLabel: "c",
+		YLabel: "waste factor (heap as multiple of M)",
+		Series: []plot.Series{
+			{Name: "this paper (Theorem 2)", X: nx, Y: ny},
+			{Name: "previous best (min of Robson, (c+1)M)", X: px, Y: py},
+		},
+	}, nil
+}
+
+// SimRow is one manager's outcome against an adversary.
+type SimRow struct {
+	Manager string
+	Result  sim.Result
+	// Bound is the theoretical lower bound (words) the run must respect,
+	// 0 when no bound applies to this manager class.
+	Bound word.Size
+}
+
+// RunPFAcrossManagers executes P_F against every registered manager
+// (Sim-1) and returns the rows plus the Theorem 1 floor in words.
+func RunPFAcrossManagers(cfg sim.Config) ([]SimRow, word.Size, error) {
+	floor, err := bounds.Theorem1Words(bounds.Params{M: cfg.M, N: cfg.N, C: cfg.C})
+	if err != nil {
+		return nil, 0, err
+	}
+	var rows []SimRow
+	for _, name := range mm.Names() {
+		mgr, err := mm.New(name)
+		if err != nil {
+			return nil, 0, err
+		}
+		e, err := sim.NewEngine(cfg, core.NewPF(core.Options{}), mgr)
+		if err != nil {
+			return nil, 0, err
+		}
+		res, err := e.Run()
+		if err != nil {
+			return nil, 0, fmt.Errorf("P_F vs %s: %w", name, err)
+		}
+		rows = append(rows, SimRow{Manager: name, Result: res, Bound: floor})
+	}
+	return rows, floor, nil
+}
+
+// GrowthFigure traces heap usage round by round while P_F runs
+// against each named manager: the operational picture of how the
+// adversary ratchets the high-water mark up step after step.
+func GrowthFigure(cfg sim.Config, managers []string) (plot.Figure, error) {
+	fig := plot.Figure{
+		Title: fmt.Sprintf("Heap growth under P_F (M=%s, n=%s, c=%d)",
+			word.Format(cfg.M), word.Format(cfg.N), cfg.C),
+		XLabel: "round (adversary step)",
+		YLabel: "HS/M",
+	}
+	for _, name := range managers {
+		mgr, err := mm.New(name)
+		if err != nil {
+			return plot.Figure{}, err
+		}
+		e, err := sim.NewEngine(cfg, core.NewPF(core.Options{}), mgr)
+		if err != nil {
+			return plot.Figure{}, err
+		}
+		var xs, ys []float64
+		e.RoundHook = func(r sim.Result) {
+			xs = append(xs, float64(r.Rounds))
+			ys = append(ys, r.WasteFactor())
+		}
+		if _, err := e.Run(); err != nil {
+			return plot.Figure{}, fmt.Errorf("growth: P_F vs %s: %w", name, err)
+		}
+		fig.Series = append(fig.Series, plot.Series{Name: name, X: xs, Y: ys})
+	}
+	return fig, nil
+}
+
+// PFWasteSeries runs P_F against the named managers over a range of
+// compaction bounds and returns one empirical series per manager plus
+// the Theorem 1 curve — the simulated analogue of Figure 1.
+func PFWasteSeries(m, n word.Size, cs []int64, managers []string) (plot.Figure, error) {
+	fig := plot.Figure{
+		Title:  fmt.Sprintf("Simulated Figure 1: measured waste of P_F runs (M=%s, n=%s)", word.Format(m), word.Format(n)),
+		XLabel: "c",
+		YLabel: "HS/M",
+	}
+	var tx, ty []float64
+	for _, c := range cs {
+		h, _, err := bounds.Theorem1(bounds.Params{M: m, N: n, C: c})
+		if err != nil {
+			return plot.Figure{}, err
+		}
+		tx = append(tx, float64(c))
+		ty = append(ty, h)
+	}
+	fig.Series = append(fig.Series, plot.Series{Name: "Theorem 1 bound", X: tx, Y: ty})
+	for _, name := range managers {
+		var xs, ys []float64
+		for _, c := range cs {
+			mgr, err := mm.New(name)
+			if err != nil {
+				return plot.Figure{}, err
+			}
+			cfg := sim.Config{M: m, N: n, C: c, Pow2Only: true}
+			e, err := sim.NewEngine(cfg, core.NewPF(core.Options{}), mgr)
+			if err != nil {
+				return plot.Figure{}, err
+			}
+			res, err := e.Run()
+			if err != nil {
+				return plot.Figure{}, fmt.Errorf("P_F vs %s at c=%d: %w", name, c, err)
+			}
+			xs = append(xs, float64(c))
+			ys = append(ys, res.WasteFactor())
+		}
+		fig.Series = append(fig.Series, plot.Series{Name: name, X: xs, Y: ys})
+	}
+	return fig, nil
+}

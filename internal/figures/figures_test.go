@@ -1,0 +1,174 @@
+package figures
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"compaction/internal/sim"
+	"compaction/internal/word"
+
+	_ "compaction/internal/mm/bitmapff"
+	_ "compaction/internal/mm/bpcompact"
+	_ "compaction/internal/mm/buddy"
+	_ "compaction/internal/mm/fits"
+	_ "compaction/internal/mm/halffit"
+	_ "compaction/internal/mm/improved"
+	_ "compaction/internal/mm/markcompact"
+	_ "compaction/internal/mm/rounding"
+	_ "compaction/internal/mm/segregated"
+	_ "compaction/internal/mm/threshold"
+	_ "compaction/internal/mm/tlsf"
+)
+
+func yAt(xs, ys []float64, x float64) (float64, bool) {
+	for i := range xs {
+		if xs[i] == x {
+			return ys[i], true
+		}
+	}
+	return 0, false
+}
+
+func TestFigure1MatchesPaperAnchors(t *testing.T) {
+	fig, err := Figure1(PaperM, PaperN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	newBound := fig.Series[0]
+	anchors := map[float64]float64{10: 2.0, 50: 3.15, 100: 3.5}
+	for c, want := range anchors {
+		got, ok := yAt(newBound.X, newBound.Y, c)
+		if !ok {
+			t.Fatalf("no sample at c=%v", c)
+		}
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("h(c=%v) = %.4f, paper ≈ %.2f", c, got, want)
+		}
+	}
+	// The previous bound stays flat at the trivial factor 1.
+	old := fig.Series[1]
+	for i := range old.Y {
+		if old.Y[i] != 1 {
+			t.Errorf("BP 2011 bound above trivial at c=%v: %v", old.X[i], old.Y[i])
+		}
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	fig, err := Figure2(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fig.Series[0]
+	if len(s.X) != 21 { // exponents 10..30
+		t.Fatalf("samples = %d", len(s.X))
+	}
+	for i := 1; i < len(s.Y); i++ {
+		if s.Y[i] < s.Y[i-1]-1e-9 {
+			t.Errorf("h not monotone at n=2^%v: %.4f < %.4f", s.X[i], s.Y[i], s.Y[i-1])
+		}
+	}
+	if s.Y[0] < 2.0 || s.Y[len(s.Y)-1] < 4.0 {
+		t.Errorf("endpoints off: h(1Ki)=%.3f h(1Gi)=%.3f", s.Y[0], s.Y[len(s.Y)-1])
+	}
+}
+
+func TestFigure3NewBelowPrevious(t *testing.T) {
+	fig, err := Figure3(PaperM, PaperN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newUB, prev := fig.Series[0], fig.Series[1]
+	for i := range newUB.X {
+		c := newUB.X[i]
+		if c < 20 || c > 100 {
+			continue
+		}
+		p, ok := yAt(prev.X, prev.Y, c)
+		if !ok {
+			t.Fatalf("previous bound missing at c=%v", c)
+		}
+		if newUB.Y[i] >= p {
+			t.Errorf("c=%v: new UB %.3f not below previous %.3f", c, newUB.Y[i], p)
+		}
+	}
+}
+
+func TestFiguresRenderToCSVAndASCII(t *testing.T) {
+	figs := make([]interface {
+		WriteCSV(w *bytes.Buffer) error
+	}, 0)
+	_ = figs
+	f1, err := Figure1(PaperM, PaperN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f1.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "this paper (Theorem 1)") {
+		t.Fatal("CSV header missing series name")
+	}
+	if out := f1.ASCII(60, 15); !strings.Contains(out, "Figure 1") {
+		t.Fatal("ASCII missing title")
+	}
+}
+
+func TestRunPFAcrossManagers(t *testing.T) {
+	cfg := sim.Config{M: 1 << 14, N: 1 << 6, C: 8, Pow2Only: true}
+	rows, floor, err := RunPFAcrossManagers(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 8 {
+		t.Fatalf("only %d managers ran", len(rows))
+	}
+	if floor <= cfg.M {
+		t.Fatalf("floor %d not above M", floor)
+	}
+	for _, r := range rows {
+		if r.Result.HighWater < floor {
+			t.Errorf("%s beat the bound: %d < %d", r.Manager, r.Result.HighWater, floor)
+		}
+	}
+}
+
+func TestPFWasteSeries(t *testing.T) {
+	fig, err := PFWasteSeries(1<<14, 1<<6, []int64{8, 16}, []string{"first-fit", "bp-compact"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 { // bound + 2 managers
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	bound := fig.Series[0]
+	for _, s := range fig.Series[1:] {
+		for i := range s.X {
+			b, ok := yAt(bound.X, bound.Y, s.X[i])
+			if !ok {
+				t.Fatalf("no bound at c=%v", s.X[i])
+			}
+			if s.Y[i] < b {
+				t.Errorf("%s at c=%v: measured %.3f below bound %.3f", s.Name, s.X[i], s.Y[i], b)
+			}
+		}
+	}
+}
+
+func TestFigure2RejectsTinyC(t *testing.T) {
+	if _, err := Figure2(1); err == nil {
+		t.Fatal("c=1 accepted")
+	}
+}
+
+func TestPaperConstants(t *testing.T) {
+	if PaperM != 256*word.MiW || PaperN != word.MiW {
+		t.Fatal("paper constants drifted")
+	}
+}

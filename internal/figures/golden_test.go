@@ -1,0 +1,63 @@
+package figures
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"compaction/internal/plot"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden figure CSVs")
+
+// goldenFigures lists the deterministic closed-form figures; the
+// simulated figure is excluded (it is covered by its own assertions).
+func goldenFigures(t *testing.T) map[string]plot.Figure {
+	t.Helper()
+	f1, err := Figure1(PaperM, PaperN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Figure2(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3, err := Figure3(PaperM, PaperN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]plot.Figure{"figure1": f1, "figure2": f2, "figure3": f3}
+}
+
+// TestFiguresMatchGolden pins the exact figure series: any change to
+// the bound formulas shows up as a diff against the recorded CSVs.
+func TestFiguresMatchGolden(t *testing.T) {
+	for name, fig := range goldenFigures(t) {
+		name, fig := name, fig
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := fig.WriteCSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", name+".golden.csv")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("golden file missing (run with -update): %v", err)
+			}
+			if !bytes.Equal(want, buf.Bytes()) {
+				t.Errorf("%s drifted from golden data; rerun with -update if intentional", name)
+			}
+		})
+	}
+}

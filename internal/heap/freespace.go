@@ -1,0 +1,331 @@
+package heap
+
+import (
+	"errors"
+	"fmt"
+
+	"compaction/internal/word"
+)
+
+// ErrNoFit is returned when no free interval can satisfy a placement
+// query.
+var ErrNoFit = errors.New("heap: no free interval fits the request")
+
+// addrIndex is the address-ordered interval index behind FreeSpace.
+// Two implementations exist: the default randomized treap and an
+// augmented skip list (IndexSkipList), kept for comparison.
+type addrIndex interface {
+	insert(Span)
+	remove(word.Addr) (Span, bool)
+	find(word.Addr) (Span, bool)
+	floor(word.Addr) (Span, bool)
+	ceiling(word.Addr) (Span, bool)
+	firstFit(word.Size) (Span, bool)
+	firstFitFrom(word.Size, word.Addr) (Span, bool)
+	worstFit(word.Size) (Span, bool)
+	firstAlignedFit(size, align word.Size) (Span, word.Addr, bool)
+	walk(func(Span) bool)
+	len() int
+	maxGap() word.Size
+}
+
+var (
+	_ addrIndex = (*addrTreap)(nil)
+	_ addrIndex = (*skipList)(nil)
+)
+
+// IndexKind selects the address-index backend of a FreeSpace.
+type IndexKind int
+
+// The available index backends.
+const (
+	IndexTreap IndexKind = iota
+	IndexSkipList
+)
+
+func (k IndexKind) String() string {
+	switch k {
+	case IndexTreap:
+		return "treap"
+	case IndexSkipList:
+		return "skiplist"
+	default:
+		return "unknown-index"
+	}
+}
+
+// FreeSpace tracks the set of maximal free intervals of a heap
+// [0, capacity) and answers placement queries. It is the building
+// block for the free-list memory managers.
+//
+// The zero value is not usable; construct with NewFreeSpace.
+type FreeSpace struct {
+	byAddr addrIndex
+	bySize *sizeTreap
+	cap    word.Size
+	free   word.Size
+}
+
+// NewFreeSpace returns a FreeSpace in which all of [0, capacity) is
+// free, backed by the default treap index.
+func NewFreeSpace(capacity word.Size) *FreeSpace {
+	return NewFreeSpaceWith(capacity, IndexTreap)
+}
+
+// NewFreeSpaceWith selects the address-index backend explicitly.
+func NewFreeSpaceWith(capacity word.Size, kind IndexKind) *FreeSpace {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("heap.NewFreeSpace: non-positive capacity %d", capacity))
+	}
+	var idx addrIndex
+	switch kind {
+	case IndexSkipList:
+		idx = newSkipList(uint64(capacity) | 1)
+	default:
+		idx = newAddrTreap(uint64(capacity) | 1)
+	}
+	f := &FreeSpace{
+		byAddr: idx,
+		bySize: newSizeTreap(uint64(capacity)<<1 | 1),
+		cap:    capacity,
+	}
+	f.add(Span{Addr: 0, Size: capacity})
+	return f
+}
+
+// Capacity returns the total heap capacity.
+func (f *FreeSpace) Capacity() word.Size { return f.cap }
+
+// FreeWords returns the total number of free words.
+func (f *FreeSpace) FreeWords() word.Size { return f.free }
+
+// Intervals returns the number of maximal free intervals.
+func (f *FreeSpace) Intervals() int { return f.byAddr.len() }
+
+func (f *FreeSpace) add(s Span) {
+	f.byAddr.insert(s)
+	f.bySize.insert(s)
+	f.free += s.Size
+}
+
+func (f *FreeSpace) del(s Span) {
+	if _, ok := f.byAddr.remove(s.Addr); !ok {
+		panic(fmt.Sprintf("heap.FreeSpace: interval %v missing from address index", s))
+	}
+	if !f.bySize.remove(s) {
+		panic(fmt.Sprintf("heap.FreeSpace: interval %v missing from size index", s))
+	}
+	f.free -= s.Size
+}
+
+// carve removes the placement [at, at+size) from the free interval g,
+// reinserting the left and right remainders.
+func (f *FreeSpace) carve(g Span, at word.Addr, size word.Size) {
+	f.del(g)
+	if left := (Span{Addr: g.Addr, Size: at - g.Addr}); !left.Empty() {
+		f.add(left)
+	}
+	if right := (Span{Addr: at + size, Size: g.End() - (at + size)}); !right.Empty() {
+		f.add(right)
+	}
+}
+
+// Reserve marks the exact span s as allocated. It fails if any word of
+// s is not currently free.
+func (f *FreeSpace) Reserve(s Span) error {
+	if s.Empty() {
+		return fmt.Errorf("heap.Reserve: empty span %v", s)
+	}
+	if s.Addr < 0 || s.End() > f.cap {
+		return fmt.Errorf("heap.Reserve: span %v outside capacity %d", s, f.cap)
+	}
+	g, ok := f.byAddr.floor(s.Addr)
+	if !ok || !g.Contains(s) {
+		return fmt.Errorf("heap.Reserve: span %v is not entirely free", s)
+	}
+	f.carve(g, s.Addr, s.Size)
+	return nil
+}
+
+// IsFree reports whether every word of s is free.
+func (f *FreeSpace) IsFree(s Span) bool {
+	if s.Empty() || s.Addr < 0 || s.End() > f.cap {
+		return false
+	}
+	g, ok := f.byAddr.floor(s.Addr)
+	return ok && g.Contains(s)
+}
+
+// Release returns the span s to the free set, coalescing with adjacent
+// free intervals. It fails if s overlaps an already-free word.
+func (f *FreeSpace) Release(s Span) error {
+	if s.Empty() {
+		return fmt.Errorf("heap.Release: empty span %v", s)
+	}
+	if s.Addr < 0 || s.End() > f.cap {
+		return fmt.Errorf("heap.Release: span %v outside capacity %d", s, f.cap)
+	}
+	if prev, ok := f.byAddr.floor(s.Addr); ok && prev.Overlaps(s) {
+		return fmt.Errorf("heap.Release: span %v overlaps free interval %v", s, prev)
+	}
+	if next, ok := f.byAddr.ceiling(s.Addr); ok && next.Overlaps(s) {
+		return fmt.Errorf("heap.Release: span %v overlaps free interval %v", s, next)
+	}
+	merged := s
+	if prev, ok := f.byAddr.floor(s.Addr); ok && prev.End() == s.Addr {
+		f.del(prev)
+		merged = Span{Addr: prev.Addr, Size: prev.Size + merged.Size}
+	}
+	if next, ok := f.byAddr.ceiling(s.End()); ok && next.Addr == s.End() {
+		f.del(next)
+		merged.Size += next.Size
+	}
+	f.add(merged)
+	return nil
+}
+
+// AllocFirstFit places size words in the lowest-addressed free interval
+// that fits and returns the placement address.
+func (f *FreeSpace) AllocFirstFit(size word.Size) (word.Addr, error) {
+	g, ok := f.byAddr.firstFit(size)
+	if !ok {
+		return 0, ErrNoFit
+	}
+	f.carve(g, g.Addr, size)
+	return g.Addr, nil
+}
+
+// AllocBestFit places size words in the smallest free interval that
+// fits (ties broken by lowest address).
+func (f *FreeSpace) AllocBestFit(size word.Size) (word.Addr, error) {
+	g, ok := f.bySize.bestFit(size)
+	if !ok {
+		return 0, ErrNoFit
+	}
+	f.carve(g, g.Addr, size)
+	return g.Addr, nil
+}
+
+// AllocWorstFit places size words at the start of the largest free
+// interval.
+func (f *FreeSpace) AllocWorstFit(size word.Size) (word.Addr, error) {
+	g, ok := f.byAddr.worstFit(size)
+	if !ok {
+		return 0, ErrNoFit
+	}
+	f.carve(g, g.Addr, size)
+	return g.Addr, nil
+}
+
+// AllocNextFit places size words in the first interval at or after the
+// cursor address, wrapping around to the lowest interval if necessary.
+// It returns the placement address; the caller advances its cursor to
+// the returned address plus size.
+func (f *FreeSpace) AllocNextFit(size word.Size, cursor word.Addr) (word.Addr, error) {
+	g, ok := f.byAddr.firstFitFrom(size, cursor)
+	if !ok {
+		g, ok = f.byAddr.firstFit(size)
+		if !ok {
+			return 0, ErrNoFit
+		}
+	}
+	f.carve(g, g.Addr, size)
+	return g.Addr, nil
+}
+
+// AllocAlignedFirstFit places size words at the lowest address that is
+// a multiple of align and entirely free.
+func (f *FreeSpace) AllocAlignedFirstFit(size, align word.Size) (word.Addr, error) {
+	g, at, ok := f.byAddr.firstAlignedFit(size, align)
+	if !ok {
+		return 0, ErrNoFit
+	}
+	f.carve(g, at, size)
+	return at, nil
+}
+
+// PeekFirstFit returns the lowest-addressed free interval of at least
+// size words without carving it.
+func (f *FreeSpace) PeekFirstFit(size word.Size) (Span, bool) {
+	return f.byAddr.firstFit(size)
+}
+
+// PeekBestFit returns the smallest free interval of at least size
+// words (ties by lowest address) without carving it.
+func (f *FreeSpace) PeekBestFit(size word.Size) (Span, bool) {
+	return f.bySize.bestFit(size)
+}
+
+// PeekAlignedFirstFit returns the lowest aligned address at which size
+// words are free, without carving.
+func (f *FreeSpace) PeekAlignedFirstFit(size, align word.Size) (word.Addr, bool) {
+	_, at, ok := f.byAddr.firstAlignedFit(size, align)
+	return at, ok
+}
+
+// Gaps calls fn for each maximal free interval in address order until
+// fn returns false.
+func (f *FreeSpace) Gaps(fn func(Span) bool) {
+	f.byAddr.walk(fn)
+}
+
+// LargestGap returns the size of the largest free interval, or 0 if
+// the heap is completely full.
+func (f *FreeSpace) LargestGap() word.Size {
+	return f.byAddr.maxGap()
+}
+
+// Validate checks the internal consistency of the free-space indexes:
+// intervals are disjoint, maximal (no two adjacent free intervals),
+// within capacity, identical across the two treaps, and their total
+// matches the free-word counter. It is O(n log n) and intended for
+// tests.
+func (f *FreeSpace) Validate() error {
+	var (
+		prev    *Span
+		total   word.Size
+		count   int
+		problem error
+	)
+	f.byAddr.walk(func(s Span) bool {
+		if s.Empty() {
+			problem = fmt.Errorf("heap: empty free interval %v", s)
+			return false
+		}
+		if s.Addr < 0 || s.End() > f.cap {
+			problem = fmt.Errorf("heap: free interval %v outside capacity %d", s, f.cap)
+			return false
+		}
+		if prev != nil {
+			if prev.End() > s.Addr {
+				problem = fmt.Errorf("heap: overlapping free intervals %v, %v", *prev, s)
+				return false
+			}
+			if prev.End() == s.Addr {
+				problem = fmt.Errorf("heap: uncoalesced adjacent intervals %v, %v", *prev, s)
+				return false
+			}
+		}
+		cp := s
+		prev = &cp
+		total += s.Size
+		count++
+		// Every interval must be present in the size index.
+		if got, ok := f.bySize.bestFit(s.Size); !ok || got.Size < s.Size {
+			problem = fmt.Errorf("heap: interval %v missing from size index", s)
+			return false
+		}
+		return true
+	})
+	if problem != nil {
+		return problem
+	}
+	if total != f.free {
+		return fmt.Errorf("heap: free-word counter %d, intervals sum to %d", f.free, total)
+	}
+	if count != f.byAddr.len() || count != f.bySize.len() {
+		return fmt.Errorf("heap: index sizes diverge: walk=%d addr=%d size=%d",
+			count, f.byAddr.len(), f.bySize.len())
+	}
+	return nil
+}

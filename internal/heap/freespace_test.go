@@ -1,0 +1,370 @@
+package heap
+
+import (
+	"math/rand"
+	"testing"
+
+	"compaction/internal/word"
+)
+
+func TestFreeSpaceInitial(t *testing.T) {
+	f := NewFreeSpace(1000)
+	if f.Capacity() != 1000 || f.FreeWords() != 1000 || f.Intervals() != 1 {
+		t.Fatalf("initial state wrong: cap=%d free=%d n=%d", f.Capacity(), f.FreeWords(), f.Intervals())
+	}
+	if f.LargestGap() != 1000 {
+		t.Fatalf("LargestGap = %d", f.LargestGap())
+	}
+}
+
+func TestFirstFitSequential(t *testing.T) {
+	f := NewFreeSpace(100)
+	for i := 0; i < 10; i++ {
+		a, err := f.AllocFirstFit(10)
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		if a != word.Addr(i*10) {
+			t.Fatalf("alloc %d at %d, want %d", i, a, i*10)
+		}
+	}
+	if _, err := f.AllocFirstFit(1); err != ErrNoFit {
+		t.Fatalf("expected ErrNoFit on full heap, got %v", err)
+	}
+}
+
+func TestFirstFitReusesLowestHole(t *testing.T) {
+	f := NewFreeSpace(100)
+	for i := 0; i < 10; i++ {
+		if _, err := f.AllocFirstFit(10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Free holes at [10,20) and [50,60).
+	if err := f.Release(Span{10, 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Release(Span{50, 10}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := f.AllocFirstFit(5)
+	if err != nil || a != 10 {
+		t.Fatalf("first fit chose %d (%v), want 10", a, err)
+	}
+	a, err = f.AllocFirstFit(10)
+	if err != nil || a != 50 {
+		t.Fatalf("first fit chose %d (%v), want 50", a, err)
+	}
+}
+
+func TestBestFitChoosesTightestHole(t *testing.T) {
+	f := NewFreeSpace(1000)
+	// Occupy all, then open holes of sizes 30, 8, 12.
+	if _, err := f.AllocFirstFit(1000); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []Span{{100, 30}, {300, 8}, {500, 12}} {
+		if err := f.Release(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := f.AllocBestFit(10)
+	if err != nil || a != 500 {
+		t.Fatalf("best fit for 10 chose %d (%v), want 500 (size-12 hole)", a, err)
+	}
+	a, err = f.AllocBestFit(8)
+	if err != nil || a != 300 {
+		t.Fatalf("best fit for 8 chose %d (%v), want 300 (exact hole)", a, err)
+	}
+	a, err = f.AllocBestFit(25)
+	if err != nil || a != 100 {
+		t.Fatalf("best fit for 25 chose %d (%v), want 100", a, err)
+	}
+}
+
+func TestWorstFitChoosesLargestHole(t *testing.T) {
+	f := NewFreeSpace(1000)
+	if _, err := f.AllocFirstFit(1000); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []Span{{100, 30}, {300, 80}, {500, 12}} {
+		if err := f.Release(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := f.AllocWorstFit(10)
+	if err != nil || a != 300 {
+		t.Fatalf("worst fit chose %d (%v), want 300", a, err)
+	}
+}
+
+func TestNextFitWrapsAround(t *testing.T) {
+	f := NewFreeSpace(100)
+	if _, err := f.AllocFirstFit(100); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []Span{{10, 10}, {80, 10}} {
+		if err := f.Release(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := f.AllocNextFit(5, 50)
+	if err != nil || a != 80 {
+		t.Fatalf("next fit from 50 chose %d (%v), want 80", a, err)
+	}
+	a, err = f.AllocNextFit(5, 90)
+	if err != nil || a != 10 {
+		t.Fatalf("next fit from 90 should wrap to 10, got %d (%v)", a, err)
+	}
+}
+
+func TestAlignedFirstFit(t *testing.T) {
+	f := NewFreeSpace(100)
+	// Reserve [0,5): the remaining gap starts at 5, so an 8-aligned
+	// placement of size 8 must go to 8.
+	if err := f.Reserve(Span{0, 5}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := f.AllocAlignedFirstFit(8, 8)
+	if err != nil || a != 8 {
+		t.Fatalf("aligned fit chose %d (%v), want 8", a, err)
+	}
+	// The hole [5,8) remains free.
+	if !f.IsFree(Span{5, 3}) {
+		t.Fatalf("expected [5,8) free")
+	}
+	// A gap large enough but with no aligned start inside must be skipped.
+	f2 := NewFreeSpace(64)
+	if _, err := f2.AllocFirstFit(64); err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.Release(Span{17, 16}); err != nil { // [17,33): contains 24 but 24+16>33
+		t.Fatal(err)
+	}
+	if _, err := f2.AllocAlignedFirstFit(16, 16); err != ErrNoFit {
+		t.Fatalf("expected ErrNoFit for unaligned-only gap, got %v", err)
+	}
+}
+
+func TestReserveAndIsFree(t *testing.T) {
+	f := NewFreeSpace(100)
+	if err := f.Reserve(Span{20, 10}); err != nil {
+		t.Fatal(err)
+	}
+	if f.IsFree(Span{20, 1}) || f.IsFree(Span{25, 10}) {
+		t.Fatalf("reserved words reported free")
+	}
+	if !f.IsFree(Span{0, 20}) || !f.IsFree(Span{30, 70}) {
+		t.Fatalf("free words reported occupied")
+	}
+	if err := f.Reserve(Span{25, 10}); err == nil {
+		t.Fatalf("overlapping reserve succeeded")
+	}
+	if err := f.Reserve(Span{95, 10}); err == nil {
+		t.Fatalf("out-of-capacity reserve succeeded")
+	}
+	if f.FreeWords() != 90 {
+		t.Fatalf("FreeWords = %d, want 90", f.FreeWords())
+	}
+}
+
+func TestReleaseCoalesces(t *testing.T) {
+	f := NewFreeSpace(100)
+	if _, err := f.AllocFirstFit(100); err != nil {
+		t.Fatal(err)
+	}
+	// Release three touching spans in scrambled order; they must merge.
+	for _, s := range []Span{{30, 10}, {50, 10}, {40, 10}} {
+		if err := f.Release(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Intervals() != 1 || f.FreeWords() != 30 {
+		t.Fatalf("coalescing failed: intervals=%d free=%d", f.Intervals(), f.FreeWords())
+	}
+	if !f.IsFree(Span{30, 30}) {
+		t.Fatalf("merged interval not free")
+	}
+	// Double free must fail.
+	if err := f.Release(Span{35, 5}); err == nil {
+		t.Fatalf("double free succeeded")
+	}
+}
+
+func TestGapsWalk(t *testing.T) {
+	f := NewFreeSpace(100)
+	if _, err := f.AllocFirstFit(100); err != nil {
+		t.Fatal(err)
+	}
+	holes := []Span{{10, 5}, {40, 5}, {70, 5}}
+	for _, h := range holes {
+		if err := f.Release(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Span
+	f.Gaps(func(s Span) bool {
+		got = append(got, s)
+		return true
+	})
+	if len(got) != 3 {
+		t.Fatalf("walked %d gaps, want 3", len(got))
+	}
+	for i, h := range holes {
+		if got[i] != h {
+			t.Fatalf("gap %d = %v, want %v", i, got[i], h)
+		}
+	}
+}
+
+// refModel is a brute-force boolean-array model of the free space used
+// to cross-check FreeSpace under randomized workloads.
+type refModel struct {
+	free []bool
+}
+
+func newRefModel(capacity int) *refModel {
+	m := &refModel{free: make([]bool, capacity)}
+	for i := range m.free {
+		m.free[i] = true
+	}
+	return m
+}
+
+func (m *refModel) isFree(s Span) bool {
+	if s.Addr < 0 || s.End() > int64(len(m.free)) {
+		return false
+	}
+	for a := s.Addr; a < s.End(); a++ {
+		if !m.free[a] {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *refModel) set(s Span, v bool) {
+	for a := s.Addr; a < s.End(); a++ {
+		m.free[a] = v
+	}
+}
+
+// firstFit returns the lowest address of a run of size free words.
+func (m *refModel) firstFit(size int64) (int64, bool) {
+	run := int64(0)
+	for a := int64(0); a < int64(len(m.free)); a++ {
+		if m.free[a] {
+			run++
+			if run == size {
+				return a - size + 1, true
+			}
+		} else {
+			run = 0
+		}
+	}
+	return 0, false
+}
+
+func (m *refModel) freeWords() int64 {
+	var n int64
+	for _, v := range m.free {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+func TestFreeSpaceAgainstReferenceModel(t *testing.T) {
+	const capacity = 512
+	rng := rand.New(rand.NewSource(7))
+	f := NewFreeSpace(capacity)
+	m := newRefModel(capacity)
+	var allocated []Span
+	for step := 0; step < 5000; step++ {
+		if rng.Intn(2) == 0 || len(allocated) == 0 {
+			size := int64(1 + rng.Intn(32))
+			wantAddr, wantOK := m.firstFit(size)
+			got, err := f.AllocFirstFit(size)
+			if wantOK != (err == nil) {
+				t.Fatalf("step %d: firstFit(%d) ok mismatch: model %v, impl err %v", step, size, wantOK, err)
+			}
+			if err == nil {
+				if got != wantAddr {
+					t.Fatalf("step %d: firstFit(%d) = %d, model says %d", step, size, got, wantAddr)
+				}
+				s := Span{got, size}
+				m.set(s, false)
+				allocated = append(allocated, s)
+			}
+		} else {
+			i := rng.Intn(len(allocated))
+			s := allocated[i]
+			allocated[i] = allocated[len(allocated)-1]
+			allocated = allocated[:len(allocated)-1]
+			if err := f.Release(s); err != nil {
+				t.Fatalf("step %d: release %v: %v", step, s, err)
+			}
+			m.set(s, true)
+		}
+		if f.FreeWords() != m.freeWords() {
+			t.Fatalf("step %d: free words %d, model %d", step, f.FreeWords(), m.freeWords())
+		}
+	}
+}
+
+func TestBestFitAgainstReferenceModel(t *testing.T) {
+	const capacity = 256
+	rng := rand.New(rand.NewSource(11))
+	f := NewFreeSpace(capacity)
+	m := newRefModel(capacity)
+	var allocated []Span
+	// bestFit on the model: smallest maximal run that fits, lowest addr.
+	modelBest := func(size int64) (Span, bool) {
+		best := Span{Size: int64(capacity) + 1}
+		found := false
+		a := int64(0)
+		for a < capacity {
+			if !m.free[a] {
+				a++
+				continue
+			}
+			start := a
+			for a < capacity && m.free[a] {
+				a++
+			}
+			run := Span{start, a - start}
+			if run.Size >= size && run.Size < best.Size {
+				best, found = run, true
+			}
+		}
+		return best, found
+	}
+	for step := 0; step < 4000; step++ {
+		if rng.Intn(2) == 0 || len(allocated) == 0 {
+			size := int64(1 + rng.Intn(24))
+			want, wantOK := modelBest(size)
+			got, err := f.AllocBestFit(size)
+			if wantOK != (err == nil) {
+				t.Fatalf("step %d: bestFit(%d) ok mismatch", step, size)
+			}
+			if err == nil {
+				if got != want.Addr {
+					t.Fatalf("step %d: bestFit(%d) = %d, model says %d (run %v)", step, size, got, want.Addr, want)
+				}
+				s := Span{got, size}
+				m.set(s, false)
+				allocated = append(allocated, s)
+			}
+		} else {
+			i := rng.Intn(len(allocated))
+			s := allocated[i]
+			allocated[i] = allocated[len(allocated)-1]
+			allocated = allocated[:len(allocated)-1]
+			if err := f.Release(s); err != nil {
+				t.Fatalf("step %d: release %v: %v", step, s, err)
+			}
+			m.set(s, true)
+		}
+	}
+}

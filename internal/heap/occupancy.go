@@ -1,0 +1,173 @@
+package heap
+
+import (
+	"fmt"
+
+	"compaction/internal/word"
+)
+
+// ObjectID identifies an allocated object across its lifetime,
+// including across compaction moves.
+type ObjectID int64
+
+// Object is a placed object: an identity plus its current span.
+type Object struct {
+	ID   ObjectID
+	Span Span
+}
+
+// Occupancy is the ground-truth record of placed objects kept by the
+// simulation engine. It detects overlapping placements and measures
+// heap usage: the live word count, the current extent, and the
+// high-water mark of the extent over the whole execution (the paper's
+// heap size HS).
+type Occupancy struct {
+	byID     map[ObjectID]Span
+	byAddr   *addrTreap
+	live     word.Size
+	maxLive  word.Size
+	ever     word.Addr // high-water mark of end addresses over all time
+	totalled word.Size // cumulative words allocated over all time
+}
+
+// NewOccupancy returns an empty occupancy record.
+func NewOccupancy() *Occupancy {
+	return &Occupancy{
+		byID:   make(map[ObjectID]Span),
+		byAddr: newAddrTreap(0x51ed2701),
+	}
+}
+
+// Place records object id at span s. It fails if the id is already
+// live or if s overlaps any live object.
+func (o *Occupancy) Place(id ObjectID, s Span) error {
+	if s.Empty() {
+		return fmt.Errorf("heap.Place: object %d has empty span %v", id, s)
+	}
+	if s.Addr < 0 {
+		return fmt.Errorf("heap.Place: object %d at negative address %v", id, s)
+	}
+	if _, ok := o.byID[id]; ok {
+		return fmt.Errorf("heap.Place: object %d is already live", id)
+	}
+	if err := o.checkClear(s); err != nil {
+		return fmt.Errorf("heap.Place: object %d: %w", id, err)
+	}
+	o.byID[id] = s
+	o.byAddr.insert(s)
+	o.live += s.Size
+	if o.live > o.maxLive {
+		o.maxLive = o.live
+	}
+	o.totalled += s.Size
+	if s.End() > o.ever {
+		o.ever = s.End()
+	}
+	return nil
+}
+
+// checkClear verifies no live object overlaps s.
+func (o *Occupancy) checkClear(s Span) error {
+	if prev, ok := o.byAddr.floor(s.Addr); ok && prev.Overlaps(s) {
+		return fmt.Errorf("span %v overlaps live object at %v", s, prev)
+	}
+	if next, ok := o.byAddr.ceiling(s.Addr); ok && next.Overlaps(s) {
+		return fmt.Errorf("span %v overlaps live object at %v", s, next)
+	}
+	return nil
+}
+
+// Remove deletes object id and returns its span.
+func (o *Occupancy) Remove(id ObjectID) (Span, error) {
+	s, ok := o.byID[id]
+	if !ok {
+		return Span{}, fmt.Errorf("heap.Remove: object %d is not live", id)
+	}
+	delete(o.byID, id)
+	if _, ok := o.byAddr.remove(s.Addr); !ok {
+		panic(fmt.Sprintf("heap.Occupancy: object %d span %v missing from index", id, s))
+	}
+	o.live -= s.Size
+	return s, nil
+}
+
+// Move relocates object id to address to. The destination must not
+// overlap any other live object (it may overlap the object's own old
+// location, as sliding compaction does). It returns the old span.
+func (o *Occupancy) Move(id ObjectID, to word.Addr) (Span, error) {
+	s, ok := o.byID[id]
+	if !ok {
+		return Span{}, fmt.Errorf("heap.Move: object %d is not live", id)
+	}
+	if to < 0 {
+		return Span{}, fmt.Errorf("heap.Move: object %d to negative address %d", id, to)
+	}
+	// Temporarily remove the object so its own span does not count as a
+	// conflict, permitting overlapping slides.
+	if _, ok := o.byAddr.remove(s.Addr); !ok {
+		panic(fmt.Sprintf("heap.Occupancy: object %d span %v missing from index", id, s))
+	}
+	ns := Span{Addr: to, Size: s.Size}
+	if err := o.checkClear(ns); err != nil {
+		o.byAddr.insert(s) // restore
+		return Span{}, fmt.Errorf("heap.Move: object %d: %w", id, err)
+	}
+	o.byID[id] = ns
+	o.byAddr.insert(ns)
+	if ns.End() > o.ever {
+		o.ever = ns.End()
+	}
+	return s, nil
+}
+
+// Lookup returns the current span of object id.
+func (o *Occupancy) Lookup(id ObjectID) (Span, bool) {
+	s, ok := o.byID[id]
+	return s, ok
+}
+
+// Live returns the number of live words.
+func (o *Occupancy) Live() word.Size { return o.live }
+
+// MaxLive returns the maximum number of simultaneously live words seen.
+func (o *Occupancy) MaxLive() word.Size { return o.maxLive }
+
+// Objects returns the number of live objects.
+func (o *Occupancy) Objects() int { return len(o.byID) }
+
+// TotalAllocated returns the cumulative number of words ever allocated.
+func (o *Occupancy) TotalAllocated() word.Size { return o.totalled }
+
+// HighWater returns the heap size HS: the end address of the
+// highest-addressed word ever occupied. Per the paper, the heap is the
+// smallest consecutive space the manager may use, so HS is the extent
+// [0, HighWater).
+func (o *Occupancy) HighWater() word.Addr { return o.ever }
+
+// Extent returns the end address of the highest-addressed currently
+// live word (0 when empty).
+func (o *Occupancy) Extent() word.Addr {
+	n := o.byAddr.root
+	if n == nil {
+		return 0
+	}
+	for n.right != nil {
+		n = n.right
+	}
+	return n.span.End()
+}
+
+// Each calls fn for every live object in address order until fn
+// returns false. The ObjectID is resolved through the byID map, so the
+// callback receives identity as well as placement.
+func (o *Occupancy) Each(fn func(Object) bool) {
+	// Build a reverse index lazily; occupancy walks are not on the hot
+	// allocation path.
+	rev := make(map[word.Addr]ObjectID, len(o.byID))
+	for id, s := range o.byID {
+		rev[s.Addr] = id
+	}
+	o.byAddr.walk(func(s Span) bool {
+		return fn(Object{ID: rev[s.Addr], Span: s})
+	})
+}

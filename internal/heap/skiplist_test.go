@@ -1,0 +1,183 @@
+package heap
+
+import (
+	"math/rand"
+	"testing"
+
+	"compaction/internal/word"
+)
+
+// TestSkipListMatchesTreap drives both index backends with an
+// identical random operation sequence and requires identical answers
+// to every query.
+func TestSkipListMatchesTreap(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		tr := newAddrTreap(seed)
+		sl := newSkipList(seed * 77)
+		rng := rand.New(rand.NewSource(int64(seed)))
+		var spans []Span
+		addr := int64(0)
+		for step := 0; step < 2000; step++ {
+			switch rng.Intn(3) {
+			case 0: // insert a new disjoint span past the current end
+				size := int64(1 + rng.Intn(40))
+				gap := int64(1 + rng.Intn(8))
+				s := Span{addr + gap, size}
+				addr = s.End()
+				tr.insert(s)
+				sl.insert(s)
+				spans = append(spans, s)
+			case 1: // remove a random span
+				if len(spans) == 0 {
+					continue
+				}
+				i := rng.Intn(len(spans))
+				a := spans[i].Addr
+				spans = append(spans[:i], spans[i+1:]...)
+				s1, ok1 := tr.remove(a)
+				s2, ok2 := sl.remove(a)
+				if ok1 != ok2 || s1 != s2 {
+					t.Fatalf("seed %d step %d: remove(%d) diverged: (%v,%v) vs (%v,%v)",
+						seed, step, a, s1, ok1, s2, ok2)
+				}
+			case 2: // queries
+				size := word.Size(1 + rng.Intn(48))
+				q := int64(rng.Intn(int(addr + 10)))
+				checks := []struct {
+					name   string
+					t1, t2 Span
+					o1, o2 bool
+				}{}
+				s1, o1 := tr.firstFit(size)
+				s2, o2 := sl.firstFit(size)
+				checks = append(checks, struct {
+					name   string
+					t1, t2 Span
+					o1, o2 bool
+				}{"firstFit", s1, s2, o1, o2})
+				s1, o1 = tr.floor(q)
+				s2, o2 = sl.floor(q)
+				checks = append(checks, struct {
+					name   string
+					t1, t2 Span
+					o1, o2 bool
+				}{"floor", s1, s2, o1, o2})
+				s1, o1 = tr.ceiling(q)
+				s2, o2 = sl.ceiling(q)
+				checks = append(checks, struct {
+					name   string
+					t1, t2 Span
+					o1, o2 bool
+				}{"ceiling", s1, s2, o1, o2})
+				s1, o1 = tr.worstFit(1)
+				s2, o2 = sl.worstFit(1)
+				checks = append(checks, struct {
+					name   string
+					t1, t2 Span
+					o1, o2 bool
+				}{"worstFit", s1, s2, o1, o2})
+				s1, o1 = tr.firstFitFrom(size, q)
+				s2, o2 = sl.firstFitFrom(size, q)
+				checks = append(checks, struct {
+					name   string
+					t1, t2 Span
+					o1, o2 bool
+				}{"firstFitFrom", s1, s2, o1, o2})
+				for _, c := range checks {
+					if c.o1 != c.o2 || (c.o1 && c.t1 != c.t2) {
+						t.Fatalf("seed %d step %d: %s diverged: (%v,%v) vs (%v,%v)",
+							seed, step, c.name, c.t1, c.o1, c.t2, c.o2)
+					}
+				}
+				if tr.maxGap() != sl.maxGap() {
+					t.Fatalf("seed %d step %d: maxGap %d vs %d", seed, step, tr.maxGap(), sl.maxGap())
+				}
+				if tr.len() != sl.len() {
+					t.Fatalf("seed %d step %d: len %d vs %d", seed, step, tr.len(), sl.len())
+				}
+			}
+		}
+	}
+}
+
+// TestFreeSpaceSkipListBackend reruns the reference-model check over
+// the skip-list backend.
+func TestFreeSpaceSkipListBackend(t *testing.T) {
+	const capacity = 512
+	rng := rand.New(rand.NewSource(7))
+	f := NewFreeSpaceWith(capacity, IndexSkipList)
+	m := newRefModel(capacity)
+	var allocated []Span
+	for step := 0; step < 4000; step++ {
+		if rng.Intn(2) == 0 || len(allocated) == 0 {
+			size := int64(1 + rng.Intn(32))
+			wantAddr, wantOK := m.firstFit(size)
+			got, err := f.AllocFirstFit(size)
+			if wantOK != (err == nil) {
+				t.Fatalf("step %d: fit mismatch", step)
+			}
+			if err == nil {
+				if got != wantAddr {
+					t.Fatalf("step %d: alloc at %d, model %d", step, got, wantAddr)
+				}
+				s := Span{got, size}
+				m.set(s, false)
+				allocated = append(allocated, s)
+			}
+		} else {
+			i := rng.Intn(len(allocated))
+			s := allocated[i]
+			allocated[i] = allocated[len(allocated)-1]
+			allocated = allocated[:len(allocated)-1]
+			if err := f.Release(s); err != nil {
+				t.Fatalf("step %d: release: %v", step, err)
+			}
+			m.set(s, true)
+		}
+		if f.FreeWords() != m.freeWords() {
+			t.Fatalf("step %d: free words %d vs model %d", step, f.FreeWords(), m.freeWords())
+		}
+		if err := f.Validate(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+func TestIndexKindString(t *testing.T) {
+	if IndexTreap.String() != "treap" || IndexSkipList.String() != "skiplist" {
+		t.Fatal("kind names wrong")
+	}
+	if IndexKind(9).String() != "unknown-index" {
+		t.Fatal("unknown kind name wrong")
+	}
+}
+
+// benchmark both backends on a churn-heavy workload.
+func benchIndex(b *testing.B, kind IndexKind) {
+	const capacity = 1 << 16
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := NewFreeSpaceWith(capacity, kind)
+		var live []Span
+		for step := 0; step < 2000; step++ {
+			if rng.Intn(2) == 0 || len(live) == 0 {
+				size := int64(1 + rng.Intn(64))
+				if a, err := f.AllocFirstFit(size); err == nil {
+					live = append(live, Span{a, size})
+				}
+			} else {
+				j := rng.Intn(len(live))
+				s := live[j]
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+				if err := f.Release(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkIndexTreap(b *testing.B)    { benchIndex(b, IndexTreap) }
+func BenchmarkIndexSkipList(b *testing.B) { benchIndex(b, IndexSkipList) }

@@ -1,0 +1,71 @@
+package heap
+
+import "testing"
+
+func TestSpanBasics(t *testing.T) {
+	s := Span{Addr: 10, Size: 5}
+	if s.End() != 15 {
+		t.Errorf("End = %d, want 15", s.End())
+	}
+	if s.Empty() {
+		t.Errorf("non-empty span reported empty")
+	}
+	if !(Span{Addr: 3, Size: 0}).Empty() {
+		t.Errorf("zero-size span not empty")
+	}
+	if !(Span{Addr: 3, Size: -2}).Empty() {
+		t.Errorf("negative-size span not empty")
+	}
+	if s.String() != "[10,15)" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestSpanOverlaps(t *testing.T) {
+	a := Span{Addr: 10, Size: 5} // [10,15)
+	cases := []struct {
+		b    Span
+		want bool
+	}{
+		{Span{0, 10}, false}, // ends exactly at start
+		{Span{0, 11}, true},  // one word overlap
+		{Span{14, 1}, true},  // last word
+		{Span{15, 5}, false}, // starts exactly at end
+		{Span{12, 1}, true},  // inside
+		{Span{5, 20}, true},  // covers
+		{Span{10, 5}, true},  // equal
+		{Span{16, 2}, false}, // beyond
+		{Span{0, 5}, false},  // before
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", a, c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(a); got != c.want {
+			t.Errorf("Overlaps not symmetric for %v, %v", a, c.b)
+		}
+	}
+}
+
+func TestSpanContains(t *testing.T) {
+	a := Span{Addr: 10, Size: 10} // [10,20)
+	if !a.Contains(Span{10, 10}) || !a.Contains(Span{12, 3}) || !a.Contains(Span{10, 1}) {
+		t.Errorf("Contains missed inner spans")
+	}
+	if a.Contains(Span{9, 2}) || a.Contains(Span{19, 2}) || a.Contains(Span{0, 30}) {
+		t.Errorf("Contains accepted outer spans")
+	}
+	if !a.ContainsAddr(10) || !a.ContainsAddr(19) || a.ContainsAddr(20) || a.ContainsAddr(9) {
+		t.Errorf("ContainsAddr boundary wrong")
+	}
+}
+
+func TestSpanAdjacent(t *testing.T) {
+	a := Span{Addr: 10, Size: 5}
+	if !a.Adjacent(Span{15, 3}) || !a.Adjacent(Span{5, 5}) {
+		t.Errorf("Adjacent missed touching spans")
+	}
+	if a.Adjacent(Span{16, 3}) || a.Adjacent(Span{4, 5}) || a.Adjacent(Span{12, 1}) {
+		t.Errorf("Adjacent accepted non-touching spans")
+	}
+}

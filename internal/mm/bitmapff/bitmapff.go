@@ -1,0 +1,175 @@
+// Package bitmapff implements a bitmap-based first-fit allocator: a
+// word-granularity occupancy bitmap with a coarse summary level, the
+// allocation scheme used by mark-sweep collectors that allocate
+// directly over their mark bitmaps (e.g. Go's pre-1.5 span allocator,
+// Jikes RVM's mark-sweep space). It is a non-moving manager.
+//
+// The fine bitmap has one bit per heap word; the summary has one bit
+// per 64-word granule, set when the granule is completely occupied.
+// Searches skip fully-occupied granules via the summary and scan
+// candidate granules with bit tricks, starting from a low-address
+// watermark that is rolled back on every free.
+package bitmapff
+
+import (
+	"fmt"
+	"math/bits"
+
+	"compaction/internal/heap"
+	"compaction/internal/mm"
+	"compaction/internal/sim"
+	"compaction/internal/word"
+)
+
+// Manager is the bitmap first-fit allocator.
+type Manager struct {
+	capacity word.Size
+	// fine[i] bit b = word 64i+b occupied.
+	fine []uint64
+	// full[i] = granule i (words [64i, 64i+64)) completely occupied.
+	full []bool
+	// watermark: no free word exists below this granule index.
+	watermark int
+	objs      map[heap.ObjectID]heap.Span
+}
+
+var _ sim.Manager = (*Manager)(nil)
+
+// New returns an empty bitmap manager.
+func New() *Manager { return &Manager{} }
+
+// Name implements sim.Manager.
+func (m *Manager) Name() string { return "bitmap-first-fit" }
+
+// Reset implements sim.Manager.
+func (m *Manager) Reset(cfg sim.Config) {
+	m.capacity = cfg.Capacity
+	granules := (cfg.Capacity + 63) / 64
+	m.fine = make([]uint64, granules)
+	m.full = make([]bool, granules)
+	m.watermark = 0
+	m.objs = make(map[heap.ObjectID]heap.Span)
+}
+
+// isFree reports whether word a is free.
+func (m *Manager) isFree(a word.Addr) bool {
+	return m.fine[a>>6]&(1<<uint(a&63)) == 0
+}
+
+// setRange marks [s.Addr, s.End()) occupied (v=true) or free.
+func (m *Manager) setRange(s heap.Span, occupied bool) {
+	for a := s.Addr; a < s.End(); {
+		g := a >> 6
+		lo := uint(a & 63)
+		hi := uint(64)
+		if end := (g + 1) << 6; s.End() < end {
+			hi = uint(s.End() - g<<6)
+		}
+		mask := ^uint64(0) << lo
+		if hi < 64 {
+			mask &= (1 << hi) - 1
+		}
+		if occupied {
+			m.fine[g] |= mask
+		} else {
+			m.fine[g] &^= mask
+		}
+		m.full[g] = m.fine[g] == ^uint64(0)
+		a = g<<6 + word.Addr(hi)
+	}
+}
+
+// Allocate implements sim.Manager: first-fit scan from the watermark.
+func (m *Manager) Allocate(id heap.ObjectID, size word.Size, _ sim.Mover) (word.Addr, error) {
+	addr, ok := m.scan(size)
+	if !ok {
+		return 0, heap.ErrNoFit
+	}
+	s := heap.Span{Addr: addr, Size: size}
+	m.setRange(s, true)
+	m.objs[id] = s
+	m.advanceWatermark()
+	return addr, nil
+}
+
+// advanceWatermark moves the watermark past fully-occupied granules.
+func (m *Manager) advanceWatermark() {
+	for m.watermark < len(m.full) && m.full[m.watermark] {
+		m.watermark++
+	}
+}
+
+// scan finds the lowest address of a free run of the given length.
+func (m *Manager) scan(size word.Size) (word.Addr, bool) {
+	var run word.Size
+	var start word.Addr
+	for g := m.watermark; g < len(m.fine); g++ {
+		w := m.fine[g]
+		if w == ^uint64(0) {
+			run = 0
+			continue
+		}
+		if w == 0 {
+			if run == 0 {
+				start = word.Addr(g) << 6
+			}
+			run += 64
+			if run >= size {
+				return start, true
+			}
+			continue
+		}
+		// Mixed granule: walk its free runs bit by bit, in chunks of
+		// consecutive zero bits.
+		base := word.Addr(g) << 6
+		bit := 0
+		for bit < 64 {
+			rem := w >> uint(bit)
+			if rem&1 == 0 {
+				zeros := bits.TrailingZeros64(rem)
+				if rem == 0 {
+					zeros = 64 - bit
+				}
+				if run == 0 {
+					start = base + word.Addr(bit)
+				}
+				run += word.Size(zeros)
+				if run >= size {
+					return start, true
+				}
+				bit += zeros
+			} else {
+				ones := bits.TrailingZeros64(^rem)
+				run = 0
+				bit += ones
+			}
+		}
+	}
+	return 0, false
+}
+
+// Free implements sim.Manager.
+func (m *Manager) Free(id heap.ObjectID, s heap.Span) {
+	cur, ok := m.objs[id]
+	if !ok || cur != s {
+		panic(fmt.Sprintf("bitmapff: Free(%d, %v) does not match record %v", id, s, cur))
+	}
+	delete(m.objs, id)
+	m.setRange(s, false)
+	if g := int(s.Addr >> 6); g < m.watermark {
+		m.watermark = g
+	}
+}
+
+// OccupiedWords counts set bits, for tests.
+func (m *Manager) OccupiedWords() word.Size {
+	var n word.Size
+	for _, w := range m.fine {
+		n += word.Size(bits.OnesCount64(w))
+	}
+	return n
+}
+
+func init() {
+	mm.Register("bitmap-first-fit", func() sim.Manager { return New() })
+}

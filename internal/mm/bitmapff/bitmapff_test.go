@@ -1,0 +1,163 @@
+package bitmapff
+
+import (
+	"math/rand"
+	"testing"
+
+	"compaction/internal/heap"
+	"compaction/internal/sim"
+	"compaction/internal/word"
+)
+
+func reset(capacity word.Size) *Manager {
+	m := New()
+	m.Reset(sim.Config{M: capacity, N: 64, C: -1, Capacity: capacity})
+	return m
+}
+
+func TestSequentialFill(t *testing.T) {
+	m := reset(256)
+	for i := 0; i < 4; i++ {
+		a, err := m.Allocate(heap.ObjectID(i), 64, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != word.Addr(i*64) {
+			t.Fatalf("alloc %d at %d", i, a)
+		}
+	}
+	if _, err := m.Allocate(99, 1, nil); err != heap.ErrNoFit {
+		t.Fatalf("full heap: %v", err)
+	}
+	if m.OccupiedWords() != 256 {
+		t.Fatalf("occupied = %d", m.OccupiedWords())
+	}
+}
+
+func TestFirstFitFindsLowestHole(t *testing.T) {
+	m := reset(512)
+	spans := make(map[heap.ObjectID]heap.Span)
+	for i := heap.ObjectID(0); i < 8; i++ {
+		a, err := m.Allocate(i, 64, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spans[i] = heap.Span{Addr: a, Size: 64}
+	}
+	m.Free(2, spans[2]) // hole at 128
+	m.Free(5, spans[5]) // hole at 320
+	a, err := m.Allocate(100, 30, nil)
+	if err != nil || a != 128 {
+		t.Fatalf("first fit chose %d (%v), want 128", a, err)
+	}
+	// Remaining hole at 158..192 fits 34 words; a 40-word request must
+	// go to 320.
+	a, err = m.Allocate(101, 40, nil)
+	if err != nil || a != 320 {
+		t.Fatalf("first fit chose %d (%v), want 320", a, err)
+	}
+}
+
+func TestRunsAcrossGranules(t *testing.T) {
+	m := reset(512)
+	// Occupy [0,60): a 100-word request must go at 60, spanning the
+	// granule boundary at 64.
+	if _, err := m.Allocate(1, 60, nil); err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.Allocate(2, 100, nil)
+	if err != nil || a != 60 {
+		t.Fatalf("cross-granule alloc at %d (%v), want 60", a, err)
+	}
+}
+
+func TestUnalignedBoundaryMasks(t *testing.T) {
+	m := reset(256)
+	a1, _ := m.Allocate(1, 3, nil)
+	a2, _ := m.Allocate(2, 5, nil)
+	a3, _ := m.Allocate(3, 7, nil)
+	if a1 != 0 || a2 != 3 || a3 != 8 {
+		t.Fatalf("odd-size packing: %d %d %d", a1, a2, a3)
+	}
+	m.Free(2, heap.Span{Addr: 3, Size: 5})
+	if m.isFree(2) || !m.isFree(3) || !m.isFree(7) || m.isFree(8) {
+		t.Fatal("free range boundaries wrong")
+	}
+	a4, err := m.Allocate(4, 5, nil)
+	if err != nil || a4 != 3 {
+		t.Fatalf("exact hole reuse at %d (%v)", a4, err)
+	}
+}
+
+func TestWatermarkRollsBack(t *testing.T) {
+	m := reset(1 << 10)
+	spans := make(map[heap.ObjectID]heap.Span)
+	for i := heap.ObjectID(0); i < 16; i++ {
+		a, _ := m.Allocate(i, 64, nil)
+		spans[i] = heap.Span{Addr: a, Size: 64}
+	}
+	// Watermark is at the top now; freeing a low object must roll it
+	// back so first-fit finds the low hole again.
+	m.Free(0, spans[0])
+	a, err := m.Allocate(100, 64, nil)
+	if err != nil || a != 0 {
+		t.Fatalf("post-rollback alloc at %d (%v), want 0", a, err)
+	}
+}
+
+func TestAgainstReferenceModel(t *testing.T) {
+	const capacity = 640
+	m := reset(capacity)
+	used := make([]bool, capacity)
+	firstFit := func(size int64) (int64, bool) {
+		run := int64(0)
+		for a := int64(0); a < capacity; a++ {
+			if !used[a] {
+				run++
+				if run == size {
+					return a - size + 1, true
+				}
+			} else {
+				run = 0
+			}
+		}
+		return 0, false
+	}
+	rng := rand.New(rand.NewSource(17))
+	type rec struct {
+		id heap.ObjectID
+		s  heap.Span
+	}
+	var live []rec
+	next := heap.ObjectID(1)
+	for step := 0; step < 5000; step++ {
+		if rng.Intn(2) == 0 || len(live) == 0 {
+			size := int64(1 + rng.Intn(48))
+			want, wantOK := firstFit(size)
+			got, err := m.Allocate(next, size, nil)
+			if wantOK != (err == nil) {
+				t.Fatalf("step %d: fit disagreement for size %d (model %v, err %v)", step, size, wantOK, err)
+			}
+			if err == nil {
+				if got != want {
+					t.Fatalf("step %d: alloc(%d) at %d, model says %d", step, size, got, want)
+				}
+				s := heap.Span{Addr: got, Size: size}
+				for a := s.Addr; a < s.End(); a++ {
+					used[a] = true
+				}
+				live = append(live, rec{next, s})
+				next++
+			}
+		} else {
+			i := rng.Intn(len(live))
+			r := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			m.Free(r.id, r.s)
+			for a := r.s.Addr; a < r.s.End(); a++ {
+				used[a] = false
+			}
+		}
+	}
+}

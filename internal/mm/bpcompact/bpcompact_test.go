@@ -1,0 +1,98 @@
+package bpcompact
+
+import (
+	"fmt"
+	"testing"
+
+	"compaction/internal/sim"
+	"compaction/internal/word"
+	"compaction/internal/workload"
+)
+
+// TestGuaranteeUnderSustainedChurn is the package-level statement of
+// the (c+1)M theorem: for several c and workload seeds, the heap never
+// exceeds (c+1)·M.
+func TestGuaranteeUnderSustainedChurn(t *testing.T) {
+	for _, c := range []int64{2, 5, 10} {
+		for seed := int64(1); seed <= 3; seed++ {
+			c, seed := c, seed
+			t.Run(fmt.Sprintf("c=%d,seed=%d", c, seed), func(t *testing.T) {
+				cfg := sim.Config{M: 1 << 11, N: 1 << 5, C: c, Pow2Only: true,
+					Capacity: (c + 2) << 11}
+				prog := workload.NewRandom(workload.Config{
+					Seed: seed, Rounds: 250, ChurnFrac: 0.6, TargetLive: 0.95,
+				})
+				e, err := sim.NewEngine(cfg, prog, New())
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := e.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.HighWater > (c+1)*cfg.M {
+					t.Fatalf("HS=%d exceeds (c+1)M=%d", res.HighWater, (c+1)*cfg.M)
+				}
+			})
+		}
+	}
+}
+
+func TestSlideIsCompleteWithFullBudget(t *testing.T) {
+	cfg := sim.Config{M: 1 << 10, N: 1 << 4, C: 0, Pow2Only: true}
+	prog := sim.NewScript("s", []sim.ScriptRound{
+		{Allocs: []word.Size{16, 16, 16, 16}},
+		{FreeRefs: []int{0, 1, 2}},
+		{}, // slide
+		{Allocs: []word.Size{16}},
+	})
+	e, err := sim.NewEngine(cfg, prog, New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Survivor slid to 0; new object bumped to 16.
+	s3, _ := prog.PlacementOf(3)
+	s4, _ := prog.PlacementOf(4)
+	if s3.Addr != 0 || s4.Addr != 16 {
+		t.Fatalf("after slide: survivor %v, new %v", s3, s4)
+	}
+	if res.HighWater != 64 {
+		t.Fatalf("HS = %d, want 64 (initial fill)", res.HighWater)
+	}
+}
+
+func TestNoCompactionWithoutBudget(t *testing.T) {
+	cfg := sim.Config{M: 1 << 10, N: 1 << 4, C: sim.Config{}.C - 1, Pow2Only: true}
+	cfg.C = -1
+	prog := workload.NewRandom(workload.Config{Seed: 2, Rounds: 30})
+	e, err := sim.NewEngine(cfg, prog, New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moves != 0 {
+		t.Fatalf("moved %d times without budget", res.Moves)
+	}
+}
+
+func TestFrontierResetAcrossRuns(t *testing.T) {
+	m := New()
+	cfg := sim.Config{M: 1 << 10, N: 1 << 4, C: 4, Pow2Only: true}
+	for i := 0; i < 2; i++ {
+		prog := workload.NewRandom(workload.Config{Seed: 1, Rounds: 20})
+		e, err := sim.NewEngine(cfg, prog, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package fits
+
+import (
+	"testing"
+
+	"compaction/internal/heap"
+	"compaction/internal/sim"
+	"compaction/internal/word"
+)
+
+func reset(p Policy, capacity word.Size) *Manager {
+	m := New(p)
+	m.Reset(sim.Config{M: capacity, N: 64, C: -1, Capacity: capacity})
+	return m
+}
+
+func TestPolicyNames(t *testing.T) {
+	names := map[Policy]string{
+		FirstFit:        "first-fit",
+		BestFit:         "best-fit",
+		NextFit:         "next-fit",
+		WorstFit:        "worst-fit",
+		AlignedFirstFit: "aligned-first-fit",
+		Policy(99):      "unknown-fit",
+	}
+	for p, want := range names {
+		if got := p.String(); got != want {
+			t.Errorf("Policy(%d).String() = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func prepareHoles(t *testing.T, m *Manager) {
+	t.Helper()
+	// Occupy everything in 10 objects of 50, then free #1 and #7:
+	// holes at [50,100) and [350,400).
+	spans := make([]heap.Span, 10)
+	for i := range spans {
+		a, err := m.Allocate(heap.ObjectID(i), 50, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spans[i] = heap.Span{Addr: a, Size: 50}
+	}
+	m.Free(1, spans[1])
+	m.Free(7, spans[7])
+}
+
+func TestNextFitCursorAdvances(t *testing.T) {
+	m := reset(NextFit, 500)
+	prepareHoles(t, m)
+	// Cursor is at 500 after the fills; next-fit wraps to the lowest
+	// hole first.
+	a1, err := m.Allocate(100, 20, nil)
+	if err != nil || a1 != 50 {
+		t.Fatalf("next-fit #1 at %d (%v), want 50", a1, err)
+	}
+	// Cursor now 70: the rest of hole 1 is next.
+	a2, err := m.Allocate(101, 20, nil)
+	if err != nil || a2 != 70 {
+		t.Fatalf("next-fit #2 at %d (%v), want 70", a2, err)
+	}
+	// Cursor 90: only 10 words left there, so a 20-word request moves
+	// on to the hole at 350.
+	a3, err := m.Allocate(102, 20, nil)
+	if err != nil || a3 != 350 {
+		t.Fatalf("next-fit #3 at %d (%v), want 350", a3, err)
+	}
+}
+
+func TestWorstFitPicksLargest(t *testing.T) {
+	m := reset(WorstFit, 500)
+	prepareHoles(t, m)
+	// Enlarge the second hole to 100 by freeing #8 too.
+	m.Free(8, heap.Span{Addr: 400, Size: 50})
+	a, err := m.Allocate(100, 10, nil)
+	if err != nil || a != 350 {
+		t.Fatalf("worst-fit at %d (%v), want 350 (the 100-word hole)", a, err)
+	}
+}
+
+func TestAlignedFallsBackWhenNoAlignedHole(t *testing.T) {
+	m := reset(AlignedFirstFit, 96)
+	// Occupy [0,40); remaining free is [40,96): a 32-word object has
+	// an aligned slot at 64. Then free nothing and ask for another 32:
+	// only [40,64) + [96..] — no aligned slot, falls back to unaligned.
+	if _, err := m.Allocate(1, 40, nil); err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.Allocate(2, 32, nil)
+	if err != nil || a != 64 {
+		t.Fatalf("aligned alloc at %d (%v), want 64", a, err)
+	}
+	a, err = m.Allocate(3, 24, nil)
+	if err != nil || a != 40 {
+		t.Fatalf("fallback alloc at %d (%v), want 40", a, err)
+	}
+}
+
+func TestManagersNeverMove(t *testing.T) {
+	for _, p := range []Policy{FirstFit, BestFit, NextFit, WorstFit, AlignedFirstFit} {
+		m := reset(p, 1024)
+		// The Mover is nil; if any policy tried to move it would panic.
+		for i := 0; i < 50; i++ {
+			if _, err := m.Allocate(heap.ObjectID(i), 8, nil); err != nil {
+				t.Fatalf("%v: %v", p, err)
+			}
+		}
+	}
+}
+
+func TestFreeReturnsSpace(t *testing.T) {
+	m := reset(FirstFit, 64)
+	a, _ := m.Allocate(1, 64, nil)
+	if _, err := m.Allocate(2, 1, nil); err != heap.ErrNoFit {
+		t.Fatalf("expected full heap, got %v", err)
+	}
+	m.Free(1, heap.Span{Addr: a, Size: 64})
+	if _, err := m.Allocate(3, 64, nil); err != nil {
+		t.Fatalf("space not returned: %v", err)
+	}
+}

@@ -1,0 +1,101 @@
+package markcompact
+
+import (
+	"testing"
+
+	"compaction/internal/mm"
+	"compaction/internal/sim"
+	"compaction/internal/word"
+	"compaction/internal/workload"
+)
+
+func TestUnlimitedBudgetStaysDense(t *testing.T) {
+	// With c = 0 the manager compacts every round: the heap never
+	// exceeds the live peak plus the current round's allocations.
+	cfg := sim.Config{M: 1 << 10, N: 1 << 4, C: 0, Pow2Only: true}
+	mgr := New()
+	prog := workload.NewRampDown(1)
+	e, err := sim.NewEngine(cfg, prog, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WasteFactor() > 1.01 {
+		t.Fatalf("ideal compactor wasted %.3f·M", res.WasteFactor())
+	}
+	if res.Moves == 0 {
+		t.Fatal("never compacted")
+	}
+}
+
+func TestBudgetedCompactionRespectsLedger(t *testing.T) {
+	cfg := sim.Config{M: 1 << 12, N: 1 << 6, C: 8, Pow2Only: true}
+	mgr := New()
+	prog := workload.NewRandom(workload.Config{Seed: 3, Rounds: 80, ChurnFrac: 0.5})
+	e, err := sim.NewEngine(cfg, prog, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moved*8 > res.Allocated {
+		t.Fatalf("budget violated: moved %d of %d", res.Moved, res.Allocated)
+	}
+}
+
+func TestSlidePreservesAddressOrder(t *testing.T) {
+	cfg := sim.Config{M: 1 << 10, N: 1 << 5, C: 0, Pow2Only: true}
+	mgr := New()
+	prog := sim.NewScript("s", []sim.ScriptRound{
+		{Allocs: []word.Size{32, 32, 32, 32}},
+		{FreeRefs: []int{0, 2}},
+		{}, // compaction round
+	})
+	e, err := sim.NewEngine(cfg, prog, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Survivors (originally at 32 and 96) must now sit at 0 and 32 in
+	// the same relative order.
+	s1, _ := prog.PlacementOf(1)
+	s3, _ := prog.PlacementOf(3)
+	if s1.Addr != 0 || s3.Addr != 32 {
+		t.Fatalf("slide order wrong: %v %v", s1, s3)
+	}
+}
+
+func TestRegistered(t *testing.T) {
+	mgr, err := mm.New("mark-compact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mgr.Name() != "mark-compact" {
+		t.Fatalf("name = %q", mgr.Name())
+	}
+}
+
+func TestNonMovingDegenerate(t *testing.T) {
+	// With c = NoCompaction the manager is effectively first-fit.
+	cfg := sim.Config{M: 1 << 10, N: 1 << 4, C: -1, Pow2Only: true}
+	mgr := New()
+	prog := workload.NewRandom(workload.Config{Seed: 5, Rounds: 40})
+	e, err := sim.NewEngine(cfg, prog, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moves != 0 {
+		t.Fatalf("moved %d times with no budget", res.Moves)
+	}
+}

@@ -1,0 +1,180 @@
+// Package mm defines shared infrastructure for the memory managers of
+// the simulation: a registry of manager factories and a Base type that
+// handles the bookkeeping every free-list manager needs (free-space
+// index, object table, configuration).
+//
+// Concrete managers live in subpackages:
+//
+//	mm/fits        first-fit, best-fit, next-fit, worst-fit, aligned-fit
+//	mm/buddy       binary buddy allocator
+//	mm/segregated  size-class (slab) allocator
+//	mm/tlsf        two-level segregated fit (Masmano et al. 2004)
+//	mm/halffit     Half-Fit (Ogasawara 1995)
+//	mm/bitmapff    bitmap first-fit with a coarse summary level
+//	mm/rounding    power-of-two rounding adapter (Section 2.2)
+//	mm/bpcompact   the (c+1)·M compacting manager of Bendersky & Petrank
+//	mm/markcompact full sliding mark-compact (LISP-2 order)
+//	mm/threshold   density-threshold chunk evacuator
+//	mm/improved    Theorem-2-style size-classed partial compactor
+package mm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"compaction/internal/heap"
+	"compaction/internal/sim"
+	"compaction/internal/word"
+)
+
+// Factory constructs a fresh manager instance.
+type Factory func() sim.Manager
+
+var (
+	regMu    sync.Mutex
+	registry = make(map[string]Factory)
+)
+
+// Register adds a manager factory under a unique name. It panics on
+// duplicates, which would indicate a programming error at init time.
+func Register(name string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("mm.Register: duplicate manager %q", name))
+	}
+	registry[name] = f
+}
+
+// New constructs the registered manager with the given name.
+func New(name string) (sim.Manager, error) {
+	regMu.Lock()
+	f, ok := registry[name]
+	if !ok {
+		known := namesLocked()
+		regMu.Unlock()
+		return nil, fmt.Errorf("mm: unknown manager %q (known: %v)", name, known)
+	}
+	// Invoke the factory without the lock: wrapper managers construct
+	// their inner manager through New as well.
+	regMu.Unlock()
+	return f(), nil
+}
+
+// Names returns the registered manager names, sorted.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Base carries the bookkeeping shared by the free-list managers: the
+// run configuration, a free-space index over the heap, and the table
+// of live objects the manager has placed. Managers embed Base and
+// implement Allocate.
+type Base struct {
+	Cfg  sim.Config
+	FS   *heap.FreeSpace
+	Objs map[heap.ObjectID]heap.Span
+}
+
+// Reset implements the corresponding part of sim.Manager.
+func (b *Base) Reset(cfg sim.Config) {
+	b.Cfg = cfg
+	b.FS = heap.NewFreeSpace(cfg.Capacity)
+	b.Objs = make(map[heap.ObjectID]heap.Span)
+}
+
+// Free implements sim.Manager by returning the object's words to the
+// free space.
+func (b *Base) Free(id heap.ObjectID, s heap.Span) {
+	if cur, ok := b.Objs[id]; !ok || cur != s {
+		panic(fmt.Sprintf("mm: Free(%d, %v) does not match manager record %v", id, s, b.Objs[id]))
+	}
+	delete(b.Objs, id)
+	if err := b.FS.Release(s); err != nil {
+		panic(fmt.Sprintf("mm: releasing %v: %v", s, err))
+	}
+}
+
+// Record notes a placement the manager has just carved from its free
+// space.
+func (b *Base) Record(id heap.ObjectID, s heap.Span) {
+	b.Objs[id] = s
+}
+
+// Drop forgets an object whose words are already accounted as free
+// (used after a move when the program freed the object in flight).
+func (b *Base) Drop(id heap.ObjectID) {
+	delete(b.Objs, id)
+}
+
+// MoveObject relocates one of the manager's own objects using the
+// engine mover, keeping the free-space index consistent. The
+// destination must be free in the manager's index once the object's
+// own words are discounted, so overlapping slides are allowed. If the
+// program frees the object in response, the destination is released
+// again and removed=true is returned.
+func (b *Base) MoveObject(mv sim.Mover, id heap.ObjectID, to word.Addr) (removed bool, err error) {
+	from, ok := b.Objs[id]
+	if !ok {
+		return false, fmt.Errorf("mm: move of unknown object %d", id)
+	}
+	dst := heap.Span{Addr: to, Size: from.Size}
+	// Vacate the source first so a destination that overlaps the
+	// object's current location (a slide) is reservable.
+	if err := b.FS.Release(from); err != nil {
+		panic(fmt.Sprintf("mm: releasing source %v for move: %v", from, err))
+	}
+	if err := b.FS.Reserve(dst); err != nil {
+		if rerr := b.FS.Reserve(from); rerr != nil {
+			panic(fmt.Sprintf("mm: rollback reserve of %v failed: %v", from, rerr))
+		}
+		return false, fmt.Errorf("mm: move destination not free: %w", err)
+	}
+	freed, err := mv.Move(id, to)
+	if err != nil {
+		// The engine refused the move (e.g. budget); roll back.
+		if rerr := b.FS.Release(dst); rerr != nil {
+			panic(fmt.Sprintf("mm: rollback of %v failed: %v", dst, rerr))
+		}
+		if rerr := b.FS.Reserve(from); rerr != nil {
+			panic(fmt.Sprintf("mm: rollback reserve of %v failed: %v", from, rerr))
+		}
+		return false, err
+	}
+	if freed {
+		delete(b.Objs, id)
+		if err := b.FS.Release(dst); err != nil {
+			panic(fmt.Sprintf("mm: releasing freed destination %v: %v", dst, err))
+		}
+		return true, nil
+	}
+	b.Objs[id] = dst
+	return false, nil
+}
+
+// LiveWords returns the number of words in objects the manager tracks.
+func (b *Base) LiveWords() word.Size {
+	return b.FS.Capacity() - b.FS.FreeWords()
+}
+
+// ObjectsByAddr returns the manager's live objects sorted by address.
+func (b *Base) ObjectsByAddr() []heap.Object {
+	objs := make([]heap.Object, 0, len(b.Objs))
+	for id, s := range b.Objs {
+		objs = append(objs, heap.Object{ID: id, Span: s})
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Span.Addr < objs[j].Span.Addr })
+	return objs
+}

@@ -1,0 +1,148 @@
+package rounding
+
+import (
+	"testing"
+
+	"compaction/internal/heap"
+	"compaction/internal/mm"
+	"compaction/internal/sim"
+	"compaction/internal/word"
+	"compaction/internal/workload"
+
+	_ "compaction/internal/mm/fits"
+)
+
+func TestRoundsSizesUp(t *testing.T) {
+	inner, err := mm.New("segregated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Wrap(inner)
+	cfg := sim.Config{M: 1 << 10, N: 100, C: -1}
+	prog := sim.NewScript("s", []sim.ScriptRound{
+		{Allocs: []word.Size{5, 3}}, // rounded to 8, 4
+	})
+	e, err := sim.NewEngine(cfg, prog, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The 5-word object occupies an 8-block: the 3-word object must
+	// not be placed inside [addr, addr+8).
+	s0, _ := prog.PlacementOf(0)
+	s1, _ := prog.PlacementOf(1)
+	if s1.Addr >= s0.Addr && s1.Addr < s0.Addr+8 {
+		t.Fatalf("rounding leak: %v placed inside rounded block of %v", s1, s0)
+	}
+}
+
+func TestFreeReconstructsRoundedSpan(t *testing.T) {
+	inner, err := mm.New("segregated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Wrap(inner)
+	cfg := sim.Config{M: 1 << 10, N: 100, C: -1}
+	prog := sim.NewScript("s", []sim.ScriptRound{
+		{Allocs: []word.Size{5}},
+		{FreeRefs: []int{0}},
+		{Allocs: []word.Size{6}}, // also rounds to 8: must reuse the block
+	})
+	e, err := sim.NewEngine(cfg, prog, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s0, _ := prog.PlacementOf(0)
+	s1, _ := prog.PlacementOf(1)
+	if s0.Addr != s1.Addr {
+		t.Fatalf("freed rounded block not recycled: %v then %v", s0, s1)
+	}
+}
+
+func TestArbitrarySizesWorkload(t *testing.T) {
+	mgr, err := mm.New("rounded-segregated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{M: 1 << 12, N: 100, C: -1} // arbitrary sizes
+	prog := workload.NewRandom(workload.Config{Seed: 9, Rounds: 60, Dist: workload.Uniform})
+	e, err := sim.NewEngine(cfg, prog, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Allocs == 0 {
+		t.Fatal("no allocations")
+	}
+}
+
+// TestAtMostDoubling: the paper's Section 2.2 argument — rounding
+// costs at most 2× space. On a workload that alternates sizes just
+// above powers of two, the rounded manager's heap stays within ~2× of
+// what the same manager uses on the pre-rounded sizes.
+func TestAtMostDoubling(t *testing.T) {
+	run := func(sizes []word.Size) sim.Result {
+		mgr, err := mm.New("rounded-segregated")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := sim.Config{M: 1 << 12, N: 64, C: -1}
+		prog := sim.NewScript("s", []sim.ScriptRound{{Allocs: sizes}})
+		e, err := sim.NewEngine(cfg, prog, mgr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	worst := make([]word.Size, 60)
+	exact := make([]word.Size, 60)
+	for i := range worst {
+		worst[i] = 33 // rounds to 64
+		exact[i] = 64
+	}
+	rw, re := run(worst), run(exact)
+	if rw.HighWater > re.HighWater {
+		t.Fatalf("rounded 33s used more heap (%d) than exact 64s (%d)", rw.HighWater, re.HighWater)
+	}
+	// Live words 60·33 = 1980; rounding doubles them to ≤ 3840, and
+	// segregated storage adds at most one partially-used block run
+	// (1024 words) of slack on top.
+	if rw.HighWater > 2*60*33+1024 {
+		t.Fatalf("rounding exceeded the 2x argument plus run slack: HS=%d", rw.HighWater)
+	}
+}
+
+func TestName(t *testing.T) {
+	inner, err := mm.New("segregated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Wrap(inner).Name(); got != "rounded-segregated" {
+		t.Fatalf("name = %q", got)
+	}
+}
+
+func TestFreeUnknownObjectFallsBack(t *testing.T) {
+	// Free of an object the wrapper never saw must not panic in the
+	// wrapper itself (the inner manager is the one that validates).
+	inner, err := mm.New("segregated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Wrap(inner)
+	m.Reset(sim.Config{M: 64, N: 16, C: -1, Capacity: 1024})
+	defer func() { recover() }() // inner manager may panic; that's fine
+	m.Free(99, heap.Span{Addr: 0, Size: 5})
+}

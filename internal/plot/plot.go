@@ -1,0 +1,168 @@
+// Package plot renders the figure series of the reproduction as CSV
+// (for external plotting) and as ASCII line charts (for terminal
+// inspection and EXPERIMENTS.md). It depends only on the standard
+// library.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve: parallel X/Y slices.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a set of curves over a shared X axis meaning.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// WriteCSV emits the figure as CSV: one x column, one column per
+// series. Series are sampled on their own X values; the union of X
+// values forms the rows, with blanks for missing samples.
+func (f Figure) WriteCSV(w io.Writer) error {
+	xs := f.unionX()
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			if y, ok := s.at(x); ok {
+				row = append(row, trimFloat(y))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.6f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+func (s Series) at(x float64) (float64, bool) {
+	for i, sx := range s.X {
+		if sx == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+func (f Figure) unionX() []float64 {
+	seen := make(map[float64]bool)
+	var xs []float64
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	// insertion sort keeps this dependency-free and inputs are small
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	return xs
+}
+
+// markers distinguish series in ASCII charts.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// ASCII renders the figure as a width×height character chart with
+// axis labels and a legend.
+func (f Figure) ASCII(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for i := range s.X {
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return f.Title + " (no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			col := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(width-1)))
+			row := int(math.Round((s.Y[i] - minY) / (maxY - minY) * float64(height-1)))
+			r := height - 1 - row
+			if grid[r][col] == ' ' || grid[r][col] == m {
+				grid[r][col] = m
+			} else {
+				grid[r][col] = '&' // overlapping series
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	for r, line := range grid {
+		var label string
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.2f", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%8.2f", minY)
+		default:
+			label = strings.Repeat(" ", 8)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s %s%s%s\n", strings.Repeat(" ", 8),
+		fmt.Sprintf("%-12.4g", minX),
+		strings.Repeat(" ", max(0, width-24)),
+		fmt.Sprintf("%12.4g", maxX))
+	fmt.Fprintf(&b, "%s x: %s, y: %s\n", strings.Repeat(" ", 8), f.XLabel, f.YLabel)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "%s %c = %s\n", strings.Repeat(" ", 8), markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,96 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() Figure {
+	return Figure{
+		Title:  "test figure",
+		XLabel: "c",
+		YLabel: "h",
+		Series: []Series{
+			{Name: "alpha", X: []float64{10, 20, 30}, Y: []float64{1, 2, 3}},
+			{Name: "beta", X: []float64{10, 20, 40}, Y: []float64{3, 2, 1}},
+		},
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "c,alpha,beta" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 5 { // union of x = {10,20,30,40}
+		t.Fatalf("rows = %d, want 5:\n%s", len(lines), buf.String())
+	}
+	if lines[1] != "10,1,3" {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	// x=30 has no beta sample: blank last column.
+	if lines[3] != "30,3," {
+		t.Fatalf("row 3 = %q", lines[3])
+	}
+	if lines[4] != "40,,1" {
+		t.Fatalf("row 4 = %q", lines[4])
+	}
+}
+
+func TestCSVTrimsFloats(t *testing.T) {
+	f := Figure{XLabel: "x", Series: []Series{{Name: "s", X: []float64{1.5}, Y: []float64{2.25}}}}
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1.5,2.25") {
+		t.Fatalf("floats not trimmed: %q", buf.String())
+	}
+}
+
+func TestASCIIRendersAllSeries(t *testing.T) {
+	out := sample().ASCII(40, 10)
+	for _, want := range []string{"test figure", "alpha", "beta", "x: c, y: h"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ASCII missing %q:\n%s", want, out)
+		}
+	}
+	// Markers must appear in the grid.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+	// Y-axis extremes labeled.
+	if !strings.Contains(out, "3.00") || !strings.Contains(out, "1.00") {
+		t.Fatalf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestASCIIEmptyFigure(t *testing.T) {
+	out := (Figure{Title: "empty"}).ASCII(40, 10)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty figure rendering: %q", out)
+	}
+}
+
+func TestASCIIDegenerateRanges(t *testing.T) {
+	f := Figure{
+		Title:  "flat",
+		Series: []Series{{Name: "s", X: []float64{5, 5}, Y: []float64{2, 2}}},
+	}
+	out := f.ASCII(30, 6)
+	if out == "" || !strings.Contains(out, "flat") {
+		t.Fatalf("degenerate figure: %q", out)
+	}
+}
+
+func TestASCIIMinimumDimensions(t *testing.T) {
+	out := sample().ASCII(1, 1) // clamped up internally
+	if len(strings.Split(out, "\n")) < 6 {
+		t.Fatalf("chart too small:\n%s", out)
+	}
+}

@@ -1,0 +1,86 @@
+package profile
+
+// Canned profiles modelling familiar application shapes. They are
+// deliberately simple: the point of the reproduction's workload suite
+// is to contrast benchmark-like traffic with the adversarial worst
+// case, not to clone any particular benchmark.
+
+// Server models a request-processing server: small, short-lived
+// objects with heavy churn, a steady working set, and occasional
+// larger buffers.
+func Server() *Profile {
+	return &Profile{
+		Name: "server",
+		Phases: []Phase{
+			{Rounds: 80, Live: 0.7, Churn: 0.45, Sizes: []SizeClass{
+				{Words: 2, Weight: 5},
+				{Words: 8, Weight: 3},
+				{Words: 64, Weight: 1},
+			}},
+		},
+	}
+}
+
+// Compiler models a compiler: a parse phase of many tiny nodes, an
+// optimization phase that churns medium structures, then a codegen
+// phase of large buffers after releasing most of the IR.
+func Compiler() *Profile {
+	return &Profile{
+		Name: "compiler",
+		Phases: []Phase{
+			{Rounds: 30, Live: 0.8, Churn: 0.05, Sizes: []SizeClass{
+				{Words: 2, Weight: 8},
+				{Words: 4, Weight: 2},
+			}},
+			{Rounds: 30, Live: 0.6, Churn: 0.5, Sizes: []SizeClass{
+				{Words: 16, Weight: 3},
+				{Words: 32, Weight: 1},
+			}},
+			{Rounds: 20, Live: 0.5, Churn: 0.8, Sizes: []SizeClass{
+				{Words: 128, Weight: 1},
+			}},
+		},
+	}
+}
+
+// Cache models a large, long-lived cache with a small churning edge:
+// low churn over big objects plus a stream of small transients.
+func Cache() *Profile {
+	return &Profile{
+		Name: "cache",
+		Phases: []Phase{
+			{Rounds: 100, Live: 0.9, Churn: 0.03, Sizes: []SizeClass{
+				{Words: 256, Weight: 2},
+				{Words: 4, Weight: 3},
+			}},
+		},
+	}
+}
+
+// Batch models a batch job: fill, process with moderate churn, drain,
+// repeat.
+func Batch() *Profile {
+	fill := Phase{Rounds: 10, Live: 0.95, Churn: 0, Sizes: []SizeClass{
+		{Words: 8, Weight: 1}, {Words: 32, Weight: 1},
+	}}
+	process := Phase{Rounds: 20, Live: 0.8, Churn: 0.3, Sizes: []SizeClass{
+		{Words: 8, Weight: 2}, {Words: 16, Weight: 1},
+	}}
+	drain := Phase{Rounds: 5, Live: 0.1, Churn: 0.9, Sizes: []SizeClass{
+		{Words: 4, Weight: 1},
+	}}
+	return &Profile{
+		Name:   "batch",
+		Phases: []Phase{fill, process, drain, fill, process, drain},
+	}
+}
+
+// Canned returns all built-in profiles by name.
+func Canned() map[string]*Profile {
+	return map[string]*Profile{
+		"server":   Server(),
+		"compiler": Compiler(),
+		"cache":    Cache(),
+		"batch":    Batch(),
+	}
+}

@@ -1,0 +1,46 @@
+package profile_test
+
+import (
+	"fmt"
+	"strings"
+
+	"compaction/internal/budget"
+	"compaction/internal/mm"
+	"compaction/internal/profile"
+	"compaction/internal/sim"
+
+	_ "compaction/internal/mm/fits"
+)
+
+// Profiles are plain JSON: phases with live targets, churn rates and
+// weighted size classes.
+func ExampleParse() {
+	src := `{
+	  "name": "demo",
+	  "phases": [
+	    {"rounds": 8, "live": 0.6, "churn": 0.25,
+	     "sizes": [{"words": 4, "weight": 3}, {"words": 32, "weight": 1}]}
+	  ]
+	}`
+	p, err := profile.Parse(strings.NewReader(src))
+	if err != nil {
+		panic(err)
+	}
+	mgr, err := mm.New("best-fit")
+	if err != nil {
+		panic(err)
+	}
+	cfg := sim.Config{M: 1 << 12, N: 1 << 6, C: budget.NoCompaction, Pow2Only: true}
+	res, err := func() (sim.Result, error) {
+		e, err := sim.NewEngine(cfg, p.Program(1), mgr)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		return e.Run()
+	}()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s ran %d rounds on %s\n", p.Name, res.Rounds, res.Manager)
+	// Output: demo ran 8 rounds on best-fit
+}

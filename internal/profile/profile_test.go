@@ -1,0 +1,136 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"compaction/internal/budget"
+	"compaction/internal/mm"
+	"compaction/internal/sim"
+
+	_ "compaction/internal/mm/fits"
+	_ "compaction/internal/mm/threshold"
+)
+
+const sampleJSON = `{
+  "name": "sample",
+  "phases": [
+    {"rounds": 10, "live": 0.5, "churn": 0.2,
+     "sizes": [{"words": 2, "weight": 3}, {"words": 16, "weight": 1}]},
+    {"rounds": 5, "live": 0.9, "churn": 0.0,
+     "sizes": [{"words": 8, "weight": 1}]}
+  ]
+}`
+
+func TestParseValid(t *testing.T) {
+	p, err := Parse(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "sample" || len(p.Phases) != 2 || p.TotalRounds() != 15 {
+		t.Fatalf("parsed: %+v", p)
+	}
+}
+
+func TestParseRejectsInvalid(t *testing.T) {
+	bad := []string{
+		`not json`,
+		`{"name": "", "phases": [{"rounds": 1, "live": 0.5, "sizes": [{"words":1,"weight":1}]}]}`,
+		`{"name": "x", "phases": []}`,
+		`{"name": "x", "phases": [{"rounds": 0, "live": 0.5, "sizes": [{"words":1,"weight":1}]}]}`,
+		`{"name": "x", "phases": [{"rounds": 1, "live": 0, "sizes": [{"words":1,"weight":1}]}]}`,
+		`{"name": "x", "phases": [{"rounds": 1, "live": 1.5, "sizes": [{"words":1,"weight":1}]}]}`,
+		`{"name": "x", "phases": [{"rounds": 1, "live": 0.5, "churn": 2, "sizes": [{"words":1,"weight":1}]}]}`,
+		`{"name": "x", "phases": [{"rounds": 1, "live": 0.5, "sizes": []}]}`,
+		`{"name": "x", "phases": [{"rounds": 1, "live": 0.5, "sizes": [{"words":0,"weight":1}]}]}`,
+		`{"name": "x", "phases": [{"rounds": 1, "live": 0.5, "sizes": [{"words":1,"weight":0}]}]}`,
+	}
+	for i, s := range bad {
+		if _, err := Parse(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d accepted: %s", i, s)
+		}
+	}
+}
+
+func runProfile(t *testing.T, p *Profile, pow2 bool) sim.Result {
+	t.Helper()
+	mgr, err := mm.New("first-fit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{M: 1 << 12, N: 1 << 8, C: budget.NoCompaction, Pow2Only: pow2}
+	e, err := sim.NewEngine(cfg, p.Program(7), mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name, err)
+	}
+	return res
+}
+
+func TestCannedProfilesRun(t *testing.T) {
+	for name, p := range Canned() {
+		name, p := name, p
+		t.Run(name, func(t *testing.T) {
+			if err := p.Validate(); err != nil {
+				t.Fatalf("canned profile invalid: %v", err)
+			}
+			res := runProfile(t, p, true)
+			if res.Allocs == 0 {
+				t.Fatal("no allocations")
+			}
+			if res.Rounds != p.TotalRounds() {
+				t.Fatalf("rounds = %d, want %d", res.Rounds, p.TotalRounds())
+			}
+			if res.MaxLive > 1<<12 {
+				t.Fatal("exceeded M")
+			}
+		})
+	}
+}
+
+func TestPhaseTransitions(t *testing.T) {
+	p, err := Parse(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runProfile(t, p, true)
+	// Phase 2 raises the live target to 0.9: max live must approach it.
+	if float64(res.MaxLive) < 0.85*float64(1<<12) {
+		t.Fatalf("second phase target not reached: max live %d", res.MaxLive)
+	}
+}
+
+func TestProfileDeterministic(t *testing.T) {
+	p := Server()
+	a := runProfile(t, p, true)
+	b := runProfile(t, Server(), true)
+	if a.Allocated != b.Allocated || a.HighWater != b.HighWater {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestArbitrarySizesWithoutPow2(t *testing.T) {
+	p := &Profile{Name: "odd", Phases: []Phase{
+		{Rounds: 20, Live: 0.6, Churn: 0.3, Sizes: []SizeClass{
+			{Words: 3, Weight: 1}, {Words: 7, Weight: 1}, {Words: 100, Weight: 1},
+		}},
+	}}
+	res := runProfile(t, p, false)
+	if res.Allocs == 0 {
+		t.Fatal("no allocations")
+	}
+}
+
+func TestOversizeClassClamped(t *testing.T) {
+	// A class larger than n must be clamped, not rejected.
+	p := &Profile{Name: "big", Phases: []Phase{
+		{Rounds: 5, Live: 0.5, Sizes: []SizeClass{{Words: 1 << 20, Weight: 1}}},
+	}}
+	res := runProfile(t, p, true)
+	if res.Allocs == 0 {
+		t.Fatal("no allocations")
+	}
+}

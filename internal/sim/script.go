@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"compaction/internal/heap"
+	"compaction/internal/word"
+)
+
+// ScriptRound is one round of a scripted program. FreeRefs index into
+// the sequence of allocations the script has made so far (0 = first
+// object ever allocated), which lets scripts be written without
+// knowing engine-assigned IDs.
+type ScriptRound struct {
+	FreeRefs []int
+	Allocs   []word.Size
+}
+
+// Script is a deterministic, pre-written program, mainly used in tests
+// and examples. It records every placement it observes.
+type Script struct {
+	ProgName  string
+	Rounds    []ScriptRound
+	FreeMoved bool // free objects immediately when the manager moves them
+
+	ids    []heap.ObjectID
+	places map[heap.ObjectID]heap.Span
+	step   int
+}
+
+var _ Program = (*Script)(nil)
+
+// NewScript builds a scripted program.
+func NewScript(name string, rounds []ScriptRound) *Script {
+	return &Script{ProgName: name, Rounds: rounds, places: make(map[heap.ObjectID]heap.Span)}
+}
+
+// Name implements Program.
+func (s *Script) Name() string {
+	if s.ProgName == "" {
+		return "script"
+	}
+	return s.ProgName
+}
+
+// Step implements Program.
+func (s *Script) Step(*View) ([]heap.ObjectID, []word.Size, bool) {
+	if s.step >= len(s.Rounds) {
+		return nil, nil, true
+	}
+	r := s.Rounds[s.step]
+	s.step++
+	var frees []heap.ObjectID
+	for _, ref := range r.FreeRefs {
+		frees = append(frees, s.ids[ref])
+	}
+	return frees, r.Allocs, s.step >= len(s.Rounds)
+}
+
+// Placed implements Program.
+func (s *Script) Placed(id heap.ObjectID, sp heap.Span) {
+	if s.places == nil {
+		s.places = make(map[heap.ObjectID]heap.Span)
+	}
+	s.ids = append(s.ids, id)
+	s.places[id] = sp
+}
+
+// Moved implements Program.
+func (s *Script) Moved(id heap.ObjectID, _, to heap.Span) bool {
+	s.places[id] = to
+	return s.FreeMoved
+}
+
+// PlacementOf returns the latest span the script observed for the k-th
+// object it allocated.
+func (s *Script) PlacementOf(k int) (heap.Span, bool) {
+	if k < 0 || k >= len(s.ids) {
+		return heap.Span{}, false
+	}
+	sp, ok := s.places[s.ids[k]]
+	return sp, ok
+}
+
+// ObjectCount returns how many objects the script has allocated so far.
+func (s *Script) ObjectCount() int { return len(s.ids) }

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"testing"
+
+	"compaction/internal/heap"
+	"compaction/internal/word"
+)
+
+func TestScriptName(t *testing.T) {
+	if NewScript("", nil).Name() != "script" {
+		t.Fatal("default name wrong")
+	}
+	if NewScript("x", nil).Name() != "x" {
+		t.Fatal("custom name wrong")
+	}
+}
+
+func TestScriptPlacementOfBounds(t *testing.T) {
+	s := NewScript("x", nil)
+	if _, ok := s.PlacementOf(-1); ok {
+		t.Fatal("negative index accepted")
+	}
+	if _, ok := s.PlacementOf(0); ok {
+		t.Fatal("empty script returned a placement")
+	}
+	s.Placed(7, heap.Span{Addr: 4, Size: 2})
+	if sp, ok := s.PlacementOf(0); !ok || sp.Addr != 4 {
+		t.Fatalf("placement: %v %v", sp, ok)
+	}
+	if s.ObjectCount() != 1 {
+		t.Fatalf("count = %d", s.ObjectCount())
+	}
+}
+
+func TestScriptMovedUpdatesPlacement(t *testing.T) {
+	s := NewScript("x", nil)
+	s.Placed(1, heap.Span{Addr: 0, Size: 4})
+	if s.Moved(1, heap.Span{Addr: 0, Size: 4}, heap.Span{Addr: 16, Size: 4}) {
+		t.Fatal("default script freed on move")
+	}
+	if sp, _ := s.PlacementOf(0); sp.Addr != 16 {
+		t.Fatalf("moved placement not tracked: %v", sp)
+	}
+	s.FreeMoved = true
+	if !s.Moved(1, heap.Span{Addr: 16, Size: 4}, heap.Span{Addr: 32, Size: 4}) {
+		t.Fatal("FreeMoved script kept the object")
+	}
+}
+
+func TestScriptStepSequence(t *testing.T) {
+	s := NewScript("x", []ScriptRound{
+		{Allocs: []word.Size{1, 2}},
+		{FreeRefs: []int{1}},
+	})
+	frees, allocs, done := s.Step(nil)
+	if len(frees) != 0 || len(allocs) != 2 || done {
+		t.Fatalf("round 0: %v %v %v", frees, allocs, done)
+	}
+	s.Placed(10, heap.Span{Addr: 0, Size: 1})
+	s.Placed(11, heap.Span{Addr: 1, Size: 2})
+	frees, allocs, done = s.Step(nil)
+	if len(frees) != 1 || frees[0] != 11 || len(allocs) != 0 || !done {
+		t.Fatalf("round 1: %v %v %v", frees, allocs, done)
+	}
+	// Past the end: done with no actions.
+	frees, allocs, done = s.Step(nil)
+	if frees != nil || allocs != nil || !done {
+		t.Fatalf("past end: %v %v %v", frees, allocs, done)
+	}
+}

@@ -1,0 +1,376 @@
+// Package sim implements the execution framework of the
+// partial-compaction model: an interaction between a program and a
+// memory manager proceeding in rounds of
+//
+//	de-allocation → compaction → allocation
+//
+// exactly as in Section 2.1 of Cohen & Petrank (PLDI 2013). The engine
+// owns the ground truth (object placements, the compaction-budget
+// ledger and the heap high-water mark) and validates every action of
+// both parties:
+//
+//   - the program never exceeds M simultaneously-live words and only
+//     allocates sizes in [1, n] (powers of two when the run is declared
+//     to be in P2);
+//   - the manager never overlaps objects and never moves more than
+//     allocated/c words (c-partial bound);
+//   - the program learns the address of every placement and is
+//     notified of every move, and may free a moved object immediately
+//     (the hook the paper's adversary P_F requires).
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"compaction/internal/budget"
+	"compaction/internal/heap"
+	"compaction/internal/word"
+)
+
+// Config are the model parameters of a run.
+type Config struct {
+	// M is the bound on simultaneously live words.
+	M word.Size
+	// N is the largest allocatable object size (the paper's n).
+	N word.Size
+	// C is the compaction bound: the manager may move at most 1/C of
+	// the allocated space. C == 0 means unlimited compaction;
+	// C == budget.NoCompaction means a non-moving manager.
+	C int64
+	// Pow2Only declares the program to be in P2(M, n): every requested
+	// size must be a power of two. The engine enforces it.
+	Pow2Only bool
+	// Capacity bounds the heap address space available to the manager.
+	// Zero selects a generous default. Runs that exceed it fail, which
+	// keeps buggy managers from running away.
+	Capacity word.Size
+	// MaxRounds aborts runs that do not terminate. Zero selects a
+	// large default.
+	MaxRounds int
+}
+
+// DefaultCapacityFactor is the default heap capacity in units of M.
+const DefaultCapacityFactor = 64
+
+func (c Config) withDefaults() Config {
+	if c.Capacity == 0 {
+		c.Capacity = c.M * DefaultCapacityFactor
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 1 << 20
+	}
+	return c
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	if c.M <= 0 {
+		return fmt.Errorf("sim: M must be positive, got %d", c.M)
+	}
+	if c.N <= 0 || c.N > c.M {
+		return fmt.Errorf("sim: need 0 < n <= M, got n=%d M=%d", c.N, c.M)
+	}
+	if c.Pow2Only && !word.IsPow2(c.N) {
+		return fmt.Errorf("sim: P2 run requires n to be a power of two, got %d", c.N)
+	}
+	if c.C < budget.NoCompaction {
+		return fmt.Errorf("sim: invalid compaction bound %d", c.C)
+	}
+	return nil
+}
+
+// View is the read-only state a program may consult while deciding its
+// next round.
+type View struct {
+	Round     int
+	Live      word.Size
+	Allocated word.Size
+	Moved     word.Size
+	HighWater word.Addr
+	Config    Config
+
+	occ *heap.Occupancy
+}
+
+// Lookup returns the current span of a live object.
+func (v *View) Lookup(id heap.ObjectID) (heap.Span, bool) {
+	return v.occ.Lookup(id)
+}
+
+// Program is the allocating side of the interaction. Implementations
+// include the adversaries (Robson's P_R, the paper's P_F) and
+// synthetic workloads.
+type Program interface {
+	// Name identifies the program in reports.
+	Name() string
+	// Step returns the object IDs to free and the sizes to allocate in
+	// this round, and whether the program is finished after it. The
+	// engine assigns IDs to the new objects in request order starting
+	// from the engine's counter; placements arrive via Placed.
+	Step(v *View) (frees []heap.ObjectID, allocs []word.Size, done bool)
+	// Placed reports the placement of an object requested in the
+	// current round, in request order.
+	Placed(id heap.ObjectID, s heap.Span)
+	// Moved reports that the manager relocated a live object. If the
+	// result is true, the engine frees the object immediately, before
+	// the manager takes any further action (the paper's
+	// free-on-compaction rule used by P_F).
+	Moved(id heap.ObjectID, from, to heap.Span) (freeNow bool)
+}
+
+// Mover is handed to the manager during allocation (and round starts)
+// so it can spend compaction budget.
+type Mover interface {
+	// Move relocates live object id to address to. It debits the
+	// budget, validates the destination, and notifies the program. If
+	// the program frees the object in response, freed is true and the
+	// destination words are immediately free again; the manager must
+	// update its own structures accordingly.
+	Move(id heap.ObjectID, to word.Addr) (freed bool, err error)
+	// Remaining returns the compaction budget still available, in words.
+	Remaining() word.Size
+	// Lookup returns the current span of a live object.
+	Lookup(id heap.ObjectID) (heap.Span, bool)
+}
+
+// Manager is the memory-management side of the interaction.
+type Manager interface {
+	// Name identifies the manager in reports.
+	Name() string
+	// Reset prepares the manager for a fresh run with the given
+	// configuration.
+	Reset(cfg Config)
+	// Allocate returns the placement address for a new object. The
+	// engine has already credited the allocation to the compaction
+	// budget, so the manager may move up to mv.Remaining() words first.
+	Allocate(id heap.ObjectID, size word.Size, mv Mover) (word.Addr, error)
+	// Free notifies the manager that the program freed an object. It
+	// is NOT called for objects the program freed in response to a
+	// move; Mover.Move reports those to the manager directly.
+	Free(id heap.ObjectID, s heap.Span)
+}
+
+// RoundCompactor is an optional Manager extension: managers that want
+// to compact at the start of a round (after the program's frees,
+// before its allocations) implement it.
+type RoundCompactor interface {
+	StartRound(mv Mover)
+}
+
+// Result summarizes a finished run.
+type Result struct {
+	Program   string
+	Manager   string
+	Config    Config
+	Rounds    int
+	Allocs    int64
+	Frees     int64
+	Moves     int64
+	HighWater word.Addr // HS: the paper's heap size
+	MaxLive   word.Size
+	Allocated word.Size // s: total words allocated
+	Moved     word.Size // q: total words moved
+}
+
+// WasteFactor returns HS/M, the space-overhead factor the paper plots.
+func (r Result) WasteFactor() float64 {
+	return float64(r.HighWater) / float64(r.Config.M)
+}
+
+// Error categories for failed runs.
+var (
+	// ErrProgram marks a violation by the program (exceeding M,
+	// illegal size, freeing a dead object).
+	ErrProgram = errors.New("sim: program violated the model")
+	// ErrManager marks a violation by the manager (overlap, budget,
+	// capacity, allocation failure).
+	ErrManager = errors.New("sim: manager violated the model")
+)
+
+// Engine couples one program with one manager for one run.
+type Engine struct {
+	cfg    Config
+	prog   Program
+	mgr    Manager
+	occ    *heap.Occupancy
+	ledger *budget.Ledger
+	nextID heap.ObjectID
+
+	rounds int
+	allocs int64
+	frees  int64
+	moves  int64
+
+	// RoundHook, if set, is called after every round with a snapshot.
+	RoundHook func(Result)
+}
+
+// NewEngine validates the configuration and prepares a run.
+func NewEngine(cfg Config, prog Program, mgr Manager) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:    cfg,
+		prog:   prog,
+		mgr:    mgr,
+		occ:    heap.NewOccupancy(),
+		ledger: budget.NewLedger(cfg.C),
+		nextID: 1,
+	}, nil
+}
+
+// Run executes the interaction to completion and returns the result.
+func (e *Engine) Run() (Result, error) {
+	e.mgr.Reset(e.cfg)
+	view := &View{Config: e.cfg, occ: e.occ}
+	for round := 0; round < e.cfg.MaxRounds; round++ {
+		view.Round = round
+		view.Live = e.occ.Live()
+		view.Allocated, view.Moved = e.ledger.Snapshot()
+		view.HighWater = e.occ.HighWater()
+
+		frees, allocs, done := e.prog.Step(view)
+		if err := e.doFrees(frees); err != nil {
+			return e.result(), err
+		}
+		if rc, ok := e.mgr.(RoundCompactor); ok {
+			rc.StartRound(&mover{e})
+		}
+		if err := e.doAllocs(allocs); err != nil {
+			return e.result(), err
+		}
+		e.rounds = round + 1
+		if e.RoundHook != nil {
+			e.RoundHook(e.result())
+		}
+		if done {
+			return e.result(), nil
+		}
+	}
+	return e.result(), fmt.Errorf("%w: run exceeded %d rounds", ErrProgram, e.cfg.MaxRounds)
+}
+
+func (e *Engine) doFrees(frees []heap.ObjectID) error {
+	for _, id := range frees {
+		s, err := e.occ.Remove(id)
+		if err != nil {
+			return fmt.Errorf("%w: free of non-live object %d (round %d): %v",
+				ErrProgram, id, e.rounds, err)
+		}
+		e.frees++
+		e.mgr.Free(id, s)
+	}
+	return nil
+}
+
+func (e *Engine) doAllocs(allocs []word.Size) error {
+	for _, size := range allocs {
+		if size <= 0 || size > e.cfg.N {
+			return fmt.Errorf("%w: allocation size %d outside [1, %d] (round %d)",
+				ErrProgram, size, e.cfg.N, e.rounds)
+		}
+		if e.cfg.Pow2Only && !word.IsPow2(size) {
+			return fmt.Errorf("%w: allocation size %d is not a power of two (round %d)",
+				ErrProgram, size, e.rounds)
+		}
+		if e.occ.Live()+size > e.cfg.M {
+			return fmt.Errorf("%w: allocation of %d words would exceed live bound M=%d (live %d, round %d)",
+				ErrProgram, size, e.cfg.M, e.occ.Live(), e.rounds)
+		}
+		// The new allocation counts toward the compaction quota the
+		// manager may spend while serving it.
+		e.ledger.RecordAlloc(size)
+		id := e.nextID
+		e.nextID++
+		addr, err := e.mgr.Allocate(id, size, &mover{e})
+		if err != nil {
+			return fmt.Errorf("%w: %s failed to allocate %d words (round %d): %v",
+				ErrManager, e.mgr.Name(), size, e.rounds, err)
+		}
+		s := heap.Span{Addr: addr, Size: size}
+		if s.End() > e.cfg.Capacity {
+			return fmt.Errorf("%w: placement %v exceeds heap capacity %d (round %d)",
+				ErrManager, s, e.cfg.Capacity, e.rounds)
+		}
+		if err := e.occ.Place(id, s); err != nil {
+			return fmt.Errorf("%w: invalid placement by %s (round %d): %v",
+				ErrManager, e.mgr.Name(), e.rounds, err)
+		}
+		e.allocs++
+		e.prog.Placed(id, s)
+	}
+	return nil
+}
+
+// Objects returns a snapshot of the live objects in address order,
+// for visualization and post-run inspection.
+func (e *Engine) Objects() []heap.Object {
+	var out []heap.Object
+	e.occ.Each(func(o heap.Object) bool {
+		out = append(out, o)
+		return true
+	})
+	return out
+}
+
+// Extent returns the end address of the highest currently-live word.
+func (e *Engine) Extent() word.Addr { return e.occ.Extent() }
+
+func (e *Engine) result() Result {
+	s, q := e.ledger.Snapshot()
+	return Result{
+		Program:   e.prog.Name(),
+		Manager:   e.mgr.Name(),
+		Config:    e.cfg,
+		Rounds:    e.rounds,
+		Allocs:    e.allocs,
+		Frees:     e.frees,
+		Moves:     e.moves,
+		HighWater: e.occ.HighWater(),
+		MaxLive:   e.occ.MaxLive(),
+		Allocated: s,
+		Moved:     q,
+	}
+}
+
+// mover implements Mover with full validation against the engine's
+// ground truth.
+type mover struct{ e *Engine }
+
+func (m *mover) Move(id heap.ObjectID, to word.Addr) (bool, error) {
+	e := m.e
+	s, ok := e.occ.Lookup(id)
+	if !ok {
+		return false, fmt.Errorf("%w: move of non-live object %d", ErrManager, id)
+	}
+	if to+s.Size > e.cfg.Capacity {
+		return false, fmt.Errorf("%w: move of object %d to %d exceeds capacity %d",
+			ErrManager, id, to, e.cfg.Capacity)
+	}
+	if err := e.ledger.Move(s.Size); err != nil {
+		return false, fmt.Errorf("%w: %v", ErrManager, err)
+	}
+	old, err := e.occ.Move(id, to)
+	if err != nil {
+		return false, fmt.Errorf("%w: %v", ErrManager, err)
+	}
+	e.moves++
+	ns := heap.Span{Addr: to, Size: s.Size}
+	if e.prog.Moved(id, old, ns) {
+		if _, err := e.occ.Remove(id); err != nil {
+			panic(fmt.Sprintf("sim: freeing just-moved object %d: %v", id, err))
+		}
+		e.frees++
+		return true, nil
+	}
+	return false, nil
+}
+
+func (m *mover) Remaining() word.Size { return m.e.ledger.Remaining() }
+
+func (m *mover) Lookup(id heap.ObjectID) (heap.Span, bool) {
+	return m.e.occ.Lookup(id)
+}

@@ -1,0 +1,328 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"compaction/internal/budget"
+	"compaction/internal/heap"
+	"compaction/internal/word"
+)
+
+// bumpManager is a minimal test manager: it places every object at the
+// frontier and never reuses or moves anything.
+type bumpManager struct {
+	frontier word.Addr
+}
+
+func (b *bumpManager) Name() string                  { return "bump" }
+func (b *bumpManager) Reset(Config)                  { b.frontier = 0 }
+func (b *bumpManager) Free(heap.ObjectID, heap.Span) {}
+func (b *bumpManager) Allocate(_ heap.ObjectID, size word.Size, _ Mover) (word.Addr, error) {
+	a := b.frontier
+	b.frontier += size
+	return a, nil
+}
+
+// slidingManager compacts everything to the bottom at the start of
+// each round, then bump-allocates at the live frontier. With unlimited
+// budget it keeps the heap perfectly dense.
+type slidingManager struct {
+	objs map[heap.ObjectID]heap.Span
+}
+
+func (s *slidingManager) Name() string                       { return "slide" }
+func (s *slidingManager) Reset(Config)                       { s.objs = make(map[heap.ObjectID]heap.Span) }
+func (s *slidingManager) Free(id heap.ObjectID, _ heap.Span) { delete(s.objs, id) }
+
+func (s *slidingManager) StartRound(mv Mover) {
+	// Slide objects to the bottom in address order.
+	ids := make([]heap.ObjectID, 0, len(s.objs))
+	for id := range s.objs {
+		ids = append(ids, id)
+	}
+	// insertion sort by address (tiny n in tests)
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && s.objs[ids[j]].Addr < s.objs[ids[j-1]].Addr; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	var frontier word.Addr
+	for _, id := range ids {
+		sp := s.objs[id]
+		if sp.Addr != frontier {
+			freed, err := mv.Move(id, frontier)
+			if err != nil {
+				return // out of budget; stop compacting
+			}
+			if freed {
+				delete(s.objs, id)
+				continue
+			}
+			s.objs[id] = heap.Span{Addr: frontier, Size: sp.Size}
+		}
+		frontier += sp.Size
+	}
+}
+
+func (s *slidingManager) Allocate(id heap.ObjectID, size word.Size, _ Mover) (word.Addr, error) {
+	var frontier word.Addr
+	for _, sp := range s.objs {
+		if sp.End() > frontier {
+			frontier = sp.End()
+		}
+	}
+	s.objs[id] = heap.Span{Addr: frontier, Size: size}
+	return frontier, nil
+}
+
+func cfg() Config {
+	return Config{M: 1024, N: 64, C: budget.NoCompaction}
+}
+
+func TestEngineBasicRun(t *testing.T) {
+	prog := NewScript("p", []ScriptRound{
+		{Allocs: []word.Size{10, 20, 30}},
+		{FreeRefs: []int{1}, Allocs: []word.Size{5}},
+	})
+	e, err := NewEngine(cfg(), prog, &bumpManager{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Allocs != 4 || res.Frees != 1 {
+		t.Fatalf("allocs=%d frees=%d", res.Allocs, res.Frees)
+	}
+	if res.HighWater != 65 { // 10+20+30+5 bump allocated
+		t.Fatalf("high water = %d, want 65", res.HighWater)
+	}
+	if res.Allocated != 65 || res.MaxLive != 60 {
+		t.Fatalf("allocated=%d maxLive=%d", res.Allocated, res.MaxLive)
+	}
+	if sp, ok := prog.PlacementOf(2); !ok || sp.Addr != 30 {
+		t.Fatalf("placement of third object: %v %v", sp, ok)
+	}
+	if res.WasteFactor() <= 0 {
+		t.Fatalf("waste factor = %v", res.WasteFactor())
+	}
+}
+
+func TestEngineRejectsOverM(t *testing.T) {
+	prog := NewScript("p", []ScriptRound{{Allocs: []word.Size{64, 64}}})
+	c := cfg()
+	c.M = 100
+	e, _ := NewEngine(c, prog, &bumpManager{})
+	_, err := e.Run()
+	if !errors.Is(err, ErrProgram) {
+		t.Fatalf("want ErrProgram, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "live bound") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestEngineRejectsBadSizes(t *testing.T) {
+	for _, sz := range []word.Size{0, -3, 65} {
+		prog := NewScript("p", []ScriptRound{{Allocs: []word.Size{sz}}})
+		e, _ := NewEngine(cfg(), prog, &bumpManager{})
+		if _, err := e.Run(); !errors.Is(err, ErrProgram) {
+			t.Fatalf("size %d: want ErrProgram, got %v", sz, err)
+		}
+	}
+}
+
+func TestEngineEnforcesPow2(t *testing.T) {
+	c := cfg()
+	c.Pow2Only = true
+	prog := NewScript("p", []ScriptRound{{Allocs: []word.Size{12}}})
+	e, _ := NewEngine(c, prog, &bumpManager{})
+	if _, err := e.Run(); !errors.Is(err, ErrProgram) {
+		t.Fatalf("want ErrProgram for non-pow2 size, got %v", err)
+	}
+	prog2 := NewScript("p", []ScriptRound{{Allocs: []word.Size{16}}})
+	e2, _ := NewEngine(c, prog2, &bumpManager{})
+	if _, err := e2.Run(); err != nil {
+		t.Fatalf("pow2 size rejected: %v", err)
+	}
+}
+
+func TestEngineRejectsDoubleFree(t *testing.T) {
+	prog := NewScript("p", []ScriptRound{
+		{Allocs: []word.Size{8}},
+		{FreeRefs: []int{0}},
+		{FreeRefs: []int{0}},
+	})
+	e, _ := NewEngine(cfg(), prog, &bumpManager{})
+	if _, err := e.Run(); !errors.Is(err, ErrProgram) {
+		t.Fatalf("want ErrProgram for double free, got %v", err)
+	}
+}
+
+// overlapManager deliberately returns address 0 twice.
+type overlapManager struct{ bumpManager }
+
+func (o *overlapManager) Allocate(heap.ObjectID, word.Size, Mover) (word.Addr, error) {
+	return 0, nil
+}
+func (o *overlapManager) Name() string { return "overlap" }
+
+func TestEngineCatchesOverlappingManager(t *testing.T) {
+	prog := NewScript("p", []ScriptRound{{Allocs: []word.Size{8, 8}}})
+	e, _ := NewEngine(cfg(), prog, &overlapManager{})
+	if _, err := e.Run(); !errors.Is(err, ErrManager) {
+		t.Fatalf("want ErrManager, got %v", err)
+	}
+}
+
+func TestEngineCatchesCapacityOverflow(t *testing.T) {
+	c := cfg()
+	c.Capacity = 16
+	prog := NewScript("p", []ScriptRound{{Allocs: []word.Size{8, 8, 8}}})
+	e, _ := NewEngine(c, prog, &bumpManager{})
+	if _, err := e.Run(); !errors.Is(err, ErrManager) {
+		t.Fatalf("want ErrManager for capacity overflow, got %v", err)
+	}
+}
+
+func TestEngineBudgetEnforcedOnMoves(t *testing.T) {
+	// c=2: after allocating 16+16 words the quota is 16; moving both
+	// objects (32 words) must fail at the second move.
+	c := cfg()
+	c.C = 2
+	prog := NewScript("p", []ScriptRound{
+		{Allocs: []word.Size{16, 16}},
+		{}, // round whose StartRound tries to compact
+	})
+	mgr := &slidingManager{}
+	e, _ := NewEngine(c, prog, mgr)
+	res, err := e.Run()
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if res.Moved > res.Allocated/2 {
+		t.Fatalf("budget violated: moved %d of %d", res.Moved, res.Allocated)
+	}
+}
+
+func TestEngineUnlimitedCompactionDense(t *testing.T) {
+	// With unlimited budget, the sliding manager keeps HS == live peak:
+	// allocate 4, free the middle two, allocate 2 more after compaction.
+	c := cfg()
+	c.C = 0
+	prog := NewScript("p", []ScriptRound{
+		{Allocs: []word.Size{16, 16, 16, 16}},
+		{FreeRefs: []int{1, 2}},
+		{Allocs: []word.Size{16, 16}},
+	})
+	mgr := &slidingManager{}
+	e, _ := NewEngine(c, prog, mgr)
+	res, err := e.Run()
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if res.HighWater != 64 {
+		t.Fatalf("high water = %d, want 64 (perfect compaction)", res.HighWater)
+	}
+	if res.Moves == 0 {
+		t.Fatalf("sliding manager never moved")
+	}
+}
+
+// freeOnMoveProg frees any moved object, mimicking P_F's rule.
+type freeOnMoveProg struct{ Script }
+
+func TestEngineFreeOnMove(t *testing.T) {
+	prog := NewScript("p", []ScriptRound{
+		{Allocs: []word.Size{16, 16}},
+		{FreeRefs: []int{0}}, // hole at bottom; slide will move obj 1 down
+		{Allocs: []word.Size{16}},
+	})
+	prog.FreeMoved = true
+	c := cfg()
+	c.C = 0
+	mgr := &slidingManager{}
+	e, _ := NewEngine(c, prog, mgr)
+	res, err := e.Run()
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	// Object 1 was moved and instantly freed, so after round 2 only the
+	// newly allocated object is live.
+	if res.Frees != 2 {
+		t.Fatalf("frees = %d, want 2 (one explicit, one on move)", res.Frees)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{M: 0, N: 1},
+		{M: 10, N: 0},
+		{M: 10, N: 20},
+		{M: 16, N: 12, Pow2Only: true},
+		{M: 16, N: 8, C: -5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d validated: %+v", i, c)
+		}
+	}
+	good := Config{M: 1 << 16, N: 1 << 8, C: 10, Pow2Only: true}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+func TestRoundHook(t *testing.T) {
+	prog := NewScript("p", []ScriptRound{
+		{Allocs: []word.Size{8}},
+		{Allocs: []word.Size{8}},
+		{Allocs: []word.Size{8}},
+	})
+	e, _ := NewEngine(cfg(), prog, &bumpManager{})
+	var hooks int
+	e.RoundHook = func(r Result) { hooks++ }
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if hooks != 3 {
+		t.Fatalf("hook called %d times, want 3", hooks)
+	}
+}
+
+func TestViewLookup(t *testing.T) {
+	// A program that checks the view's Lookup agrees with Placed.
+	var sawLive bool
+	prog := &viewChecker{saw: &sawLive}
+	e, _ := NewEngine(cfg(), prog, &bumpManager{})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawLive {
+		t.Fatalf("view lookup never confirmed a live object")
+	}
+}
+
+type viewChecker struct {
+	step int
+	id   heap.ObjectID
+	span heap.Span
+	saw  *bool
+}
+
+func (v *viewChecker) Name() string { return "viewchecker" }
+func (v *viewChecker) Step(view *View) ([]heap.ObjectID, []word.Size, bool) {
+	defer func() { v.step++ }()
+	if v.step == 0 {
+		return nil, []word.Size{8}, false
+	}
+	if sp, ok := view.Lookup(v.id); ok && sp == v.span {
+		*v.saw = true
+	}
+	return nil, nil, true
+}
+func (v *viewChecker) Placed(id heap.ObjectID, s heap.Span)           { v.id, v.span = id, s }
+func (v *viewChecker) Moved(heap.ObjectID, heap.Span, heap.Span) bool { return false }

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"compaction/internal/heap"
+	"compaction/internal/word"
+)
+
+// HeapMap renders the occupancy of a heap as an ASCII strip: each cell
+// covers extent/width words and is drawn by its live density:
+//
+//	' ' empty   '.' <25%   '-' <50%   '+' <75%   '#' <100%   '█' full
+//
+// It is the visual counterpart of the paper's density argument — after
+// an adversary run the map shows a long, thinly-speckled heap.
+func HeapMap(objs []heap.Object, extent word.Addr, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if extent <= 0 {
+		return "(empty heap)\n"
+	}
+	cell := (extent + word.Addr(width) - 1) / word.Addr(width)
+	if cell == 0 {
+		cell = 1
+	}
+	liveIn := make([]word.Size, width)
+	for _, o := range objs {
+		first := o.Span.Addr / cell
+		last := (o.Span.End() - 1) / cell
+		for ci := first; ci <= last && ci < word.Addr(width); ci++ {
+			lo, hi := o.Span.Addr, o.Span.End()
+			if cs := ci * cell; cs > lo {
+				lo = cs
+			}
+			if ce := (ci + 1) * cell; ce < hi {
+				hi = ce
+			}
+			liveIn[ci] += hi - lo
+		}
+	}
+	var b strings.Builder
+	b.WriteByte('|')
+	for _, live := range liveIn {
+		b.WriteRune(densityGlyph(live, cell))
+	}
+	b.WriteByte('|')
+	fmt.Fprintf(&b, " %d words, %d/cell\n", extent, cell)
+	return b.String()
+}
+
+func densityGlyph(live, cell word.Size) rune {
+	switch d := float64(live) / float64(cell); {
+	case live == 0:
+		return ' '
+	case live >= cell:
+		return '█'
+	case d < 0.25:
+		return '.'
+	case d < 0.5:
+		return '-'
+	case d < 0.75:
+		return '+'
+	default:
+		return '#'
+	}
+}
+
+// DensityHistogram buckets the heap's cells by live density and
+// returns counts for [0%, (0,25), [25,50), [50,75), [75,100), 100%].
+func DensityHistogram(objs []heap.Object, extent word.Addr, cells int) [6]int {
+	var out [6]int
+	if extent <= 0 || cells <= 0 {
+		return out
+	}
+	cell := (extent + word.Addr(cells) - 1) / word.Addr(cells)
+	if cell == 0 {
+		cell = 1
+	}
+	liveIn := make([]word.Size, cells)
+	for _, o := range objs {
+		first := o.Span.Addr / cell
+		last := (o.Span.End() - 1) / cell
+		for ci := first; ci <= last && ci < word.Addr(cells); ci++ {
+			lo, hi := o.Span.Addr, o.Span.End()
+			if cs := ci * cell; cs > lo {
+				lo = cs
+			}
+			if ce := (ci + 1) * cell; ce < hi {
+				hi = ce
+			}
+			liveIn[ci] += hi - lo
+		}
+	}
+	for _, live := range liveIn {
+		d := float64(live) / float64(cell)
+		switch {
+		case live == 0:
+			out[0]++
+		case live >= cell:
+			out[5]++
+		case d < 0.25:
+			out[1]++
+		case d < 0.5:
+			out[2]++
+		case d < 0.75:
+			out[3]++
+		default:
+			out[4]++
+		}
+	}
+	return out
+}

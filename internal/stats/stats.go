@@ -1,0 +1,109 @@
+// Package stats computes summary statistics over simulation runs:
+// fragmentation metrics, waste-factor summaries across managers, and
+// simple aggregations used by the CLI tools and benchmarks.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"compaction/internal/sim"
+)
+
+// Summary aggregates a series of float64 observations.
+type Summary struct {
+	Count          int
+	Min, Max, Mean float64
+	StdDev         float64
+}
+
+// Summarize computes a Summary of xs. An empty input yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{Count: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.StdDev = math.Sqrt(ss / float64(len(xs)))
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs by nearest-rank
+// on a sorted copy. It returns 0 for empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+// RunRow is one line of a manager-comparison table.
+type RunRow struct {
+	Manager string
+	Result  sim.Result
+}
+
+// Table renders manager-comparison rows as a fixed-width text table
+// sorted by waste factor (best manager first).
+func Table(rows []RunRow) string {
+	sorted := append([]RunRow(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Result.WasteFactor() < sorted[j].Result.WasteFactor()
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %12s %10s %10s %10s %8s\n",
+		"manager", "heap (words)", "waste", "allocs", "moves", "moved/alloc'd")
+	for _, r := range sorted {
+		res := r.Result
+		ratio := 0.0
+		if res.Allocated > 0 {
+			ratio = float64(res.Moved) / float64(res.Allocated)
+		}
+		fmt.Fprintf(&b, "%-20s %12d %9.3fx %10d %10d %12.4f\n",
+			r.Manager, res.HighWater, res.WasteFactor(), res.Allocs, res.Moves, ratio)
+	}
+	return b.String()
+}
+
+// FragmentationIndex computes 1 − live/extent: the fraction of the
+// current heap extent that is holes. 0 means a perfectly dense heap.
+func FragmentationIndex(live, extent int64) float64 {
+	if extent <= 0 {
+		return 0
+	}
+	f := 1 - float64(live)/float64(extent)
+	if f < 0 {
+		return 0
+	}
+	return f
+}

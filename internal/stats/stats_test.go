@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"compaction/internal/sim"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.Count != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 {
+		t.Fatalf("summary: %+v", s)
+	}
+	want := math.Sqrt(1.25)
+	if math.Abs(s.StdDev-want) > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", s.StdDev, want)
+	}
+	if z := Summarize(nil); z.Count != 0 || z.Mean != 0 {
+		t.Fatalf("empty summary: %+v", z)
+	}
+	one := Summarize([]float64{7})
+	if one.Min != 7 || one.Max != 7 || one.StdDev != 0 {
+		t.Fatalf("single summary: %+v", one)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.2, 1}, {0.5, 3}, {0.8, 4}, {1, 5}, {1.5, 5}, {-1, 1},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile not 0")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestTable(t *testing.T) {
+	rows := []RunRow{
+		{Manager: "bad", Result: sim.Result{HighWater: 400, Config: sim.Config{M: 100}, Allocated: 10, Moved: 1}},
+		{Manager: "good", Result: sim.Result{HighWater: 150, Config: sim.Config{M: 100}, Allocated: 10}},
+	}
+	out := Table(rows)
+	gi, bi := strings.Index(out, "good"), strings.Index(out, "bad")
+	if gi < 0 || bi < 0 {
+		t.Fatalf("table missing rows:\n%s", out)
+	}
+	if gi > bi {
+		t.Fatalf("table not sorted best-first:\n%s", out)
+	}
+	if !strings.Contains(out, "1.500x") || !strings.Contains(out, "4.000x") {
+		t.Fatalf("waste factors missing:\n%s", out)
+	}
+}
+
+func TestFragmentationIndex(t *testing.T) {
+	if FragmentationIndex(50, 100) != 0.5 {
+		t.Errorf("index(50,100) = %v", FragmentationIndex(50, 100))
+	}
+	if FragmentationIndex(100, 100) != 0 {
+		t.Errorf("dense heap index nonzero")
+	}
+	if FragmentationIndex(10, 0) != 0 {
+		t.Errorf("zero extent not handled")
+	}
+	if FragmentationIndex(200, 100) != 0 {
+		t.Errorf("overfull clamped wrong")
+	}
+}

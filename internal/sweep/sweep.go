@@ -1,0 +1,225 @@
+// Package sweep runs program × manager × parameter matrices of
+// simulations in parallel and aggregates the outcomes. It powers the
+// parameter-sweep modes of the CLI tools and keeps the figure
+// regeneration fast on multi-core machines: every cell is an
+// independent deterministic simulation, so the sweep is embarrassingly
+// parallel.
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"compaction/internal/mm"
+	"compaction/internal/sim"
+)
+
+// Cell is one simulation to run.
+type Cell struct {
+	// Label names the cell in reports (e.g. the program name).
+	Label string
+	// Config is the model configuration.
+	Config sim.Config
+	// Manager is the registered manager name.
+	Manager string
+	// Program constructs a fresh program for the run (programs are
+	// single-use).
+	Program func() sim.Program
+}
+
+// Outcome is the result of one cell.
+type Outcome struct {
+	Cell   Cell
+	Result sim.Result
+	Err    error
+}
+
+// Run executes all cells with the given parallelism (<= 0 selects
+// GOMAXPROCS) and returns outcomes in cell order.
+func Run(cells []Cell, parallelism int) []Outcome {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(cells) {
+		parallelism = len(cells)
+	}
+	out := make([]Outcome, len(cells))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				out[i] = runCell(cells[i])
+			}
+		}()
+	}
+	for i := range cells {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return out
+}
+
+func runCell(c Cell) Outcome {
+	o := Outcome{Cell: c}
+	mgr, err := mm.New(c.Manager)
+	if err != nil {
+		o.Err = err
+		return o
+	}
+	e, err := sim.NewEngine(c.Config, c.Program(), mgr)
+	if err != nil {
+		o.Err = err
+		return o
+	}
+	res, err := e.Run()
+	o.Result, o.Err = res, err
+	return o
+}
+
+// Grid builds the cross product of compaction bounds and manager
+// names over a base configuration.
+func Grid(base sim.Config, cs []int64, managers []string, label string, prog func() sim.Program) []Cell {
+	var cells []Cell
+	for _, c := range cs {
+		for _, m := range managers {
+			cfg := base
+			cfg.C = c
+			cells = append(cells, Cell{
+				Label:   label,
+				Config:  cfg,
+				Manager: m,
+				Program: prog,
+			})
+		}
+	}
+	return cells
+}
+
+// WriteCSV emits outcomes as CSV rows:
+// label,manager,M,n,c,heap,waste,allocs,moves,moved,allocated,error.
+func WriteCSV(w io.Writer, outs []Outcome) error {
+	if _, err := fmt.Fprintln(w, "label,manager,M,n,c,heap_words,waste,allocs,moves,moved_words,allocated_words,error"); err != nil {
+		return err
+	}
+	for _, o := range outs {
+		errStr := ""
+		if o.Err != nil {
+			errStr = strings.ReplaceAll(o.Err.Error(), ",", ";")
+		}
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%.6f,%d,%d,%d,%d,%s\n",
+			o.Cell.Label, o.Cell.Manager,
+			o.Cell.Config.M, o.Cell.Config.N, o.Cell.Config.C,
+			o.Result.HighWater, o.Result.WasteFactor(),
+			o.Result.Allocs, o.Result.Moves,
+			o.Result.Moved, o.Result.Allocated, errStr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Aggregate summarizes repeated runs of one manager across seeds.
+type Aggregate struct {
+	Manager  string
+	Runs     int
+	Failures int
+	// Waste-factor statistics over the successful runs.
+	Mean, Min, Max, StdDev float64
+}
+
+// RepeatSeeds runs the same (config, manager) cell once per seed with
+// programs built by mk, in parallel, and aggregates the waste factors.
+// Randomized workloads use this to report mean±sd fragmentation
+// instead of a single draw.
+func RepeatSeeds(cfg sim.Config, manager string, seeds []int64, mk func(seed int64) sim.Program, parallelism int) (Aggregate, []Outcome) {
+	cells := make([]Cell, len(seeds))
+	for i, seed := range seeds {
+		seed := seed
+		cells[i] = Cell{
+			Label:   fmt.Sprintf("seed=%d", seed),
+			Config:  cfg,
+			Manager: manager,
+			Program: func() sim.Program { return mk(seed) },
+		}
+	}
+	outs := Run(cells, parallelism)
+	agg := Aggregate{Manager: manager, Runs: len(outs)}
+	var wastes []float64
+	for _, o := range outs {
+		if o.Err != nil {
+			agg.Failures++
+			continue
+		}
+		wastes = append(wastes, o.Result.WasteFactor())
+	}
+	if len(wastes) > 0 {
+		s := summarize(wastes)
+		agg.Mean, agg.Min, agg.Max, agg.StdDev = s.mean, s.min, s.max, s.std
+	}
+	return agg, outs
+}
+
+type summaryStats struct{ mean, min, max, std float64 }
+
+func summarize(xs []float64) summaryStats {
+	s := summaryStats{min: xs[0], max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.mean
+		ss += d * d
+	}
+	s.std = math.Sqrt(ss / float64(len(xs)))
+	return s
+}
+
+// Summary renders outcomes grouped by c as fixed-width text, best
+// manager first within each group.
+func Summary(outs []Outcome) string {
+	byC := make(map[int64][]Outcome)
+	var cs []int64
+	for _, o := range outs {
+		c := o.Cell.Config.C
+		if _, ok := byC[c]; !ok {
+			cs = append(cs, c)
+		}
+		byC[c] = append(byC[c], o)
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	var b strings.Builder
+	for _, c := range cs {
+		group := byC[c]
+		sort.Slice(group, func(i, j int) bool {
+			return group[i].Result.WasteFactor() < group[j].Result.WasteFactor()
+		})
+		fmt.Fprintf(&b, "c=%d:\n", c)
+		for _, o := range group {
+			if o.Err != nil {
+				fmt.Fprintf(&b, "  %-20s FAILED: %v\n", o.Cell.Manager, o.Err)
+				continue
+			}
+			fmt.Fprintf(&b, "  %-20s %8.3fx (%d words)\n",
+				o.Cell.Manager, o.Result.WasteFactor(), o.Result.HighWater)
+		}
+	}
+	return b.String()
+}

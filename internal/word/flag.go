@@ -1,0 +1,38 @@
+package word
+
+import "flag"
+
+// FlagSize is a flag.Value for word sizes accepting power-of-two
+// suffixes: -M 256Mi, -n 1Ki.
+type FlagSize Size
+
+var _ flag.Value = (*FlagSize)(nil)
+
+// NewFlagSize registers a size flag with a default and returns a
+// pointer to its value.
+func NewFlagSize(fs *flag.FlagSet, name string, def Size, usage string) *FlagSize {
+	v := FlagSize(def)
+	fs.Var(&v, name, usage)
+	return &v
+}
+
+// Set implements flag.Value.
+func (f *FlagSize) Set(text string) error {
+	v, err := Parse(text)
+	if err != nil {
+		return err
+	}
+	*f = FlagSize(v)
+	return nil
+}
+
+// String implements flag.Value.
+func (f *FlagSize) String() string {
+	if f == nil {
+		return "0"
+	}
+	return Format(Size(*f))
+}
+
+// Size returns the parsed value.
+func (f *FlagSize) Size() Size { return Size(*f) }

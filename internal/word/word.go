@@ -1,0 +1,153 @@
+// Package word provides the unit arithmetic used throughout the
+// partial-compaction model.
+//
+// The model of Cohen & Petrank (PLDI 2013) measures everything in
+// "words": the smallest allocatable object has size 1 word, and the
+// parameter n is the size of the largest allocatable object, i.e. the
+// ratio between the largest and smallest object sizes. Addresses are
+// word indices into an unbounded heap [0, ∞).
+package word
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// Size is an object size or a span length, in words.
+type Size = int64
+
+// Addr is a word address in the simulated heap.
+type Addr = int64
+
+// Common power-of-two sizes, in words, for readable parameter settings.
+const (
+	KiW Size = 1 << 10
+	MiW Size = 1 << 20
+	GiW Size = 1 << 30
+)
+
+// IsPow2 reports whether s is a positive power of two.
+func IsPow2(s Size) bool {
+	return s > 0 && s&(s-1) == 0
+}
+
+// Log2 returns floor(log2(s)). It panics if s <= 0: callers are expected
+// to validate sizes at the model boundary.
+func Log2(s Size) int {
+	if s <= 0 {
+		panic(fmt.Sprintf("word.Log2: non-positive size %d", s))
+	}
+	return 63 - bits.LeadingZeros64(uint64(s))
+}
+
+// CeilLog2 returns ceil(log2(s)). It panics if s <= 0.
+func CeilLog2(s Size) int {
+	l := Log2(s)
+	if s&(s-1) != 0 {
+		l++
+	}
+	return l
+}
+
+// Pow2 returns 2^i as a Size. It panics if i is negative or would
+// overflow int64.
+func Pow2(i int) Size {
+	if i < 0 || i > 62 {
+		panic(fmt.Sprintf("word.Pow2: exponent %d out of range", i))
+	}
+	return 1 << uint(i)
+}
+
+// RoundUpPow2 returns the least power of two that is >= s.
+// It panics if s <= 0 or the result would overflow int64.
+func RoundUpPow2(s Size) Size {
+	if s <= 0 {
+		panic(fmt.Sprintf("word.RoundUpPow2: non-positive size %d", s))
+	}
+	if IsPow2(s) {
+		return s
+	}
+	return Pow2(Log2(s) + 1)
+}
+
+// RoundDownPow2 returns the greatest power of two that is <= s.
+// It panics if s <= 0.
+func RoundDownPow2(s Size) Size {
+	return Pow2(Log2(s))
+}
+
+// AlignDown rounds a down to a multiple of align (a power of two).
+func AlignDown(a Addr, align Size) Addr {
+	if !IsPow2(align) {
+		panic(fmt.Sprintf("word.AlignDown: alignment %d is not a power of two", align))
+	}
+	return a &^ (align - 1)
+}
+
+// AlignUp rounds a up to a multiple of align (a power of two).
+func AlignUp(a Addr, align Size) Addr {
+	if !IsPow2(align) {
+		panic(fmt.Sprintf("word.AlignUp: alignment %d is not a power of two", align))
+	}
+	return (a + align - 1) &^ (align - 1)
+}
+
+// IsAligned reports whether a is a multiple of align (a power of two).
+func IsAligned(a Addr, align Size) bool {
+	if !IsPow2(align) {
+		panic(fmt.Sprintf("word.IsAligned: alignment %d is not a power of two", align))
+	}
+	return a&(align-1) == 0
+}
+
+// ChunkIndex returns the index of the aligned chunk of the given size
+// containing address a. Chunk k spans [k*size, (k+1)*size).
+func ChunkIndex(a Addr, size Size) int64 {
+	if !IsPow2(size) {
+		panic(fmt.Sprintf("word.ChunkIndex: chunk size %d is not a power of two", size))
+	}
+	return a >> uint(Log2(size))
+}
+
+// Parse reads a size in words with an optional power-of-two suffix:
+// "4096", "4Ki", "256Mi", "1Gi". It is the inverse of Format.
+func Parse(text string) (Size, error) {
+	t := strings.TrimSpace(text)
+	mult := Size(1)
+	switch {
+	case strings.HasSuffix(t, "Gi"):
+		mult, t = GiW, t[:len(t)-2]
+	case strings.HasSuffix(t, "Mi"):
+		mult, t = MiW, t[:len(t)-2]
+	case strings.HasSuffix(t, "Ki"):
+		mult, t = KiW, t[:len(t)-2]
+	}
+	v, err := strconv.ParseInt(t, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("word.Parse: %q is not a size: %w", text, err)
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("word.Parse: size must be positive, got %q", text)
+	}
+	if v > (1<<62)/mult {
+		return 0, fmt.Errorf("word.Parse: %q overflows", text)
+	}
+	return v * mult, nil
+}
+
+// Format renders a size in words with a power-of-two suffix when exact,
+// e.g. 1048576 -> "1Mi", 3072 -> "3Ki", 1000 -> "1000".
+func Format(s Size) string {
+	switch {
+	case s >= GiW && s%GiW == 0:
+		return fmt.Sprintf("%dGi", s/GiW)
+	case s >= MiW && s%MiW == 0:
+		return fmt.Sprintf("%dMi", s/MiW)
+	case s >= KiW && s%KiW == 0:
+		return fmt.Sprintf("%dKi", s/KiW)
+	default:
+		return fmt.Sprintf("%d", s)
+	}
+}

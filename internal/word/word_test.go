@@ -1,0 +1,232 @@
+package word
+
+import (
+	"flag"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsPow2(t *testing.T) {
+	cases := []struct {
+		s    Size
+		want bool
+	}{
+		{-8, false}, {-1, false}, {0, false},
+		{1, true}, {2, true}, {3, false}, {4, true},
+		{6, false}, {1024, true}, {1023, false}, {1 << 40, true},
+	}
+	for _, c := range cases {
+		if got := IsPow2(c.s); got != c.want {
+			t.Errorf("IsPow2(%d) = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := []struct {
+		s    Size
+		want int
+	}{
+		{1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3}, {1 << 20, 20}, {(1 << 20) + 5, 20},
+	}
+	for _, c := range cases {
+		if got := Log2(c.s); got != c.want {
+			t.Errorf("Log2(%d) = %d, want %d", c.s, got, c.want)
+		}
+	}
+}
+
+func TestLog2PanicsOnNonPositive(t *testing.T) {
+	for _, s := range []Size{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Log2(%d) did not panic", s)
+				}
+			}()
+			Log2(s)
+		}()
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := []struct {
+		s    Size
+		want int
+	}{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1 << 20, 20},
+	}
+	for _, c := range cases {
+		if got := CeilLog2(c.s); got != c.want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", c.s, got, c.want)
+		}
+	}
+}
+
+func TestPow2(t *testing.T) {
+	if Pow2(0) != 1 || Pow2(10) != 1024 || Pow2(62) != 1<<62 {
+		t.Errorf("Pow2 basic values wrong: %d %d %d", Pow2(0), Pow2(10), Pow2(62))
+	}
+	for _, i := range []int{-1, 63, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Pow2(%d) did not panic", i)
+				}
+			}()
+			Pow2(i)
+		}()
+	}
+}
+
+func TestRoundPow2(t *testing.T) {
+	cases := []struct {
+		s        Size
+		up, down Size
+	}{
+		{1, 1, 1}, {2, 2, 2}, {3, 4, 2}, {5, 8, 4}, {1023, 1024, 512}, {1024, 1024, 1024},
+	}
+	for _, c := range cases {
+		if got := RoundUpPow2(c.s); got != c.up {
+			t.Errorf("RoundUpPow2(%d) = %d, want %d", c.s, got, c.up)
+		}
+		if got := RoundDownPow2(c.s); got != c.down {
+			t.Errorf("RoundDownPow2(%d) = %d, want %d", c.s, got, c.down)
+		}
+	}
+}
+
+func TestAlign(t *testing.T) {
+	if AlignDown(13, 4) != 12 || AlignUp(13, 4) != 16 {
+		t.Errorf("align of 13 by 4: down=%d up=%d", AlignDown(13, 4), AlignUp(13, 4))
+	}
+	if AlignDown(16, 4) != 16 || AlignUp(16, 4) != 16 {
+		t.Errorf("align of aligned value changed it")
+	}
+	if !IsAligned(0, 8) || !IsAligned(64, 8) || IsAligned(65, 8) {
+		t.Errorf("IsAligned wrong")
+	}
+}
+
+func TestChunkIndex(t *testing.T) {
+	if ChunkIndex(0, 8) != 0 || ChunkIndex(7, 8) != 0 || ChunkIndex(8, 8) != 1 || ChunkIndex(17, 8) != 2 {
+		t.Errorf("ChunkIndex wrong: %d %d %d %d",
+			ChunkIndex(0, 8), ChunkIndex(7, 8), ChunkIndex(8, 8), ChunkIndex(17, 8))
+	}
+}
+
+func TestFormat(t *testing.T) {
+	cases := []struct {
+		s    Size
+		want string
+	}{
+		{1, "1"}, {1000, "1000"}, {1024, "1Ki"}, {3 * 1024, "3Ki"},
+		{1 << 20, "1Mi"}, {256 << 20, "256Mi"}, {1 << 30, "1Gi"},
+		{(1 << 20) + 1, "1048577"},
+	}
+	for _, c := range cases {
+		if got := Format(c.s); got != c.want {
+			t.Errorf("Format(%d) = %q, want %q", c.s, got, c.want)
+		}
+	}
+}
+
+// Property: RoundUpPow2(s) is the least power of two >= s.
+func TestRoundUpPow2Property(t *testing.T) {
+	f := func(raw int64) bool {
+		s := raw%(1<<40) + 1
+		if s <= 0 {
+			s = -s + 1
+		}
+		up := RoundUpPow2(s)
+		return IsPow2(up) && up >= s && (up == 1 || up/2 < s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AlignDown <= a < AlignDown + align, and AlignUp - AlignDown
+// is either 0 or align.
+func TestAlignProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		align := Pow2(rng.Intn(20))
+		a := rng.Int63n(1 << 40)
+		d, u := AlignDown(a, align), AlignUp(a, align)
+		if d > a || a-d >= align {
+			t.Fatalf("AlignDown(%d,%d)=%d out of range", a, align, d)
+		}
+		if u < a || u-d != 0 && u-d != align {
+			t.Fatalf("AlignUp(%d,%d)=%d inconsistent with down=%d", a, align, u, d)
+		}
+		if !IsAligned(d, align) || !IsAligned(u, align) {
+			t.Fatalf("aligned results not aligned: %d %d (align %d)", d, u, align)
+		}
+	}
+}
+
+// Property: Log2 and Pow2 are inverse on powers of two.
+func TestLog2Pow2Inverse(t *testing.T) {
+	for i := 0; i <= 62; i++ {
+		if Log2(Pow2(i)) != i {
+			t.Fatalf("Log2(Pow2(%d)) = %d", i, Log2(Pow2(i)))
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Size
+	}{
+		{"1", 1}, {"4096", 4096}, {"4Ki", 4096}, {"1Mi", 1 << 20},
+		{"256Mi", 256 << 20}, {"1Gi", 1 << 30}, {" 8Ki ", 8192},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("Parse(%q) = (%d, %v), want %d", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "-4", "0", "4Xi", "9999999999999Gi"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	for _, s := range []Size{1, 7, 1024, 3 * 1024, 1 << 20, 256 << 20, 1 << 30} {
+		got, err := Parse(Format(s))
+		if err != nil || got != s {
+			t.Errorf("round trip of %d via %q: (%d, %v)", s, Format(s), got, err)
+		}
+	}
+}
+
+func TestFlagSize(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	m := NewFlagSize(fs, "M", 1<<16, "live bound")
+	if err := fs.Parse([]string{"-M", "256Mi"}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 256<<20 {
+		t.Fatalf("parsed %d", m.Size())
+	}
+	if m.String() != "256Mi" {
+		t.Fatalf("String = %q", m.String())
+	}
+	fs2 := flag.NewFlagSet("y", flag.ContinueOnError)
+	fs2.SetOutput(io.Discard)
+	NewFlagSize(fs2, "M", 1, "")
+	if err := fs2.Parse([]string{"-M", "bogus"}); err == nil {
+		t.Fatal("bogus size accepted")
+	}
+	var zero *FlagSize
+	if zero.String() != "0" {
+		t.Fatal("nil String wrong")
+	}
+}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"testing"
+
+	"compaction/internal/budget"
+	"compaction/internal/sim"
+)
+
+func TestGenerationalLifecycles(t *testing.T) {
+	cfg := sim.Config{M: 1 << 12, N: 1 << 5, C: budget.NoCompaction, Pow2Only: true}
+	prog := NewGenerational(11, 80)
+	res, err := engine(t, prog, cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Allocs == 0 || res.Frees == 0 {
+		t.Fatalf("no churn: %+v", res)
+	}
+	// Most objects die: the free count approaches the alloc count
+	// (everything is freed in the final round).
+	if res.Frees != res.Allocs {
+		t.Fatalf("final drain incomplete: %d allocs, %d frees", res.Allocs, res.Frees)
+	}
+	if res.MaxLive > cfg.M {
+		t.Fatalf("exceeded M: %d", res.MaxLive)
+	}
+}
+
+func TestGenerationalFriendlyFragmentation(t *testing.T) {
+	// The generational hypothesis means mostly-FIFO death order; even
+	// first-fit should stay near the live peak.
+	cfg := sim.Config{M: 1 << 12, N: 1 << 5, C: budget.NoCompaction, Pow2Only: true}
+	res, err := engine(t, NewGenerational(5, 100), cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WasteFactor() > 2.0 {
+		t.Fatalf("generational workload fragmented badly: %.3f·M", res.WasteFactor())
+	}
+}
+
+func TestGenerationalDeterministic(t *testing.T) {
+	cfg := sim.Config{M: 1 << 11, N: 1 << 4, C: budget.NoCompaction, Pow2Only: true}
+	run := func() sim.Result {
+		res, err := engine(t, NewGenerational(9, 50), cfg).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Allocated != b.Allocated || a.HighWater != b.HighWater {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSawtoothCycles(t *testing.T) {
+	cfg := sim.Config{M: 1 << 11, N: 1 << 4, C: budget.NoCompaction, Pow2Only: true}
+	prog := NewSawtooth(3, 5)
+	res, err := engine(t, prog, cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 10 { // 2 rounds per cycle
+		t.Fatalf("rounds = %d, want 10", res.Rounds)
+	}
+	if res.MaxLive > cfg.M {
+		t.Fatalf("exceeded M")
+	}
+	// Fill phases reach near M.
+	if float64(res.MaxLive) < 0.9*float64(cfg.M) {
+		t.Fatalf("fills too shallow: max live %d of %d", res.MaxLive, cfg.M)
+	}
+}
+
+func TestSawtoothDefaults(t *testing.T) {
+	p := NewSawtooth(1, 0)
+	if p.cycles != 8 {
+		t.Fatalf("default cycles = %d", p.cycles)
+	}
+	g := NewGenerational(1, 0)
+	if g.rounds != 120 {
+		t.Fatalf("default rounds = %d", g.rounds)
+	}
+	if p.Name() == "" || g.Name() == "" {
+		t.Fatal("empty names")
+	}
+}

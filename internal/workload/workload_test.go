@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"testing"
+
+	"compaction/internal/budget"
+	"compaction/internal/mm"
+	"compaction/internal/sim"
+	"compaction/internal/word"
+
+	_ "compaction/internal/mm/fits"
+)
+
+func engine(t *testing.T, prog sim.Program, cfg sim.Config) *sim.Engine {
+	t.Helper()
+	mgr, err := mm.New("first-fit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.NewEngine(cfg, prog, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestRandomWorkloadRespectsModel(t *testing.T) {
+	cfg := sim.Config{M: 1 << 12, N: 1 << 6, C: budget.NoCompaction, Pow2Only: true}
+	for _, dist := range []SizeDist{UniformPow2, Uniform, Geometric} {
+		prog := NewRandom(Config{Seed: 3, Rounds: 50, Dist: dist})
+		res, err := engine(t, prog, cfg).Run()
+		if err != nil {
+			t.Fatalf("dist %v: %v", dist, err)
+		}
+		if res.Rounds != 50 {
+			t.Errorf("dist %v: rounds = %d, want 50", dist, res.Rounds)
+		}
+		if res.MaxLive > cfg.M {
+			t.Errorf("dist %v: max live %d > M", dist, res.MaxLive)
+		}
+		if res.Allocs == 0 || res.Frees == 0 {
+			t.Errorf("dist %v: no churn (allocs=%d frees=%d)", dist, res.Allocs, res.Frees)
+		}
+	}
+}
+
+func TestRandomWorkloadArbitrarySizes(t *testing.T) {
+	cfg := sim.Config{M: 1 << 12, N: 100, C: budget.NoCompaction}
+	prog := NewRandom(Config{Seed: 5, Rounds: 30, Dist: Uniform})
+	if _, err := engine(t, prog, cfg).Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomWorkloadDeterministic(t *testing.T) {
+	cfg := sim.Config{M: 1 << 12, N: 1 << 6, C: budget.NoCompaction, Pow2Only: true}
+	run := func() sim.Result {
+		res, err := engine(t, NewRandom(Config{Seed: 11, Rounds: 40}), cfg).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Allocs != b.Allocs || a.HighWater != b.HighWater || a.Allocated != b.Allocated {
+		t.Fatalf("same seed, different runs: %+v vs %+v", a, b)
+	}
+	c, err := engine(t, NewRandom(Config{Seed: 12, Rounds: 40}), cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Allocated == a.Allocated && c.Allocs == a.Allocs {
+		t.Fatalf("different seeds produced identical traffic")
+	}
+}
+
+func TestRandomWorkloadPhases(t *testing.T) {
+	cfg := sim.Config{M: 1 << 12, N: 1 << 6, C: budget.NoCompaction, Pow2Only: true}
+	prog := NewRandom(Config{Seed: 9, Rounds: 60, PhaseLen: 10})
+	if _, err := engine(t, prog, cfg).Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRampDownFragments(t *testing.T) {
+	cfg := sim.Config{M: 1 << 10, N: 1 << 4, C: budget.NoCompaction, Pow2Only: true}
+	res, err := engine(t, NewRampDown(1), cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keeping every n-th unit object blocks all n-sized holes: the
+	// heap must grow well beyond M.
+	if res.WasteFactor() < 1.5 {
+		t.Errorf("rampdown extracted only %.3f·M from first-fit", res.WasteFactor())
+	}
+	if res.Rounds != 3 {
+		t.Errorf("rounds = %d, want 3", res.Rounds)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	p := NewRandom(Config{})
+	if p.cfg.Rounds <= 0 || p.cfg.TargetLive <= 0 || p.cfg.ChurnFrac <= 0 {
+		t.Fatalf("defaults not applied: %+v", p.cfg)
+	}
+	if p.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestDrawSizeRespectsBounds(t *testing.T) {
+	p := NewRandom(Config{Seed: 1})
+	for i := 0; i < 2000; i++ {
+		s := p.drawSize(1<<6, true)
+		if s < 1 || s > 1<<6 || !word.IsPow2(s) {
+			t.Fatalf("drawSize pow2 produced %d", s)
+		}
+		u := p.drawSize(100, false)
+		if u < 1 || u > 100 {
+			t.Fatalf("drawSize produced %d", u)
+		}
+	}
+}
+
+func TestSizeDistString(t *testing.T) {
+	for _, d := range []SizeDist{UniformPow2, Uniform, Geometric, SizeDist(99)} {
+		if d.String() == "" {
+			t.Fatalf("empty string for %d", d)
+		}
+	}
+}
