@@ -1,0 +1,41 @@
+# Build and verification entry points. `make check` is what CI runs;
+# the individual targets exist so a fast local loop stays fast.
+
+GO ?= go
+FUZZTIME ?= 10s
+FUZZ_TARGETS := FuzzManagerTrace FuzzFreeIndex FuzzBoundsMonotone FuzzTraceRoundtrip
+
+.PHONY: all build test vet race fuzz-smoke check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# Tier 1: the gate every change must pass.
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The concurrency-sensitive packages under the race detector: the
+# engine, the parallel sweep, and the verification harness (whose
+# stress test drives sweep.Run past GOMAXPROCS with a shared-state
+# canary manager).
+race:
+	$(GO) test -race ./internal/sim ./internal/sweep ./internal/check
+
+# A short fuzzing pass over every native fuzz target. Each target runs
+# separately because `go test -fuzz` accepts only one target per
+# invocation.
+fuzz-smoke:
+	@for t in $(FUZZ_TARGETS); do \
+		echo "fuzz $$t ($(FUZZTIME))"; \
+		$(GO) test ./internal/check -run='^$$' -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) || exit 1; \
+	done
+
+check: test vet race fuzz-smoke
+
+clean:
+	$(GO) clean ./...

@@ -7,10 +7,18 @@
 //	compactsim -adversary profile:server           # canned app profile
 //	compactsim -adversary profile:my.json          # profile from a file
 //	compactsim -adversary pf -sweep 8,16,32,64     # parallel c sweep
+//	compactsim -adversary random -check            # referee every invariant
+//	compactsim -replay min.bin -manager best-fit   # replay a saved trace
 //
 // The engine enforces the model (live bound M, compaction budget s/c,
 // no overlapping placements); any violation aborts the run with an
-// error identifying the guilty party.
+// error identifying the guilty party. With -check the run is
+// additionally refereed by internal/check, which re-verifies every
+// invariant against independent shadow state and reports structured
+// violations; the process exits nonzero if any are found. With
+// -replay the program side comes from a recorded trace artifact (as
+// written by trace.WriteBinary or the check package's shrinker)
+// instead of an adversary, using the trace's own M, n and c.
 package main
 
 import (
@@ -24,12 +32,14 @@ import (
 	"compaction/internal/adversary/robson"
 	"compaction/internal/bounds"
 	"compaction/internal/budget"
+	"compaction/internal/check"
 	"compaction/internal/core"
 	"compaction/internal/mm"
 	"compaction/internal/profile"
 	"compaction/internal/sim"
 	"compaction/internal/stats"
 	"compaction/internal/sweep"
+	"compaction/internal/trace"
 	"compaction/internal/word"
 	"compaction/internal/workload"
 
@@ -48,27 +58,38 @@ import (
 
 func main() {
 	var (
-		adv     = flag.String("adversary", "pf", "program: pf, robson, pw, random, rampdown")
-		manager = flag.String("manager", "all", `manager name or "all"`)
-		mFlag   = word.NewFlagSize(flag.CommandLine, "M", 1<<16, "live-space bound M in words (e.g. 64Ki, 256Mi)")
-		nFlag   = word.NewFlagSize(flag.CommandLine, "n", 1<<8, "largest object size in words (e.g. 256, 1Mi)")
-		cFlag   = flag.Int64("c", 16, "compaction bound (0 = unlimited, -1 = none)")
-		seed    = flag.Int64("seed", 1, "seed for random workloads")
-		rounds  = flag.Int("rounds", 100, "rounds for random workloads")
-		ell     = flag.Int("ell", 0, "fix P_F's density exponent ℓ (0 = optimal)")
-		showMap = flag.Bool("heapmap", false, "print an ASCII occupancy map after each run")
-		sweepCs = flag.String("sweep", "", "comma-separated c values: run the manager matrix in parallel")
-		csvOut  = flag.String("csv", "", "write sweep results as CSV to this file")
-		seeds   = flag.Int("seeds", 1, "run seed-driven workloads this many times and report mean±sd")
+		adv      = flag.String("adversary", "pf", "program: pf, robson, pw, random, rampdown")
+		manager  = flag.String("manager", "all", `manager name or "all"`)
+		mFlag    = word.NewFlagSize(flag.CommandLine, "M", 1<<16, "live-space bound M in words (e.g. 64Ki, 256Mi)")
+		nFlag    = word.NewFlagSize(flag.CommandLine, "n", 1<<8, "largest object size in words (e.g. 256, 1Mi)")
+		cFlag    = flag.Int64("c", 16, "compaction bound (0 = unlimited, -1 = none)")
+		seed     = flag.Int64("seed", 1, "seed for random workloads")
+		rounds   = flag.Int("rounds", 100, "rounds for random workloads")
+		ell      = flag.Int("ell", 0, "fix P_F's density exponent ℓ (0 = optimal)")
+		showMap  = flag.Bool("heapmap", false, "print an ASCII occupancy map after each run")
+		sweepCs  = flag.String("sweep", "", "comma-separated c values: run the manager matrix in parallel")
+		csvOut   = flag.String("csv", "", "write sweep results as CSV to this file")
+		seeds    = flag.Int("seeds", 1, "run seed-driven workloads this many times and report mean±sd")
+		checkRun = flag.Bool("check", false, "referee the run: re-verify every model invariant independently")
+		replay   = flag.String("replay", "", "replay a recorded trace artifact instead of an adversary")
 	)
 	flag.Parse()
 	var err error
+	if (*replay != "" || *checkRun) && (*seeds > 1 || *sweepCs != "") {
+		fmt.Fprintln(os.Stderr, "compactsim: -replay and -check apply to single runs, not -sweep or -seeds")
+		os.Exit(2)
+	}
 	if *seeds > 1 {
 		err = runSeeds(*adv, *manager, mFlag.Size(), nFlag.Size(), *cFlag, *seeds, *rounds, *ell)
 	} else if *sweepCs != "" {
 		err = runSweep(*adv, *manager, mFlag.Size(), nFlag.Size(), *sweepCs, *csvOut, *seed, *rounds, *ell)
 	} else {
-		err = run(*adv, *manager, mFlag.Size(), nFlag.Size(), *cFlag, *seed, *rounds, *ell, *showMap)
+		err = run(runOpts{
+			adv: *adv, manager: *manager,
+			m: mFlag.Size(), n: nFlag.Size(), c: *cFlag,
+			seed: *seed, rounds: *rounds, ell: *ell,
+			showMap: *showMap, check: *checkRun, replay: *replay,
+		})
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "compactsim:", err)
@@ -193,41 +214,86 @@ func loadProfile(name string) (*profile.Profile, error) {
 	return profile.Parse(f)
 }
 
-func run(adv, manager string, m, n, c, seed int64, rounds, ell int, showMap bool) error {
-	makeProg, pow2, err := newProgram(adv, seed, rounds, ell)
-	if err != nil {
-		return err
+type runOpts struct {
+	adv, manager string
+	m, n, c      int64
+	seed         int64
+	rounds, ell  int
+	showMap      bool
+	check        bool
+	replay       string
+}
+
+func run(o runOpts) error {
+	var makeProg func() sim.Program
+	cfg := sim.Config{M: o.m, N: o.n, C: o.c}
+	if o.replay != "" {
+		tr, err := check.ReadArtifact(o.replay)
+		if err != nil {
+			return err
+		}
+		// The recorded parameters define the model the trace is legal
+		// under; command-line M/n/c do not apply.
+		cfg = sim.Config{M: tr.M, N: tr.N, C: tr.C}
+		o.adv = "replay:" + tr.Program
+		makeProg = func() sim.Program { return trace.NewReplayer(tr) }
+	} else {
+		mk, pow2, err := newProgram(o.adv, o.seed, o.rounds, o.ell)
+		if err != nil {
+			return err
+		}
+		makeProg, cfg.Pow2Only = mk, pow2
 	}
-	cfg := sim.Config{M: m, N: n, C: c, Pow2Only: pow2}
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
-	names := []string{manager}
-	if manager == "all" {
+	names := []string{o.manager}
+	if o.manager == "all" {
 		names = mm.Names()
 	}
 	var rows []stats.RunRow
+	violations := 0
 	for _, name := range names {
 		mgr, err := mm.New(name)
 		if err != nil {
 			return err
 		}
+		var ref *check.Referee
+		if o.check {
+			ref = check.NewReferee(mgr)
+			mgr = ref
+		}
 		e, err := sim.NewEngine(cfg, makeProg(), mgr)
 		if err != nil {
 			return err
 		}
+		if ref != nil {
+			e.RoundHook = ref.CheckRound
+		}
 		res, err := e.Run()
+		if ref != nil {
+			for _, v := range ref.Violations() {
+				fmt.Printf("%s: %s\n", name, v)
+			}
+			violations += len(ref.Violations())
+		}
 		if err != nil {
-			return fmt.Errorf("%s vs %s: %w", adv, name, err)
+			return fmt.Errorf("%s vs %s: %w", o.adv, name, err)
 		}
 		rows = append(rows, stats.RunRow{Manager: name, Result: res})
-		if showMap {
+		if o.showMap {
 			fmt.Printf("%-18s %s", name, stats.HeapMap(e.Objects(), e.Extent(), 72))
 		}
 	}
-	fmt.Printf("adversary=%s M=%s n=%s c=%d\n", adv, word.Format(m), word.Format(n), c)
+	fmt.Printf("adversary=%s M=%s n=%s c=%d\n", o.adv, word.Format(cfg.M), word.Format(cfg.N), cfg.C)
 	fmt.Print(stats.Table(rows))
-	printBounds(adv, cfg)
+	printBounds(o.adv, cfg)
+	if violations > 0 {
+		return fmt.Errorf("referee found %d invariant violations", violations)
+	}
+	if o.check {
+		fmt.Println("referee: all invariants verified, no violations")
+	}
 	return nil
 }
 

@@ -4,6 +4,10 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"compaction/internal/check"
+	"compaction/internal/sim"
+	"compaction/internal/workload"
 )
 
 func TestNewProgramKinds(t *testing.T) {
@@ -45,14 +49,69 @@ func TestLoadProfileFromFile(t *testing.T) {
 }
 
 func TestRunSingleManagerEndToEnd(t *testing.T) {
-	if err := run("robson", "first-fit", 1<<10, 1<<4, -1, 1, 10, 0, false); err != nil {
+	if err := run(runOpts{adv: "robson", manager: "first-fit", m: 1 << 10, n: 1 << 4, c: -1, seed: 1, rounds: 10}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("pf", "no-such", 1<<12, 1<<6, 8, 1, 10, 0, false); err == nil {
+	if err := run(runOpts{adv: "pf", manager: "no-such", m: 1 << 12, n: 1 << 6, c: 8, seed: 1, rounds: 10}); err == nil {
 		t.Fatal("unknown manager accepted")
 	}
-	if err := run("pf", "first-fit", 0, 0, 8, 1, 10, 0, false); err == nil {
+	if err := run(runOpts{adv: "pf", manager: "first-fit", c: 8, seed: 1, rounds: 10}); err == nil {
 		t.Fatal("invalid config accepted")
+	}
+}
+
+func demoArtifact(t *testing.T) string {
+	t.Helper()
+	cfg := sim.Config{M: 1 << 12, N: 1 << 5, C: 16}
+	tr, err := check.RecordTrace(cfg,
+		workload.NewRandom(workload.Config{Seed: 3, Rounds: 30, Dist: workload.Geometric}),
+		"first-fit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "demo.bin")
+	if err := check.WriteArtifact(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCheckMode(t *testing.T) {
+	err := run(runOpts{
+		adv: "random", manager: "first-fit",
+		m: 1 << 12, n: 1 << 5, c: 16,
+		seed: 1, rounds: 30, check: true,
+	})
+	if err != nil {
+		t.Fatalf("refereed run failed: %v", err)
+	}
+}
+
+func TestRunReplayMode(t *testing.T) {
+	path := demoArtifact(t)
+	// The trace's own M/n/c take over; the bogus flag values must be
+	// ignored rather than rejected.
+	err := run(runOpts{
+		adv: "ignored", manager: "best-fit",
+		m: 1, n: 999, c: -7,
+		replay: path,
+	})
+	if err != nil {
+		t.Fatalf("replay run failed: %v", err)
+	}
+}
+
+func TestRunReplayWithCheck(t *testing.T) {
+	path := demoArtifact(t)
+	if err := run(runOpts{manager: "all", replay: path, check: true}); err != nil {
+		t.Fatalf("refereed replay across all managers failed: %v", err)
+	}
+}
+
+func TestRunReplayMissingArtifact(t *testing.T) {
+	err := run(runOpts{manager: "first-fit", replay: filepath.Join(t.TempDir(), "nope.bin")})
+	if err == nil {
+		t.Fatal("missing artifact not reported")
 	}
 }
 

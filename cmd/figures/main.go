@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -44,13 +45,13 @@ func main() {
 		height  = flag.Int("height", 18, "ASCII chart height")
 	)
 	flag.Parse()
-	if err := run(*figFlag, *format, *outDir, *width, *height); err != nil {
+	if err := run(os.Stdout, *figFlag, *format, *outDir, *width, *height); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(which, format, outDir string, width, height int) error {
+func run(w io.Writer, which, format, outDir string, width, height int) error {
 	type job struct {
 		key   string
 		build func() (plot.Figure, error)
@@ -83,7 +84,7 @@ func run(which, format, outDir string, width, height int) error {
 		if err != nil {
 			return fmt.Errorf("figure %s: %w", j.key, err)
 		}
-		if err := emit(j.key, fig, format, outDir, width, height); err != nil {
+		if err := emit(w, j.key, fig, format, outDir, width, height); err != nil {
 			return err
 		}
 	}
@@ -93,7 +94,7 @@ func run(which, format, outDir string, width, height int) error {
 	return nil
 }
 
-func emit(key string, fig plot.Figure, format, outDir string, width, height int) error {
+func emit(w io.Writer, key string, fig plot.Figure, format, outDir string, width, height int) error {
 	if outDir != "" {
 		path := filepath.Join(outDir, "figure"+key+".csv")
 		f, err := os.Create(path)
@@ -104,12 +105,12 @@ func emit(key string, fig plot.Figure, format, outDir string, width, height int)
 		if err := fig.WriteCSV(f); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", path)
+		fmt.Fprintf(w, "wrote %s\n", path)
 		return f.Close()
 	}
 	if format == "csv" {
-		return fig.WriteCSV(os.Stdout)
+		return fig.WriteCSV(w)
 	}
-	fmt.Println(fig.ASCII(width, height))
+	fmt.Fprintln(w, fig.ASCII(width, height))
 	return nil
 }

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden CLI output")
+
+// TestRunGoldenCSV pins the full CLI output for the default figure set
+// in CSV form: flag plumbing, figure selection, and the emitted series
+// all in one regression surface. The golden file is the concatenated
+// CSV of figures 1-3 exactly as `figures -format csv` prints it.
+func TestRunGoldenCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "all", "csv", "", 72, 18); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "all.csv.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to record)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("CLI output diverges from golden file %s:\ngot %d bytes, want %d\n--- got head ---\n%s",
+			golden, buf.Len(), len(want), head(buf.String()))
+	}
+}
+
+// TestRunSelectsSingleFigure: -fig 2 emits only Figure 2's series.
+func TestRunSelectsSingleFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "2", "csv", "", 72, 18); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "log2(n)") || strings.Count(out, "\n") < 10 {
+		t.Fatalf("figure 2 output implausible:\n%s", head(out))
+	}
+	full := new(bytes.Buffer)
+	if err := run(full, "all", "csv", "", 72, 18); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() >= full.Len() {
+		t.Fatalf("single figure (%d bytes) not smaller than all (%d bytes)", buf.Len(), full.Len())
+	}
+}
+
+func TestRunRejectsUnknownFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "nope", "csv", "", 72, 18); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+// TestRunASCIIRendersCharts: the default ASCII mode produces non-empty
+// charts without touching the filesystem.
+func TestRunASCIIRendersCharts(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "1", "ascii", "", 60, 12); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 || !strings.Contains(buf.String(), "\n") {
+		t.Fatalf("ASCII chart empty: %q", head(buf.String()))
+	}
+}
+
+// TestRunWritesCSVFiles: -out writes one file per figure and reports
+// each path on the writer.
+func TestRunWritesCSVFiles(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run(&buf, "all", "csv", dir, 72, 18); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"figure1.csv", "figure2.csv", "figure3.csv"} {
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("figure file missing: %v", err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+		if !strings.Contains(buf.String(), path) {
+			t.Fatalf("path %s not reported:\n%s", path, buf.String())
+		}
+	}
+}
+
+func head(s string) string {
+	if len(s) > 400 {
+		return s[:400] + "..."
+	}
+	return s
+}

@@ -13,6 +13,7 @@ package budget
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"compaction/internal/word"
 )
@@ -77,9 +78,15 @@ func (l *Ledger) Remaining() word.Size {
 }
 
 // RecordAlloc credits the ledger with an allocation of size words.
+// The total saturates at the maximum representable size instead of
+// wrapping negative, which would silently zero the quota.
 func (l *Ledger) RecordAlloc(size word.Size) {
 	if size <= 0 {
 		panic(fmt.Sprintf("budget.RecordAlloc: non-positive size %d", size))
+	}
+	if l.allocated > math.MaxInt64-size {
+		l.allocated = math.MaxInt64
+		return
 	}
 	l.allocated += size
 }
@@ -93,9 +100,11 @@ func (l *Ledger) Move(size word.Size) error {
 	if l.c == NoCompaction {
 		return fmt.Errorf("%w: manager is non-moving", ErrExceeded)
 	}
-	if l.moved+size > l.Quota() {
+	// Compare as moved > quota - size: the naive moved+size can wrap
+	// negative when the ledger sits near the representable maximum.
+	if q := l.Quota(); size > q || l.moved > q-size {
 		return fmt.Errorf("%w: moved %d + %d > quota %d (allocated %d, c=%d)",
-			ErrExceeded, l.moved, size, l.Quota(), l.allocated, l.c)
+			ErrExceeded, l.moved, size, q, l.allocated, l.c)
 	}
 	l.moved += size
 	return nil
@@ -107,7 +116,8 @@ func (l *Ledger) CanMove(size word.Size) bool {
 	if size <= 0 || l.c == NoCompaction {
 		return false
 	}
-	return l.moved+size <= l.Quota()
+	q := l.Quota()
+	return size <= q && l.moved <= q-size
 }
 
 // Snapshot returns (s, q) for reporting.

@@ -1,0 +1,132 @@
+package budget
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"compaction/internal/word"
+)
+
+// qc keeps the property checks fast but well past the interesting
+// boundaries.
+var qc = &quick.Config{MaxCount: 500}
+
+// Property: a NoCompaction ledger never moves anything, regardless of
+// the allocation history or the requested size.
+func TestQuickNonMovingNeverMoves(t *testing.T) {
+	prop := func(allocs []uint16, size uint16) bool {
+		l := NewLedger(NoCompaction)
+		for _, a := range allocs {
+			l.RecordAlloc(word.Size(a) + 1)
+		}
+		s := word.Size(size) + 1
+		return l.Quota() == 0 && !l.CanMove(s) && errors.Is(l.Move(s), ErrExceeded)
+	}
+	if err := quick.Check(prop, qc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: an unlimited (c == 0) ledger accepts every positive move,
+// even with zero allocations on the books.
+func TestQuickUnlimitedAlwaysMoves(t *testing.T) {
+	prop := func(allocs []uint16, moves []uint16) bool {
+		l := NewLedger(0)
+		for _, a := range allocs {
+			l.RecordAlloc(word.Size(a) + 1)
+		}
+		for _, m := range moves {
+			s := word.Size(m) + 1
+			if !l.CanMove(s) || l.Move(s) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, qc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any c > 0 and any interleaving of allocations and
+// attempted moves, the invariant q <= s/c holds after every operation,
+// CanMove agrees with Move, and rejected moves leave the ledger
+// untouched.
+func TestQuickPartialInvariant(t *testing.T) {
+	prop := func(c uint8, ops []int16) bool {
+		l := NewLedger(int64(c%100) + 1)
+		for _, op := range ops {
+			if op >= 0 {
+				l.RecordAlloc(word.Size(op) + 1)
+			} else {
+				size := word.Size(-int64(op))
+				can := l.CanMove(size)
+				before := l.Moved()
+				err := l.Move(size)
+				if can != (err == nil) {
+					return false
+				}
+				if err != nil && l.Moved() != before {
+					return false // failed move must not debit
+				}
+			}
+			if l.Moved() > l.Allocated()/l.Bound() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, qc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLedgerNearOverflow pins the arithmetic at the top of the int64
+// range: allocation totals saturate instead of wrapping negative, and
+// quota comparisons must not wrap when moved + size overflows.
+func TestLedgerNearOverflow(t *testing.T) {
+	l := NewLedger(1)
+	l.RecordAlloc(math.MaxInt64 - 5)
+	l.RecordAlloc(10) // would wrap; must saturate
+	if l.Allocated() != math.MaxInt64 {
+		t.Fatalf("allocation total did not saturate: %d", l.Allocated())
+	}
+	if q := l.Quota(); q != math.MaxInt64 {
+		t.Fatalf("quota = %d", q)
+	}
+	// Consume the entire quota in one move, then ask for one more word:
+	// the naive moved+size comparison wraps negative here and admits it.
+	if err := l.Move(math.MaxInt64); err != nil {
+		t.Fatalf("exact-quota move rejected: %v", err)
+	}
+	if l.CanMove(1) {
+		t.Fatal("CanMove wrapped past a full quota")
+	}
+	if err := l.Move(1); !errors.Is(err, ErrExceeded) {
+		t.Fatalf("over-quota move after saturation: %v", err)
+	}
+	if l.Remaining() != 0 {
+		t.Fatalf("remaining = %d", l.Remaining())
+	}
+}
+
+// TestLedgerHugeMoveRequest: a single move far beyond the quota must
+// be rejected even when moved+size overflows int64.
+func TestLedgerHugeMoveRequest(t *testing.T) {
+	l := NewLedger(2)
+	l.RecordAlloc(100)
+	if err := l.Move(50); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Move(math.MaxInt64); !errors.Is(err, ErrExceeded) {
+		t.Fatalf("huge move accepted: %v", err)
+	}
+	if l.CanMove(math.MaxInt64) {
+		t.Fatal("CanMove accepted a wrapping size")
+	}
+	if l.Moved() != 50 {
+		t.Fatalf("rejected move debited the ledger: %d", l.Moved())
+	}
+}

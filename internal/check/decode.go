@@ -1,0 +1,82 @@
+package check
+
+import (
+	"compaction/internal/trace"
+	"compaction/internal/word"
+)
+
+// Model parameters every decoded fuzz trace uses. Small enough that a
+// fuzz iteration over the full engine stays fast, large enough that
+// fragmentation behaviour is non-trivial.
+const (
+	DecodeM = 1 << 10 // live-space bound of decoded traces
+	DecodeN = 1 << 5  // largest object size of decoded traces
+	// decodeMaxRounds bounds the trace length regardless of input size.
+	decodeMaxRounds = 1 << 12
+)
+
+// DecodeTrace interprets raw fuzz bytes as a model-valid allocation
+// trace over (M, n) = (DecodeM, DecodeN). It is the shared front end
+// of the native fuzz targets: every byte sequence maps to a trace that
+// a correct engine must replay without a program violation —
+//
+//   - live words never exceed DecodeM (allocations that would overflow
+//     are skipped);
+//   - frees target only objects allocated in *earlier* rounds, so the
+//     replayer sees every free after its allocation was placed;
+//   - sizes lie in [1, DecodeN].
+//
+// Byte semantics: b < 48 closes the current round; 48 <= b < 176
+// allocates 1 + (b-48) mod DecodeN words; b >= 176 frees a live
+// object selected by b modulo the freeable count. The caller sets
+// Trace.C (the decoder leaves it 0 = unlimited).
+func DecodeTrace(data []byte) *trace.Trace {
+	tr := &trace.Trace{Program: "fuzz", M: DecodeM, N: DecodeN}
+	var (
+		cur       trace.Round
+		liveWords word.Size
+		sizes     []word.Size // by ordinal
+		freeable  []int64     // live ordinals allocated in earlier rounds
+		pending   int         // ordinals allocated in the current round
+	)
+	flush := func() {
+		if len(cur.FreeOrdinals) == 0 && len(cur.AllocSizes) == 0 {
+			return
+		}
+		tr.Rounds = append(tr.Rounds, cur)
+		cur = trace.Round{}
+		for i := 0; i < pending; i++ {
+			freeable = append(freeable, int64(len(sizes)-pending+i))
+		}
+		pending = 0
+	}
+	for _, b := range data {
+		if len(tr.Rounds) >= decodeMaxRounds {
+			break
+		}
+		switch {
+		case b < 48:
+			flush()
+		case b < 176:
+			size := 1 + word.Size(b-48)%DecodeN
+			if liveWords+size > DecodeM {
+				continue
+			}
+			cur.AllocSizes = append(cur.AllocSizes, size)
+			sizes = append(sizes, size)
+			liveWords += size
+			pending++
+		default:
+			if len(freeable) == 0 {
+				continue
+			}
+			i := int(b) % len(freeable)
+			ord := freeable[i]
+			freeable = append(freeable[:i], freeable[i+1:]...)
+			cur.FreeOrdinals = append(cur.FreeOrdinals, ord)
+			liveWords -= sizes[ord]
+		}
+	}
+	flush()
+	return tr
+}

@@ -1,0 +1,133 @@
+package check
+
+import (
+	"testing"
+
+	"compaction/internal/adversary/robson"
+	"compaction/internal/core"
+	"compaction/internal/heap"
+	"compaction/internal/mm"
+	"compaction/internal/sim"
+	"compaction/internal/trace"
+	"compaction/internal/workload"
+
+	// The oracle quantifies over every registered manager.
+	_ "compaction/internal/mm/bitmapff"
+	_ "compaction/internal/mm/bpcompact"
+	_ "compaction/internal/mm/buddy"
+	_ "compaction/internal/mm/fits"
+	_ "compaction/internal/mm/halffit"
+	_ "compaction/internal/mm/improved"
+	_ "compaction/internal/mm/markcompact"
+	_ "compaction/internal/mm/rounding"
+	_ "compaction/internal/mm/segregated"
+	_ "compaction/internal/mm/threshold"
+	_ "compaction/internal/mm/tlsf"
+)
+
+// cannedTraces records the three standing differential inputs: random
+// churn, Robson's adversary, and the paper's P_F, each at small scale.
+// Recording runs against first-fit, which never moves, so the replay
+// is exact (adaptive frees never defer across rounds).
+func cannedTraces(t testing.TB) map[string]*trace.Trace {
+	t.Helper()
+	mk := func(cfg sim.Config, prog sim.Program) *trace.Trace {
+		tr, err := RecordTrace(cfg, prog, "first-fit")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	return map[string]*trace.Trace{
+		"random-churn": mk(
+			sim.Config{M: 1 << 12, N: 1 << 6, C: 16},
+			workload.NewRandom(workload.Config{Seed: 7, Rounds: 60, Dist: workload.Geometric})),
+		"robson": mk(
+			sim.Config{M: 1 << 12, N: 1 << 6, C: 16, Pow2Only: true},
+			robson.New(0)),
+		"pf-small": mk(
+			sim.Config{M: 1 << 12, N: 1 << 5, C: 16, Pow2Only: true},
+			core.NewPF(core.Options{})),
+	}
+}
+
+// TestDifferentialOracleAllManagers is the acceptance gate of the
+// verification subsystem: every registered manager, under both
+// free-space index backends, must replay every canned trace with zero
+// invariant violations, identical results across backends, and heap
+// sizes within the documented envelope.
+func TestDifferentialOracleAllManagers(t *testing.T) {
+	managers := mm.Names()
+	if len(managers) < 10 {
+		t.Fatalf("expected the full manager registry, got %v", managers)
+	}
+	for name, tr := range cannedTraces(t) {
+		t.Run(name, func(t *testing.T) {
+			rep := Differential(tr, managers, 0)
+			if want := 2 * len(managers); len(rep.Cells) != want {
+				t.Fatalf("ran %d cells, want %d", len(rep.Cells), want)
+			}
+			if !rep.Ok() {
+				t.Fatalf("oracle failed:\n%s", rep)
+			}
+		})
+	}
+}
+
+// TestDifferentialFlagsBackendDivergence checks the oracle actually
+// fires: feeding it cells whose results differ must produce a
+// mismatch.
+func TestDifferentialFlagsBackendDivergence(t *testing.T) {
+	tr := &trace.Trace{Program: "synthetic", M: 64, N: 8, C: 16}
+	cells := []DiffCell{
+		{Manager: "x", Index: heap.IndexTreap,
+			Report: Report{Result: sim.Result{HighWater: 10, MaxLive: 10, Config: sim.Config{M: 64}}}},
+		{Manager: "x", Index: heap.IndexSkipList,
+			Report: Report{Result: sim.Result{HighWater: 20, MaxLive: 10, Config: sim.Config{M: 64}}}},
+	}
+	if ms := crossCheck(tr, cells); len(ms) == 0 {
+		t.Fatal("backend divergence not flagged")
+	}
+}
+
+// TestDifferentialFlagsEnvelopeBreach: a heap size far beyond the
+// documented bound must be reported even when both backends agree.
+func TestDifferentialFlagsEnvelopeBreach(t *testing.T) {
+	tr := &trace.Trace{Program: "synthetic", M: 64, N: 8, C: 16}
+	res := sim.Result{HighWater: 64 * 1000, MaxLive: 10, Config: sim.Config{M: 64}}
+	cells := []DiffCell{
+		{Manager: "x", Index: heap.IndexTreap, Report: Report{Result: res}},
+		{Manager: "x", Index: heap.IndexSkipList, Report: Report{Result: res}},
+	}
+	ms := crossCheck(tr, cells)
+	if len(ms) == 0 {
+		t.Fatal("envelope breach not flagged")
+	}
+}
+
+// TestDifferentialFlagsHSBelowLive: HS < MaxLive is impossible in a
+// correct engine and must be reported.
+func TestDifferentialFlagsHSBelowLive(t *testing.T) {
+	tr := &trace.Trace{Program: "synthetic", M: 64, N: 8, C: 16}
+	res := sim.Result{HighWater: 5, MaxLive: 10, Config: sim.Config{M: 64}}
+	cells := []DiffCell{{Manager: "x", Index: heap.IndexTreap, Report: Report{Result: res}}}
+	if ms := crossCheck(tr, cells); len(ms) == 0 {
+		t.Fatal("HS below max live not flagged")
+	}
+}
+
+// TestIndexKindThreadsThroughConfig: the Index field must actually
+// select the backend inside mm.Base-built managers; a quick smoke that
+// both kinds produce identical behaviour on a real run.
+func TestIndexKindThreadsThroughConfig(t *testing.T) {
+	for _, kind := range []heap.IndexKind{heap.IndexTreap, heap.IndexSkipList} {
+		cfg := sim.Config{M: 1 << 10, N: 1 << 5, C: 8, Index: kind}
+		rep, err := Run(cfg, script(), "best-fit")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Err != nil || !rep.Ok() {
+			t.Fatalf("index %v: %s", kind, rep)
+		}
+	}
+}

@@ -91,7 +91,7 @@ type Base struct {
 // Reset implements the corresponding part of sim.Manager.
 func (b *Base) Reset(cfg sim.Config) {
 	b.Cfg = cfg
-	b.FS = heap.NewFreeSpace(cfg.Capacity)
+	b.FS = heap.NewFreeSpaceWith(cfg.Capacity, cfg.Index)
 	b.Objs = make(map[heap.ObjectID]heap.Span)
 }
 

@@ -48,6 +48,10 @@ type Config struct {
 	// MaxRounds aborts runs that do not terminate. Zero selects a
 	// large default.
 	MaxRounds int
+	// Index selects the free-space index backend managers built on
+	// mm.Base use. The zero value is the default treap; differential
+	// verification runs the same trace under every backend.
+	Index heap.IndexKind
 }
 
 // DefaultCapacityFactor is the default heap capacity in units of M.
@@ -76,6 +80,9 @@ func (c Config) Validate() error {
 	}
 	if c.C < budget.NoCompaction {
 		return fmt.Errorf("sim: invalid compaction bound %d", c.C)
+	}
+	if c.Index != heap.IndexTreap && c.Index != heap.IndexSkipList {
+		return fmt.Errorf("sim: unknown free-space index backend %d", c.Index)
 	}
 	return nil
 }
@@ -186,6 +193,11 @@ var (
 	// ErrManager marks a violation by the manager (overlap, budget,
 	// capacity, allocation failure).
 	ErrManager = errors.New("sim: manager violated the model")
+	// ErrMaxRounds marks a run aborted because it reached
+	// Config.MaxRounds without the program declaring itself done. It is
+	// a program violation (the model requires termination), so it also
+	// matches ErrProgram.
+	ErrMaxRounds = fmt.Errorf("%w: round limit exceeded", ErrProgram)
 )
 
 // Engine couples one program with one manager for one run.
@@ -250,7 +262,7 @@ func (e *Engine) Run() (Result, error) {
 			return e.result(), nil
 		}
 	}
-	return e.result(), fmt.Errorf("%w: run exceeded %d rounds", ErrProgram, e.cfg.MaxRounds)
+	return e.result(), fmt.Errorf("%w: run exceeded %d rounds", ErrMaxRounds, e.cfg.MaxRounds)
 }
 
 func (e *Engine) doFrees(frees []heap.ObjectID) error {

@@ -68,8 +68,19 @@ func Run(cells []Cell, parallelism int) []Outcome {
 	return out
 }
 
-func runCell(c Cell) Outcome {
-	o := Outcome{Cell: c}
+func runCell(c Cell) (o Outcome) {
+	o = Outcome{Cell: c}
+	// A panicking program or manager must fail its own cell, not tear
+	// down the whole sweep (and with it every other cell's result).
+	defer func() {
+		if r := recover(); r != nil {
+			o.Err = fmt.Errorf("sweep: cell %q manager %q panicked: %v", c.Label, c.Manager, r)
+		}
+	}()
+	if c.Program == nil {
+		o.Err = fmt.Errorf("sweep: cell %q manager %q has no program constructor", c.Label, c.Manager)
+		return o
+	}
 	mgr, err := mm.New(c.Manager)
 	if err != nil {
 		o.Err = err

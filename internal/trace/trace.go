@@ -254,7 +254,9 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 	if nRounds > maxDecodeLen {
 		return nil, fmt.Errorf("trace: round count %d exceeds limit", nRounds)
 	}
-	t.Rounds = make([]Round, nRounds)
+	if nRounds > 0 {
+		t.Rounds = make([]Round, nRounds)
+	}
 	for i := range t.Rounds {
 		nf, err := binary.ReadUvarint(br)
 		if err != nil {
