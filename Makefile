@@ -5,7 +5,10 @@ GO ?= go
 FUZZTIME ?= 10s
 FUZZ_TARGETS := FuzzManagerTrace FuzzFreeIndex FuzzBoundsMonotone FuzzTraceRoundtrip
 
-.PHONY: all build test vet race fuzz-smoke check clean
+BENCH_PATTERN := BenchmarkSim1PF|BenchmarkAllocatorThroughput
+BENCH_OUT := bench.out
+
+.PHONY: all build test vet race fuzz-smoke check bench bench-check clean
 
 all: build
 
@@ -36,6 +39,21 @@ fuzz-smoke:
 	done
 
 check: test vet race fuzz-smoke
+
+# Run the gated benchmarks once and refresh the committed baseline.
+# Commit the updated BENCH_sim.json together with the change that
+# shifted the numbers.
+bench: build
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime 1x . | tee $(BENCH_OUT)
+	$(GO) run ./cmd/benchdiff -write BENCH_sim.json $(BENCH_OUT)
+
+# Run the gated benchmarks and fail if any measurement drifts beyond
+# the tolerances documented in cmd/benchdiff. CI runs this as a
+# non-blocking job (shared runners make wall clock noisy); treat a
+# local failure as a real signal.
+bench-check: build
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime 1x . | tee $(BENCH_OUT)
+	$(GO) run ./cmd/benchdiff -check BENCH_sim.json $(BENCH_OUT)
 
 clean:
 	$(GO) clean ./...

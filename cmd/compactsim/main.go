@@ -58,20 +58,22 @@ import (
 
 func main() {
 	var (
-		adv      = flag.String("adversary", "pf", "program: pf, robson, pw, random, rampdown")
-		manager  = flag.String("manager", "all", `manager name or "all"`)
-		mFlag    = word.NewFlagSize(flag.CommandLine, "M", 1<<16, "live-space bound M in words (e.g. 64Ki, 256Mi)")
-		nFlag    = word.NewFlagSize(flag.CommandLine, "n", 1<<8, "largest object size in words (e.g. 256, 1Mi)")
-		cFlag    = flag.Int64("c", 16, "compaction bound (0 = unlimited, -1 = none)")
-		seed     = flag.Int64("seed", 1, "seed for random workloads")
-		rounds   = flag.Int("rounds", 100, "rounds for random workloads")
-		ell      = flag.Int("ell", 0, "fix P_F's density exponent ℓ (0 = optimal)")
-		showMap  = flag.Bool("heapmap", false, "print an ASCII occupancy map after each run")
-		sweepCs  = flag.String("sweep", "", "comma-separated c values: run the manager matrix in parallel")
-		csvOut   = flag.String("csv", "", "write sweep results as CSV to this file")
-		seeds    = flag.Int("seeds", 1, "run seed-driven workloads this many times and report mean±sd")
-		checkRun = flag.Bool("check", false, "referee the run: re-verify every model invariant independently")
-		replay   = flag.String("replay", "", "replay a recorded trace artifact instead of an adversary")
+		adv        = flag.String("adversary", "pf", "program: pf, robson, pw, random, rampdown")
+		manager    = flag.String("manager", "all", `manager name or "all"`)
+		mFlag      = word.NewFlagSize(flag.CommandLine, "M", 1<<16, "live-space bound M in words (e.g. 64Ki, 256Mi)")
+		nFlag      = word.NewFlagSize(flag.CommandLine, "n", 1<<8, "largest object size in words (e.g. 256, 1Mi)")
+		cFlag      = flag.Int64("c", 16, "compaction bound (0 = unlimited, -1 = none)")
+		seed       = flag.Int64("seed", 1, "seed for random workloads")
+		rounds     = flag.Int("rounds", 100, "rounds for random workloads")
+		ell        = flag.Int("ell", 0, "fix P_F's density exponent ℓ (0 = optimal)")
+		showMap    = flag.Bool("heapmap", false, "print an ASCII occupancy map after each run")
+		sweepCs    = flag.String("sweep", "", "comma-separated c values: run the manager matrix in parallel")
+		csvOut     = flag.String("csv", "", "write sweep results as CSV to this file")
+		seeds      = flag.Int("seeds", 1, "run seed-driven workloads this many times and report mean±sd")
+		checkRun   = flag.Bool("check", false, "referee the run: re-verify every model invariant independently")
+		checkEvery = flag.Int("checkevery", 1, "with -check, sample the referee's full-heap sweep every k rounds "+
+			"(k > 1 keeps refereed paper-scale runs affordable; per-op bookkeeping stays exact)")
+		replay = flag.String("replay", "", "replay a recorded trace artifact instead of an adversary")
 	)
 	flag.Parse()
 	var err error
@@ -88,7 +90,7 @@ func main() {
 			adv: *adv, manager: *manager,
 			m: mFlag.Size(), n: nFlag.Size(), c: *cFlag,
 			seed: *seed, rounds: *rounds, ell: *ell,
-			showMap: *showMap, check: *checkRun, replay: *replay,
+			showMap: *showMap, check: *checkRun, checkEvery: *checkEvery, replay: *replay,
 		})
 	}
 	if err != nil {
@@ -221,6 +223,7 @@ type runOpts struct {
 	rounds, ell  int
 	showMap      bool
 	check        bool
+	checkEvery   int
 	replay       string
 }
 
@@ -261,6 +264,7 @@ func run(o runOpts) error {
 		var ref *check.Referee
 		if o.check {
 			ref = check.NewReferee(mgr)
+			ref.SetSampleEvery(o.checkEvery)
 			mgr = ref
 		}
 		e, err := sim.NewEngine(cfg, makeProg(), mgr)
@@ -269,6 +273,7 @@ func run(o runOpts) error {
 		}
 		if ref != nil {
 			e.RoundHook = ref.CheckRound
+			e.RoundHookEvery = o.checkEvery
 		}
 		res, err := e.Run()
 		if ref != nil {

@@ -24,6 +24,7 @@ package check
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -95,6 +96,13 @@ type Referee struct {
 	lastHW    word.Addr // engine-reported HW of the previous round
 	round     int
 
+	// sampleEvery > 1 switches the shadow into sampled mode: the flat
+	// sorted span table is not maintained per operation (each insert or
+	// remove is an O(live) memmove, which dominates paper-scale runs);
+	// instead the whole table is rebuilt from byID and verified for
+	// overlap when CheckRound fires. Counters and byID stay exact.
+	sampleEvery int
+
 	violations []Violation
 }
 
@@ -105,6 +113,18 @@ var (
 
 // NewReferee wraps inner.
 func NewReferee(inner sim.Manager) *Referee { return &Referee{inner: inner} }
+
+// SetSampleEvery selects sampled verification: with every > 1 the
+// per-operation overlap check against the sorted shadow is replaced by
+// a wholesale rebuild-and-verify at each CheckRound call (pair it with
+// sim.Engine.RoundHookEvery so hooks fire every `every` rounds; see
+// RunSampled). An overlap that both appears and disappears strictly
+// between sampled rounds goes unseen — the price of sampling. Every <=
+// 1 restores exact per-operation checking. The setting survives Reset.
+func (r *Referee) SetSampleEvery(every int) { r.sampleEvery = every }
+
+// sampled reports whether the per-op sorted shadow is disabled.
+func (r *Referee) sampled() bool { return r.sampleEvery > 1 }
 
 // Name implements sim.Manager; the referee is transparent.
 func (r *Referee) Name() string { return r.inner.Name() }
@@ -177,7 +197,7 @@ func (r *Referee) place(op string, id heap.ObjectID, s heap.Span) {
 	if s.Addr < 0 || s.End() > r.cfg.Capacity {
 		r.report(RuleCapacity, op, "object %d span %v outside heap [0, %d)", id, s, r.cfg.Capacity)
 	}
-	if !r.shadowClear(s) {
+	if !r.sampled() && !r.shadowClear(s) {
 		r.report(RuleOverlap, op, "object %d span %v overlaps a live object", id, s)
 		return
 	}
@@ -186,7 +206,9 @@ func (r *Referee) place(op string, id heap.ObjectID, s heap.Span) {
 		return
 	}
 	r.byID[id] = s
-	r.shadowInsert(s)
+	if !r.sampled() {
+		r.shadowInsert(s)
+	}
 	r.live += s.Size
 	if r.live > r.maxLive {
 		r.maxLive = r.live
@@ -206,7 +228,9 @@ func (r *Referee) drop(op string, id heap.ObjectID) {
 		return
 	}
 	delete(r.byID, id)
-	r.shadowRemove(s)
+	if !r.sampled() {
+		r.shadowRemove(s)
+	}
 	r.live -= s.Size
 }
 
@@ -277,6 +301,36 @@ func (r *Referee) CheckRound(res sim.Result) {
 		r.report(RuleHighWater, "round", "engine HS=%d, shadow HS=%d", res.HighWater, r.highWater)
 	}
 	r.lastHW = res.HighWater
+	if r.sampled() {
+		r.verifyShadow()
+	}
+}
+
+// verifyShadow rebuilds the sorted span table from byID and checks the
+// overlap and live-sum invariants wholesale (sampled mode's substitute
+// for the per-operation checks).
+func (r *Referee) verifyShadow() {
+	spans := r.addrs[:0]
+	var sum word.Size
+	for _, s := range r.byID {
+		spans = append(spans, s)
+		sum += s.Size
+	}
+	slices.SortFunc(spans, func(a, b heap.Span) int {
+		if a.Addr < b.Addr {
+			return -1
+		}
+		return 1
+	})
+	r.addrs = spans
+	for i := 1; i < len(spans); i++ {
+		if spans[i-1].End() > spans[i].Addr {
+			r.report(RuleOverlap, "round", "live objects %v and %v overlap", spans[i-1], spans[i])
+		}
+	}
+	if sum != r.live {
+		r.report(RuleBookkeeping, "round", "live counter %d, shadow sums to %d", r.live, sum)
+	}
 }
 
 // HighWater returns the shadow high-water mark.
@@ -310,7 +364,9 @@ func (s *spyMover) Move(id heap.ObjectID, to word.Addr) (bool, error) {
 	// Re-place: remove the old span first so an overlapping slide is
 	// legal, exactly as the model allows.
 	delete(r.byID, id)
-	r.shadowRemove(old)
+	if !r.sampled() {
+		r.shadowRemove(old)
+	}
 	r.live -= old.Size
 	r.place("move", id, ns)
 	if freed {
@@ -368,6 +424,31 @@ func Run(cfg sim.Config, prog sim.Program, manager string) (Report, error) {
 		return Report{}, err
 	}
 	e.RoundHook = ref.CheckRound
+	res, rerr := e.Run()
+	return Report{Result: res, Err: rerr, Violations: ref.Violations()}, nil
+}
+
+// RunSampled is Run with sampled verification: the referee skips its
+// per-operation sorted-shadow maintenance (O(live) per alloc/free/move)
+// and instead verifies the rebuilt shadow at every `every`-th round
+// hook; the engine's RoundHookEvery is set to match. Counters and the
+// per-ID table remain exact throughout, so budget, live-bound,
+// high-water and bookkeeping checks lose no precision — only overlap
+// detection is sampled. Use for paper-scale runs (M ≥ 2^20) where
+// exact checking is quadratic.
+func RunSampled(cfg sim.Config, prog sim.Program, manager string, every int) (Report, error) {
+	mgr, err := mm.New(manager)
+	if err != nil {
+		return Report{}, err
+	}
+	ref := NewReferee(mgr)
+	ref.SetSampleEvery(every)
+	e, err := sim.NewEngine(cfg, prog, ref)
+	if err != nil {
+		return Report{}, err
+	}
+	e.RoundHook = ref.CheckRound
+	e.RoundHookEvery = every
 	res, rerr := e.Run()
 	return Report{Result: res, Err: rerr, Violations: ref.Violations()}, nil
 }

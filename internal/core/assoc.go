@@ -2,11 +2,18 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"compaction/internal/heap"
 	"compaction/internal/word"
 )
+
+// trimEnt pairs an association entry with its portion for the
+// deterministic trim ordering.
+type trimEnt struct {
+	o *object
+	p portion
+}
 
 // portion says how much of an object a chunk's association set holds:
 // the whole object, or exactly half of it (Section 4's half-objects:
@@ -31,6 +38,42 @@ type object struct {
 	// freed but is still counted by the program at its original address
 	// (Definition 4.1).
 	ghost bool
+	// wchunks[:nw] lists the chunks holding this object's associations
+	// and wp the portion held by each (one full entry, or two halves).
+	// Keeping the entries inline on the object replaces per-chunk maps
+	// that dominated stage-II allocation churn.
+	nw      uint8
+	wchunks [2]int64
+	wp      [2]portion
+}
+
+// addWhere records chunk d holding portion p of the object.
+func (o *object) addWhere(d int64, p portion) {
+	if o.nw >= 2 {
+		panic(fmt.Sprintf("core: object %d associated with more than two chunks", o.id))
+	}
+	o.wchunks[o.nw] = d
+	o.wp[o.nw] = p
+	o.nw++
+}
+
+// whereIndex returns the position of chunk d in the list, or -1.
+func (o *object) whereIndex(d int64) int {
+	for i := uint8(0); i < o.nw; i++ {
+		if o.wchunks[i] == d {
+			return int(i)
+		}
+	}
+	return -1
+}
+
+// delWhere removes chunk d from the list.
+func (o *object) delWhere(d int64) {
+	if i := o.whereIndex(d); i >= 0 {
+		o.nw--
+		o.wchunks[i] = o.wchunks[o.nw]
+		o.wp[i] = o.wp[o.nw]
+	}
 }
 
 func (o *object) size() word.Size { return o.span.Size }
@@ -40,13 +83,24 @@ func (o *object) size() word.Size { return o.span.Size }
 // chunks, and the step-change merging. Chunk k at step i spans
 // [k·2^i, (k+1)·2^i).
 type chunkTable struct {
-	step   int // current step i; chunk size is 2^i
-	ell    int // density exponent ℓ; the target density is 2^-ℓ
-	chunks map[int64]map[*object]portion
+	step int // current step i; chunk size is 2^i
+	ell  int // density exponent ℓ; the target density is 2^-ℓ
+	// chunks lists the objects of each non-empty set O_D; the portion
+	// each entry holds lives on the object itself (wchunks/wp). Entry
+	// order within a chunk is arbitrary and never load-bearing — every
+	// consumer either sums or sorts by a total order.
+	chunks map[int64][]*object
 	inE    map[int64]bool
-	// where tracks which chunks hold an association for each object
-	// (one chunk for full, two for halves).
-	where map[*object][]int64
+
+	// Reused scratch buffers for the per-round scans.
+	coverBuf []int64
+	idxBuf   []int64
+	trimBuf  []trimEnt
+	dsBuf    []dsEnt
+	// entPool recycles emptied entry slices: every doubleStep retires
+	// half the chunks and every placeNew clears three, so without
+	// reuse the entry storage dominates stage-II allocation.
+	entPool [][]*object
 
 	// Diagnostics for the Claim 4.16 accounting: accumulated prior
 	// potential of chunks overwritten by placeNew, split by whether it
@@ -54,13 +108,19 @@ type chunkTable struct {
 	reusedDeadU, reusedEU word.Size
 }
 
+// dsEnt carries one association across a doubleStep rebuild.
+type dsEnt struct {
+	o  *object
+	nd int64
+	p  portion
+}
+
 func newChunkTable(step, ell int) *chunkTable {
 	return &chunkTable{
 		step:   step,
 		ell:    ell,
-		chunks: make(map[int64]map[*object]portion),
+		chunks: make(map[int64][]*object),
 		inE:    make(map[int64]bool),
-		where:  make(map[*object][]int64),
 	}
 }
 
@@ -80,10 +140,18 @@ func contribution(o *object, p portion) word.Size {
 // object or a new object is placed on the chunk.
 func (t *chunkTable) sum(d int64) word.Size {
 	var s word.Size
-	for o, p := range t.chunks[d] {
-		s += contribution(o, p)
+	for _, o := range t.chunks[d] {
+		s += contribution(o, o.wp[o.whereIndex(d)])
 	}
 	return s
+}
+
+// entry returns o's portion in chunk d, if associated.
+func (t *chunkTable) entry(d int64, o *object) (portion, bool) {
+	if i := o.whereIndex(d); i >= 0 {
+		return o.wp[i], true
+	}
+	return 0, false
 }
 
 // associateFull records a whole-object association (line 9 of
@@ -92,61 +160,68 @@ func (t *chunkTable) associateFull(o *object, d int64) {
 	t.addEntry(o, d, full)
 }
 
-func (t *chunkTable) addEntry(o *object, d int64, p portion) {
-	set := t.chunks[d]
-	if set == nil {
-		set = make(map[*object]portion)
-		t.chunks[d] = set
+// getEnts returns an empty entry slice, reusing a pooled one.
+func (t *chunkTable) getEnts() []*object {
+	if n := len(t.entPool); n > 0 {
+		s := t.entPool[n-1]
+		t.entPool = t.entPool[:n-1]
+		return s
 	}
-	if prev, ok := set[o]; ok {
-		if prev == half && p == half {
+	return make([]*object, 0, 2)
+}
+
+func (t *chunkTable) putEnts(s []*object) {
+	for i := range s {
+		s[i] = nil // do not retain dead objects through the pool
+	}
+	t.entPool = append(t.entPool, s[:0])
+}
+
+func (t *chunkTable) addEntry(o *object, d int64, p portion) {
+	if i := o.whereIndex(d); i >= 0 {
+		if o.wp[i] == half && p == half {
 			// Two halves of the same object in one chunk merge into a
-			// full association; the existing where entry stays as the
-			// single record for the merged full entry.
-			set[o] = full
+			// full association, a single entry.
+			o.wp[i] = full
 			return
 		}
 		panic(fmt.Sprintf("core: duplicate association of object %d with chunk %d", o.id, d))
 	}
-	set[o] = p
-	t.where[o] = append(t.where[o], d)
+	ents := t.chunks[d]
+	if ents == nil {
+		ents = t.getEnts()
+	}
+	t.chunks[d] = append(ents, o)
+	o.addWhere(d, p)
 	delete(t.inE, d) // an associated chunk is never a middle chunk
 }
 
 // removeEntry drops the association of o with chunk d.
 func (t *chunkTable) removeEntry(o *object, d int64) {
-	set := t.chunks[d]
-	if _, ok := set[o]; !ok {
+	ents := t.chunks[d]
+	i := slices.Index(ents, o)
+	if i < 0 {
 		panic(fmt.Sprintf("core: object %d not associated with chunk %d", o.id, d))
 	}
-	delete(set, o)
-	if len(set) == 0 {
+	last := len(ents) - 1
+	ents[i] = ents[last]
+	ents[last] = nil
+	ents = ents[:last]
+	if len(ents) == 0 {
 		delete(t.chunks, d)
-	}
-	t.removeWhereOnce(o, d)
-}
-
-func (t *chunkTable) removeWhereOnce(o *object, d int64) {
-	ws := t.where[o]
-	for i, w := range ws {
-		if w == d {
-			ws = append(ws[:i], ws[i+1:]...)
-			break
-		}
-	}
-	if len(ws) == 0 {
-		delete(t.where, o)
+		t.putEnts(ents)
 	} else {
-		t.where[o] = ws
+		t.chunks[d] = ents
 	}
+	o.delWhere(d)
 }
 
 // otherChunk returns the chunk holding the other half of o, given one
 // of its chunks.
 func (t *chunkTable) otherChunk(o *object, d int64) (int64, bool) {
-	for _, w := range t.where[o] {
-		if w != d {
-			return w, true
+	for i := uint8(0); i < o.nw; i++ {
+		if o.wchunks[i] != d {
+			return o.wchunks[i], true
 		}
 	}
 	return 0, false
@@ -158,19 +233,27 @@ func (t *chunkTable) otherChunk(o *object, d int64) (int64, bool) {
 func (t *chunkTable) doubleStep() {
 	old := t.chunks
 	t.step++
-	t.chunks = make(map[int64]map[*object]portion, len(old))
+	t.chunks = make(map[int64][]*object, len(old))
 	t.inE = make(map[int64]bool)
-	t.where = make(map[*object][]int64)
-	for d, set := range old {
+	// Collect every entry with its portion first: the on-object lists
+	// are both the source (old portions) and the destination (new
+	// chunks), and an object's entries can straddle two old chunks, so
+	// they can only be reset once all its entries are gathered.
+	buf := t.dsBuf[:0]
+	for d, ents := range old {
 		nd := d >> 1
-		for o, p := range set {
-			if p == full {
-				t.addEntry(o, nd, full)
-			} else {
-				t.addEntry(o, nd, half) // addEntry merges meeting halves
-			}
+		for _, o := range ents {
+			buf = append(buf, dsEnt{o: o, nd: nd, p: o.wp[o.whereIndex(d)]})
 		}
+		t.putEnts(ents)
 	}
+	for _, e := range buf {
+		e.o.nw = 0
+	}
+	for _, e := range buf {
+		t.addEntry(e.o, e.nd, e.p) // addEntry merges meeting halves
+	}
+	t.dsBuf = buf
 }
 
 // placeNew implements the association updates of line 14: the newly
@@ -181,7 +264,7 @@ func (t *chunkTable) doubleStep() {
 // physically empty for the placement), which is asserted.
 func (t *chunkTable) placeNew(o *object, d1, d2, d3 int64) {
 	cs := t.chunkSize()
-	for _, d := range []int64{d1, d2, d3} {
+	for _, d := range [3]int64{d1, d2, d3} {
 		if t.inE[d] {
 			t.reusedEU += cs
 		} else if s := t.sum(d); s > 0 {
@@ -191,8 +274,12 @@ func (t *chunkTable) placeNew(o *object, d1, d2, d3 int64) {
 			}
 			t.reusedDeadU += v
 		}
-		set := t.chunks[d]
-		for prev := range set {
+		for {
+			ents := t.chunks[d]
+			if len(ents) == 0 {
+				break
+			}
+			prev := ents[len(ents)-1]
 			if prev.live {
 				panic(fmt.Sprintf("core: live object %d still associated with overwritten chunk %d", prev.id, d))
 			}
@@ -206,24 +293,29 @@ func (t *chunkTable) placeNew(o *object, d1, d2, d3 int64) {
 }
 
 // coveredChunks returns the indices of the chunks fully covered by
-// span s at the current step, in address order.
+// span s at the current step, in address order. The returned slice
+// aliases a scratch buffer valid until the next call.
 func (t *chunkTable) coveredChunks(s heap.Span) []int64 {
 	cs := t.chunkSize()
 	first := word.AlignUp(s.Addr, cs) / cs
-	var out []int64
+	out := t.coverBuf[:0]
 	for k := first; (k+1)*cs <= s.End(); k++ {
 		out = append(out, k)
 	}
+	t.coverBuf = out
 	return out
 }
 
 // sortedChunkIndices returns the indices of non-empty chunks in order.
+// The returned slice aliases a scratch buffer valid until the next
+// call.
 func (t *chunkTable) sortedChunkIndices() []int64 {
-	idx := make([]int64, 0, len(t.chunks))
+	idx := t.idxBuf[:0]
 	for d := range t.chunks {
 		idx = append(idx, d)
 	}
-	sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+	slices.Sort(idx)
+	t.idxBuf = idx
 	return idx
 }
 
@@ -261,28 +353,33 @@ func (t *chunkTable) trim(freeCb func(*object)) {
 // trimChunk processes one chunk; enqueue is called for chunks that
 // received a transferred half and need re-evaluation.
 func (t *chunkTable) trimChunk(d int64, threshold word.Size, freeCb func(*object), enqueue func(int64)) bool {
-	set := t.chunks[d]
-	if len(set) == 0 {
+	ents := t.chunks[d]
+	if len(ents) == 0 {
 		return false
 	}
 	// Deterministic order: largest contribution first, ties by id.
-	type ent struct {
-		o *object
-		p portion
-	}
-	entries := make([]ent, 0, len(set))
+	entries := t.trimBuf[:0]
 	sum := word.Size(0)
-	for o, p := range set {
-		entries = append(entries, ent{o, p})
+	for _, o := range ents {
+		p := o.wp[o.whereIndex(d)]
+		entries = append(entries, trimEnt{o, p})
 		sum += contribution(o, p)
 	}
-	sort.Slice(entries, func(i, j int) bool {
-		ci, cj := contribution(entries[i].o, entries[i].p), contribution(entries[j].o, entries[j].p)
-		if ci != cj {
-			return ci > cj
+	slices.SortFunc(entries, func(a, b trimEnt) int {
+		ca, cb := contribution(a.o, a.p), contribution(b.o, b.p)
+		switch {
+		case ca != cb:
+			if ca > cb {
+				return -1
+			}
+			return 1
+		case a.o.id < b.o.id:
+			return -1
+		default:
+			return 1
 		}
-		return entries[i].o.id < entries[j].o.id
 	})
+	t.trimBuf = entries
 	for _, e := range entries {
 		if !e.o.live {
 			continue // dead entries hold density but cannot be freed
@@ -309,7 +406,7 @@ func (t *chunkTable) trimChunk(d int64, threshold word.Size, freeCb func(*object
 			panic(fmt.Sprintf("core: half object %d has no other chunk", e.o.id))
 		}
 		t.removeEntry(e.o, d)
-		t.chunks[other][e.o] = full
+		e.o.wp[e.o.whereIndex(other)] = full
 		enqueue(other)
 	}
 	return false
@@ -322,8 +419,12 @@ func (t *chunkTable) trimChunk(d int64, threshold word.Size, freeCb func(*object
 func (t *chunkTable) potential(n word.Size) word.Size {
 	cs := t.chunkSize()
 	var u word.Size
-	for d := range t.chunks {
-		v := t.sum(d) << uint(t.ell)
+	for d, ents := range t.chunks {
+		var s word.Size
+		for _, o := range ents {
+			s += contribution(o, o.wp[o.whereIndex(d)])
+		}
+		v := s << uint(t.ell)
 		if v > cs {
 			v = cs
 		}

@@ -108,7 +108,7 @@ func TestHalfFreeTransfersAndCascades(t *testing.T) {
 	if b.live == true {
 		t.Fatal("b should have been freed from the re-evaluated C1")
 	}
-	if got, ok := tab.chunks[1][o]; !ok || got != full {
+	if got, ok := tab.entry(1, o); !ok || got != full {
 		t.Fatalf("o should be fully associated with C1, got %v ok=%v", got, ok)
 	}
 	if tab.sum(0) != 16 || tab.sum(1) != 4 {
@@ -132,14 +132,14 @@ func TestDoubleStepMergesChunksAndHalves(t *testing.T) {
 	}
 	// C0+C1 merge into new chunk 0; the two halves of o must merge to
 	// a full entry.
-	if p, ok := tab.chunks[0][o]; !ok || p != full {
+	if p, ok := tab.entry(0, o); !ok || p != full {
 		t.Fatalf("merged halves: got %v ok=%v, want full", p, ok)
 	}
 	if tab.sum(0) != 4 {
 		t.Fatalf("sum(0) = %d, want 4", tab.sum(0))
 	}
 	// solo moves from chunk 2 to chunk 1.
-	if p, ok := tab.chunks[1][solo]; !ok || p != full {
+	if p, ok := tab.entry(1, solo); !ok || p != full {
 		t.Fatalf("solo not in merged chunk 1: %v %v", p, ok)
 	}
 	// E is cleared at step change.
@@ -155,10 +155,10 @@ func TestPlaceNewResetsChunksAndE(t *testing.T) {
 	o := obj(2, 6, 32, true) // covers C1, C2, C3 fully
 	tab.placeNew(o, 1, 2, 3)
 
-	if p, ok := tab.chunks[1][o]; !ok || p != half {
+	if p, ok := tab.entry(1, o); !ok || p != half {
 		t.Fatalf("D1 association: %v %v", p, ok)
 	}
-	if p, ok := tab.chunks[3][o]; !ok || p != half {
+	if p, ok := tab.entry(3, o); !ok || p != half {
 		t.Fatalf("D3 association: %v %v", p, ok)
 	}
 	if len(tab.chunks[2]) != 0 {
@@ -167,7 +167,7 @@ func TestPlaceNewResetsChunksAndE(t *testing.T) {
 	if !tab.inE[2] {
 		t.Fatal("D2 not in E")
 	}
-	if _, ok := tab.chunks[1][dead]; ok {
+	if _, ok := tab.entry(1, dead); ok {
 		t.Fatal("dead remnant survived placeNew")
 	}
 	// sums: each half of the 32-word object contributes 16, capped by

@@ -14,8 +14,8 @@ import (
 //
 // Checked invariants:
 //
-//  1. the sets O_D are consistent: every association entry is indexed
-//     by the object's `where` list and vice versa;
+//  1. the sets O_D are consistent: every association entry appears in
+//     the object's on-object chunk list and vice versa;
 //  2. every object is associated with exactly one chunk (full) or two
 //     chunks (one half each);
 //  3. every LIVE associated object physically intersects each chunk it
@@ -39,7 +39,11 @@ func (p *PF) Audit() error {
 			return fmt.Errorf("core audit: chunk %d is in E but has %d entries", d, len(set))
 		}
 		var sum word.Size
-		for o, portionOf := range set {
+		for _, o := range set {
+			portionOf, ok := t.entry(d, o)
+			if !ok {
+				return fmt.Errorf("core audit: chunk %d entry for object %d missing from its chunk list", d, o.id)
+			}
 			seen[o] = append(seen[o], d)
 			sum += contribution(o, portionOf)
 			if o.live {
@@ -55,26 +59,26 @@ func (p *PF) Audit() error {
 		}
 	}
 
-	// 2: object-side consistency against `where`.
+	// 2: object-side consistency against the on-object chunk lists.
 	for o, ds := range seen {
 		if len(ds) > 2 {
 			return fmt.Errorf("core audit: object %d associated with %d chunks", o.id, len(ds))
 		}
-		if len(t.where[o]) != len(ds) {
-			return fmt.Errorf("core audit: object %d where-list has %d entries, chunks show %d",
-				o.id, len(t.where[o]), len(ds))
+		if int(o.nw) != len(ds) {
+			return fmt.Errorf("core audit: object %d chunk list has %d entries, chunks show %d",
+				o.id, o.nw, len(ds))
 		}
 		if len(ds) == 2 {
 			for _, d := range ds {
-				if t.chunks[d][o] != half {
+				if p, _ := t.entry(d, o); p != half {
 					return fmt.Errorf("core audit: object %d in two chunks but not as halves", o.id)
 				}
 			}
 		}
 	}
-	for o, ws := range t.where {
-		if len(seen[o]) != len(ws) {
-			return fmt.Errorf("core audit: object %d has stale where entries", o.id)
+	for _, o := range p.objs {
+		if o != nil && int(o.nw) != len(seen[o]) {
+			return fmt.Errorf("core audit: object %d has stale chunk-list entries", o.id)
 		}
 	}
 

@@ -23,7 +23,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"compaction/internal/adversary"
 	"compaction/internal/bounds"
@@ -63,12 +63,24 @@ type PF struct {
 	x           float64 // per-step allocation fraction of line 14
 	hEll        float64 // Theorem 1 bound at the chosen ℓ
 
-	round  int
-	f      word.Addr // Robson offset f_i
-	objs   map[heap.ObjectID]*object
+	round int
+	f     word.Addr // Robson offset f_i
+	// objs is indexed by ObjectID (the engine hands out sequential
+	// IDs); nil marks an untracked slot. Object records live in arena
+	// pages so their addresses stay stable without a per-object
+	// allocation.
+	objs   []*object
+	arena  []object
 	liveW  word.Size // live words (engine ground truth mirror)
 	table  *chunkTable
 	stage2 bool
+
+	// Reused per-step scratch buffers. The engine consumes frees within
+	// the step and the trace recorder copies allocs, so both may be
+	// overwritten by the next step.
+	allocBuf   []word.Size
+	freeBuf    []heap.ObjectID
+	trackedBuf []adversary.Tracked
 
 	// uFirst is the potential right after the line-9 association, the
 	// quantity Lemma 4.5 bounds from below (exposed for validation).
@@ -79,7 +91,50 @@ var _ sim.Program = (*PF)(nil)
 
 // NewPF builds the adversary.
 func NewPF(opts Options) *PF {
-	return &PF{opts: opts, objs: make(map[heap.ObjectID]*object)}
+	return &PF{opts: opts}
+}
+
+// arenaPageSize is the number of object records per arena page.
+const arenaPageSize = 8192
+
+// newObject carves a stable-address object record from the arena.
+func (p *PF) newObject(id heap.ObjectID, s heap.Span) *object {
+	if len(p.arena) == cap(p.arena) {
+		p.arena = make([]object, 0, arenaPageSize)
+	}
+	p.arena = append(p.arena, object{id: id, span: s, live: true})
+	return &p.arena[len(p.arena)-1]
+}
+
+// obj returns the tracked object with the given ID, or nil.
+func (p *PF) obj(id heap.ObjectID) *object {
+	if int64(id) < int64(len(p.objs)) {
+		return p.objs[id]
+	}
+	return nil
+}
+
+func (p *PF) setObj(id heap.ObjectID, o *object) {
+	for int64(id) >= int64(len(p.objs)) {
+		p.objs = append(p.objs, nil)
+	}
+	p.objs[id] = o
+}
+
+func (p *PF) delObj(id heap.ObjectID) {
+	if int64(id) < int64(len(p.objs)) {
+		p.objs[id] = nil
+	}
+}
+
+// fillAllocs returns a reused buffer holding count copies of size.
+func (p *PF) fillAllocs(count, size word.Size) []word.Size {
+	buf := p.allocBuf[:0]
+	for i := word.Size(0); i < count; i++ {
+		buf = append(buf, size)
+	}
+	p.allocBuf = buf
+	return buf
 }
 
 // Name implements sim.Program.
@@ -127,6 +182,14 @@ func (p *PF) init(v *sim.View) error {
 	if p.x <= 0 {
 		return fmt.Errorf("core: non-positive allocation fraction x=%g (h=%g, ℓ=%d)", p.x, p.hEll, p.ell)
 	}
+	if !p.opts.DisableStage1 {
+		// Pre-size the per-run buffers to their stage-I peaks (step 0
+		// allocates M unit objects) so the hot loop never re-grows them.
+		p.allocBuf = make([]word.Size, 0, p.m)
+		p.freeBuf = make([]heap.ObjectID, 0, p.m/2+1)
+		p.trackedBuf = make([]adversary.Tracked, 0, p.m)
+		p.objs = make([]*object, 0, p.m+1)
+	}
 	p.initialized = true
 	return nil
 }
@@ -172,19 +235,15 @@ func (p *PF) stage1(step int) ([]heap.ObjectID, []word.Size) {
 	switch {
 	case step == 0:
 		p.f = 0
-		allocs := make([]word.Size, p.m)
-		for i := range allocs {
-			allocs[i] = 1
-		}
-		return nil, allocs
+		return nil, p.fillAllocs(p.m, 1)
 	case step <= p.ell:
 		align := word.Pow2(step)
 		tracked := p.trackedStage1()
 		p.f = adversary.ChooseOffset(tracked, p.f, align)
-		var frees []heap.ObjectID
+		frees := p.freeBuf[:0]
 		var counted word.Size // live + ghost words that remain
 		for _, tr := range tracked {
-			o := p.objs[tr.ID]
+			o := p.obj(tr.ID)
 			if adversary.Occupying(o.span, p.f, align) {
 				counted += o.size()
 				continue
@@ -195,28 +254,38 @@ func (p *PF) stage1(step int) ([]heap.ObjectID, []word.Size) {
 				p.liveW -= o.size()
 			}
 			// Non-occupying ghosts disappear from consideration.
-			delete(p.objs, o.id)
+			p.delObj(o.id)
 		}
+		p.freeBuf = frees
 		count := (p.m - counted) / align
-		allocs := make([]word.Size, count)
-		for i := range allocs {
-			allocs[i] = align
-		}
-		return frees, allocs
+		return frees, p.fillAllocs(count, align)
 	default:
 		return nil, nil // null steps ℓ+1..2ℓ−1
 	}
 }
 
-// trackedStage1 returns live objects and ghosts in address order.
+// trackedStage1 returns live objects and ghosts in address order,
+// reusing a scratch buffer.
 func (p *PF) trackedStage1() []adversary.Tracked {
-	out := make([]adversary.Tracked, 0, len(p.objs))
+	out := p.trackedBuf[:0]
 	for _, o := range p.objs {
-		if o.live || o.ghost {
+		if o != nil && (o.live || o.ghost) {
 			out = append(out, adversary.Tracked{ID: o.id, Span: o.span, Ghost: o.ghost})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Span.Addr < out[j].Span.Addr })
+	slices.SortFunc(out, func(a, b adversary.Tracked) int {
+		switch {
+		case a.Span.Addr < b.Span.Addr:
+			return -1
+		case a.Span.Addr > b.Span.Addr:
+			return 1
+		case a.ID < b.ID: // a ghost may share its address with a live object
+			return -1
+		default:
+			return 1
+		}
+	})
+	p.trackedBuf = out
 	return out
 }
 
@@ -242,9 +311,12 @@ func (p *PF) enterStage2() {
 	alignL := word.Pow2(p.ell)
 	cs := p.table.chunkSize()
 	for _, o := range p.objs {
+		if o == nil {
+			continue
+		}
 		if o.ghost {
 			o.ghost = false // ghosts disappear at the stage boundary
-			delete(p.objs, o.id)
+			p.delObj(o.id)
 			continue
 		}
 		if !o.live {
@@ -267,11 +339,11 @@ func (p *PF) UFirst() word.Size { return p.uFirst }
 
 // stage2Frees runs line 13 (the density-preserving trim).
 func (p *PF) stage2Frees() []heap.ObjectID {
-	var frees []heap.ObjectID
+	frees := p.freeBuf[:0]
 	if p.opts.DisableDensity {
 		// Ablation: free every live associated object outright.
 		for d := range p.table.chunks {
-			for o := range p.table.chunks[d] {
+			for _, o := range p.table.chunks[d] {
 				if o.live {
 					o.live = false
 					p.liveW -= o.size()
@@ -282,18 +354,20 @@ func (p *PF) stage2Frees() []heap.ObjectID {
 		// Associations of freed objects are removed (P_F de-allocated
 		// them).
 		for _, id := range frees {
-			o := p.objs[id]
-			for len(p.table.where[o]) > 0 {
-				p.table.removeEntry(o, p.table.where[o][0])
+			o := p.obj(id)
+			for o.nw > 0 {
+				p.table.removeEntry(o, o.wchunks[0])
 			}
 		}
-		sort.Slice(frees, func(i, j int) bool { return frees[i] < frees[j] })
+		slices.Sort(frees)
+		p.freeBuf = frees
 		return frees
 	}
 	p.table.trim(func(o *object) {
 		p.liveW -= o.size()
 		frees = append(frees, o.id)
 	})
+	p.freeBuf = frees
 	return frees
 }
 
@@ -305,17 +379,13 @@ func (p *PF) stage2Allocs(step int) []word.Size {
 	if maxByM := (p.m - p.liveW) / size; count > maxByM {
 		count = maxByM
 	}
-	allocs := make([]word.Size, count)
-	for i := range allocs {
-		allocs[i] = size
-	}
-	return allocs
+	return p.fillAllocs(count, size)
 }
 
 // Placed implements sim.Program.
 func (p *PF) Placed(id heap.ObjectID, s heap.Span) {
-	o := &object{id: id, span: s, live: true}
-	p.objs[id] = o
+	o := p.newObject(id, s)
+	p.setObj(id, o)
 	p.liveW += s.Size
 	if !p.stage2 {
 		return
@@ -331,8 +401,8 @@ func (p *PF) Placed(id heap.ObjectID, s heap.Span) {
 // immediately. In stage I they persist as ghosts at their original
 // address; in stage II their associations persist as dead entries.
 func (p *PF) Moved(id heap.ObjectID, from, _ heap.Span) bool {
-	o, ok := p.objs[id]
-	if !ok {
+	o := p.obj(id)
+	if o == nil {
 		panic(fmt.Sprintf("core: move of untracked object %d", id))
 	}
 	if !o.live {
@@ -342,7 +412,7 @@ func (p *PF) Moved(id heap.ObjectID, from, _ heap.Span) bool {
 	p.liveW -= o.size()
 	if !p.stage2 {
 		if p.opts.DisableGhosts {
-			delete(p.objs, id)
+			p.delObj(id)
 		} else {
 			o.ghost = true
 			o.span = from // counted at its pre-move address

@@ -1,0 +1,148 @@
+package heap
+
+import (
+	"math/bits"
+
+	"compaction/internal/word"
+)
+
+// Bitmap is a paged bitmap over word addresses, the fast ground-truth
+// backing of Occupancy. Pages are allocated lazily as the heap extent
+// grows (a compacting run touches only a small prefix of the address
+// space even when the configured capacity is huge) and are retained
+// across Reset. Each page carries its set-bit population count so
+// range checks and extent queries skip untouched pages wholesale.
+//
+// The zero value is an empty, ready-to-use bitmap.
+type Bitmap struct {
+	pages   [][]uint64
+	pageSet []int32 // set-bit count per page, parallel to pages
+}
+
+const (
+	bmPageBits  = 16 // bits per page: 64Ki bits = 1024 words = 8KiB
+	bmPageWords = 1 << (bmPageBits - 6)
+)
+
+// mask64 returns a mask of bits [from, to) within a word, 0 <= from <
+// to <= 64.
+func mask64(from, to uint) uint64 {
+	return ^uint64(0) >> (64 - (to - from)) << from
+}
+
+func (b *Bitmap) grow(page int) {
+	for page >= len(b.pages) {
+		b.pages = append(b.pages, nil)
+		b.pageSet = append(b.pageSet, 0)
+	}
+	if b.pages[page] == nil {
+		b.pages[page] = make([]uint64, bmPageWords)
+	}
+}
+
+// AnyInRange reports whether any bit in [addr, addr+n) is set. Negative
+// addresses are out of the tracked domain and report false; callers
+// validate sign before relying on the bitmap.
+func (b *Bitmap) AnyInRange(addr word.Addr, n word.Size) bool {
+	if n <= 0 || addr < 0 {
+		return false
+	}
+	lo, hi := addr, addr+n
+	for lo < hi {
+		wi := lo >> 6
+		page := int(wi >> (bmPageBits - 6))
+		if page >= len(b.pages) {
+			return false
+		}
+		if b.pages[page] == nil || b.pageSet[page] == 0 {
+			lo = (word.Addr(page) + 1) << bmPageBits
+			continue
+		}
+		from := uint(lo & 63)
+		to := uint(64)
+		if rem := hi - wi<<6; rem < 64 {
+			to = uint(rem)
+		}
+		if b.pages[page][wi&(bmPageWords-1)]&mask64(from, to) != 0 {
+			return true
+		}
+		lo = (wi + 1) << 6
+	}
+	return false
+}
+
+// SetRange sets all bits in [addr, addr+n). The caller must ensure the
+// range is currently clear (Occupancy checks via AnyInRange first);
+// the per-page population counts rely on it.
+func (b *Bitmap) SetRange(addr word.Addr, n word.Size) {
+	lo, hi := addr, addr+n
+	for lo < hi {
+		wi := lo >> 6
+		page := int(wi >> (bmPageBits - 6))
+		b.grow(page)
+		from := uint(lo & 63)
+		to := uint(64)
+		if rem := hi - wi<<6; rem < 64 {
+			to = uint(rem)
+		}
+		b.pages[page][wi&(bmPageWords-1)] |= mask64(from, to)
+		b.pageSet[page] += int32(to - from)
+		lo = (wi + 1) << 6
+	}
+}
+
+// ClearRange clears all bits in [addr, addr+n). The caller must ensure
+// the range is currently fully set (Occupancy only clears spans it
+// placed).
+func (b *Bitmap) ClearRange(addr word.Addr, n word.Size) {
+	lo, hi := addr, addr+n
+	for lo < hi {
+		wi := lo >> 6
+		page := int(wi >> (bmPageBits - 6))
+		from := uint(lo & 63)
+		to := uint(64)
+		if rem := hi - wi<<6; rem < 64 {
+			to = uint(rem)
+		}
+		b.pages[page][wi&(bmPageWords-1)] &^= mask64(from, to)
+		b.pageSet[page] -= int32(to - from)
+		lo = (wi + 1) << 6
+	}
+}
+
+// MaxSet returns the address of the highest set bit. The second result
+// is false when the bitmap is empty.
+func (b *Bitmap) MaxSet() (word.Addr, bool) {
+	for page := len(b.pages) - 1; page >= 0; page-- {
+		if b.pageSet[page] == 0 {
+			continue
+		}
+		p := b.pages[page]
+		for w := bmPageWords - 1; w >= 0; w-- {
+			if p[w] != 0 {
+				bit := 63 - bits.LeadingZeros64(p[w])
+				return word.Addr(page)<<bmPageBits + word.Addr(w)<<6 + word.Addr(bit), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Count returns the total number of set bits.
+func (b *Bitmap) Count() word.Size {
+	var n word.Size
+	for _, c := range b.pageSet {
+		n += word.Size(c)
+	}
+	return n
+}
+
+// Reset clears every bit while retaining allocated pages for reuse.
+func (b *Bitmap) Reset() {
+	for i, p := range b.pages {
+		if b.pageSet[i] != 0 {
+			clear(p)
+			b.pageSet[i] = 0
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package heap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"compaction/internal/word"
+)
+
+// The statistics Occupancy and FreeSpace maintain incrementally
+// (live/max-live/high-water counters, the per-size-class interval
+// census behind mayFit) exist so the hot path never recomputes them.
+// These properties pin the other half of that contract: after an
+// arbitrary operation sequence the incremental values must equal a
+// from-scratch recomputation over the current state.
+
+// recomputeOccupancy walks the span table and rebuilds the aggregate
+// statistics that Occupancy claims to maintain incrementally.
+func recomputeOccupancy(o *Occupancy) (live word.Size, objects int, extent word.Addr) {
+	o.tab.Each(func(id ObjectID, s Span) bool {
+		live += s.Size
+		objects++
+		if s.End() > extent {
+			extent = s.End()
+		}
+		return true
+	})
+	return live, objects, extent
+}
+
+// Property: Occupancy's incremental live/max-live/high-water/total
+// accounting matches a from-scratch recomputation after any sequence
+// of Place/Move/Remove, including across Reset (which must also keep
+// its retained pages from leaking state).
+func TestOccupancyIncrementalMatchesRecompute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		o := NewOccupancy()
+		// History-dependent statistics need a shadow that is updated
+		// from the recomputed (not the incremental) live value.
+		var shadowMaxLive, shadowTotal word.Size
+		var shadowHigh word.Addr
+		var ids []ObjectID
+		nextID := ObjectID(1)
+		for i := 0; i < 500; i++ {
+			switch rng.Intn(8) {
+			case 0, 1, 2, 3:
+				s := Span{Addr: int64(rng.Intn(2000)), Size: int64(1 + rng.Intn(32))}
+				if o.Place(nextID, s) == nil {
+					ids = append(ids, nextID)
+					nextID++
+					shadowTotal += s.Size
+					if s.End() > shadowHigh {
+						shadowHigh = s.End()
+					}
+				}
+			case 4, 5:
+				if len(ids) > 0 {
+					j := rng.Intn(len(ids))
+					if _, err := o.Move(ids[j], int64(rng.Intn(2000))); err == nil {
+						if s, ok := o.Lookup(ids[j]); ok && s.End() > shadowHigh {
+							shadowHigh = s.End()
+						}
+					}
+				}
+			case 6:
+				if len(ids) > 0 {
+					j := rng.Intn(len(ids))
+					if _, err := o.Remove(ids[j]); err == nil {
+						ids[j] = ids[len(ids)-1]
+						ids = ids[:len(ids)-1]
+					}
+				}
+			case 7:
+				if rng.Intn(20) == 0 {
+					o.Reset()
+					ids = ids[:0]
+					shadowMaxLive, shadowTotal, shadowHigh = 0, 0, 0
+				}
+			}
+			live, objects, extent := recomputeOccupancy(o)
+			if live > shadowMaxLive {
+				shadowMaxLive = live
+			}
+			if o.Live() != live || o.Objects() != objects {
+				return false
+			}
+			if o.MaxLive() != shadowMaxLive || o.TotalAllocated() != shadowTotal {
+				return false
+			}
+			if o.HighWater() != shadowHigh || o.HighWater() < extent {
+				return false
+			}
+			if o.Extent() != extent {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the size-class census that backs the O(1) mayFit fast path
+// matches a recomputation from the interval walk on BOTH index
+// backends, and mayFit never returns a false negative (a "no" while a
+// fitting gap exists) — a false negative would silently change
+// placement behaviour, which the PR-1 differential oracle treats as a
+// manager divergence.
+func TestFreeSpaceClassCensusMatchesRecompute(t *testing.T) {
+	f := func(seed int64) bool {
+		const capacity = 1 << 11
+		rng := rand.New(rand.NewSource(seed))
+		for _, kind := range []IndexKind{IndexTreap, IndexSkipList} {
+			fs := NewFreeSpaceWith(capacity, kind)
+			var live []Span
+			for i := 0; i < 400; i++ {
+				if rng.Intn(3) != 0 || len(live) == 0 {
+					size := word.Size(1 + rng.Intn(48))
+					if a, err := fs.AllocFirstFit(size); err == nil {
+						live = append(live, Span{a, size})
+					}
+				} else {
+					j := rng.Intn(len(live))
+					s := live[j]
+					live[j] = live[len(live)-1]
+					live = live[:len(live)-1]
+					if fs.Release(s) != nil {
+						return false
+					}
+				}
+
+				// Recompute the census from the ground-truth walk.
+				var wantCount [64]int32
+				var wantBits uint64
+				var largest word.Size
+				fs.Gaps(func(g Span) bool {
+					k := classOf(g.Size)
+					wantCount[k]++
+					wantBits |= 1 << k
+					if g.Size > largest {
+						largest = g.Size
+					}
+					return true
+				})
+				if fs.classBits != wantBits || fs.classCount != wantCount {
+					return false
+				}
+				// No false negatives: every satisfiable size must pass
+				// the fast path. (False positives are fine — the index
+				// then reports the miss.)
+				for size := word.Size(1); size <= largest; size++ {
+					if _, ok := fs.PeekFirstFit(size); ok && !fs.mayFit(size) {
+						return false
+					}
+				}
+				// And sizes above the largest gap must be rejected by
+				// the census alone when the class gap is decisive.
+				if largest > 0 && !fs.mayFit(largest) {
+					return false
+				}
+			}
+			if fs.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the two address-index backends are observationally
+// identical through the FreeSpace API: the same operation sequence
+// produces the same placements, the same free-word count, and the same
+// gap list. (The cross-manager oracle checks this end-to-end; this is
+// the unit-level version with direct shrinking via testing/quick.)
+func TestFreeSpaceBackendsAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		const capacity = 1 << 10
+		rng := rand.New(rand.NewSource(seed))
+		a := NewFreeSpaceWith(capacity, IndexTreap)
+		b := NewFreeSpaceWith(capacity, IndexSkipList)
+		var live []Span
+		for i := 0; i < 300; i++ {
+			if rng.Intn(3) != 0 || len(live) == 0 {
+				size := word.Size(1 + rng.Intn(32))
+				var (
+					ga, gb   word.Addr
+					ea, eb   error
+					bestMode = rng.Intn(2) == 0
+				)
+				if bestMode {
+					ga, ea = a.AllocBestFit(size)
+					gb, eb = b.AllocBestFit(size)
+				} else {
+					ga, ea = a.AllocFirstFit(size)
+					gb, eb = b.AllocFirstFit(size)
+				}
+				if (ea == nil) != (eb == nil) {
+					return false
+				}
+				if ea == nil {
+					if ga != gb {
+						return false
+					}
+					live = append(live, Span{ga, size})
+				}
+			} else {
+				j := rng.Intn(len(live))
+				s := live[j]
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+				if a.Release(s) != nil || b.Release(s) != nil {
+					return false
+				}
+			}
+			if a.FreeWords() != b.FreeWords() || a.Intervals() != b.Intervals() {
+				return false
+			}
+		}
+		var gapsA, gapsB []Span
+		a.Gaps(func(s Span) bool { gapsA = append(gapsA, s); return true })
+		b.Gaps(func(s Span) bool { gapsB = append(gapsB, s); return true })
+		if len(gapsA) != len(gapsB) {
+			return false
+		}
+		for i := range gapsA {
+			if gapsA[i] != gapsB[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

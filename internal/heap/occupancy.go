@@ -2,6 +2,7 @@ package heap
 
 import (
 	"fmt"
+	"slices"
 
 	"compaction/internal/word"
 )
@@ -21,21 +22,33 @@ type Object struct {
 // heap usage: the live word count, the current extent, and the
 // high-water mark of the extent over the whole execution (the paper's
 // heap size HS).
+//
+// Placement is backed by a paged bitmap (overlap checks and extent are
+// word-mask operations, not tree descents) and identity by a paged
+// dense span table; both retain their pages across Reset so a reused
+// Occupancy runs allocation-free in steady state. The live, max-live,
+// total-allocated, and high-water statistics are maintained
+// incrementally on each mutation rather than recomputed.
 type Occupancy struct {
-	byID     map[ObjectID]Span
-	byAddr   *addrTreap
+	tab      SpanTable
+	bits     Bitmap
 	live     word.Size
 	maxLive  word.Size
 	ever     word.Addr // high-water mark of end addresses over all time
 	totalled word.Size // cumulative words allocated over all time
+	scratch  []Object  // reusable buffer for Each
 }
 
 // NewOccupancy returns an empty occupancy record.
 func NewOccupancy() *Occupancy {
-	return &Occupancy{
-		byID:   make(map[ObjectID]Span),
-		byAddr: newAddrTreap(0x51ed2701),
-	}
+	return &Occupancy{}
+}
+
+// Reset empties the record, retaining internal pages for reuse.
+func (o *Occupancy) Reset() {
+	o.tab.Reset()
+	o.bits.Reset()
+	o.live, o.maxLive, o.ever, o.totalled = 0, 0, 0, 0
 }
 
 // Place records object id at span s. It fails if the id is already
@@ -47,14 +60,14 @@ func (o *Occupancy) Place(id ObjectID, s Span) error {
 	if s.Addr < 0 {
 		return fmt.Errorf("heap.Place: object %d at negative address %v", id, s)
 	}
-	if _, ok := o.byID[id]; ok {
+	if _, ok := o.tab.Get(id); ok {
 		return fmt.Errorf("heap.Place: object %d is already live", id)
 	}
-	if err := o.checkClear(s); err != nil {
-		return fmt.Errorf("heap.Place: object %d: %w", id, err)
+	if o.bits.AnyInRange(s.Addr, s.Size) {
+		return fmt.Errorf("heap.Place: object %d: span %v overlaps a live object", id, s)
 	}
-	o.byID[id] = s
-	o.byAddr.insert(s)
+	o.tab.Set(id, s)
+	o.bits.SetRange(s.Addr, s.Size)
 	o.live += s.Size
 	if o.live > o.maxLive {
 		o.maxLive = o.live
@@ -66,27 +79,13 @@ func (o *Occupancy) Place(id ObjectID, s Span) error {
 	return nil
 }
 
-// checkClear verifies no live object overlaps s.
-func (o *Occupancy) checkClear(s Span) error {
-	if prev, ok := o.byAddr.floor(s.Addr); ok && prev.Overlaps(s) {
-		return fmt.Errorf("span %v overlaps live object at %v", s, prev)
-	}
-	if next, ok := o.byAddr.ceiling(s.Addr); ok && next.Overlaps(s) {
-		return fmt.Errorf("span %v overlaps live object at %v", s, next)
-	}
-	return nil
-}
-
 // Remove deletes object id and returns its span.
 func (o *Occupancy) Remove(id ObjectID) (Span, error) {
-	s, ok := o.byID[id]
+	s, ok := o.tab.Delete(id)
 	if !ok {
 		return Span{}, fmt.Errorf("heap.Remove: object %d is not live", id)
 	}
-	delete(o.byID, id)
-	if _, ok := o.byAddr.remove(s.Addr); !ok {
-		panic(fmt.Sprintf("heap.Occupancy: object %d span %v missing from index", id, s))
-	}
+	o.bits.ClearRange(s.Addr, s.Size)
 	o.live -= s.Size
 	return s, nil
 }
@@ -95,25 +94,23 @@ func (o *Occupancy) Remove(id ObjectID) (Span, error) {
 // overlap any other live object (it may overlap the object's own old
 // location, as sliding compaction does). It returns the old span.
 func (o *Occupancy) Move(id ObjectID, to word.Addr) (Span, error) {
-	s, ok := o.byID[id]
+	s, ok := o.tab.Get(id)
 	if !ok {
 		return Span{}, fmt.Errorf("heap.Move: object %d is not live", id)
 	}
 	if to < 0 {
 		return Span{}, fmt.Errorf("heap.Move: object %d to negative address %d", id, to)
 	}
-	// Temporarily remove the object so its own span does not count as a
+	// Temporarily clear the object so its own words do not count as a
 	// conflict, permitting overlapping slides.
-	if _, ok := o.byAddr.remove(s.Addr); !ok {
-		panic(fmt.Sprintf("heap.Occupancy: object %d span %v missing from index", id, s))
-	}
+	o.bits.ClearRange(s.Addr, s.Size)
 	ns := Span{Addr: to, Size: s.Size}
-	if err := o.checkClear(ns); err != nil {
-		o.byAddr.insert(s) // restore
-		return Span{}, fmt.Errorf("heap.Move: object %d: %w", id, err)
+	if o.bits.AnyInRange(ns.Addr, ns.Size) {
+		o.bits.SetRange(s.Addr, s.Size) // restore
+		return Span{}, fmt.Errorf("heap.Move: object %d: span %v overlaps a live object", id, ns)
 	}
-	o.byID[id] = ns
-	o.byAddr.insert(ns)
+	o.bits.SetRange(ns.Addr, ns.Size)
+	o.tab.Set(id, ns)
 	if ns.End() > o.ever {
 		o.ever = ns.End()
 	}
@@ -122,8 +119,7 @@ func (o *Occupancy) Move(id ObjectID, to word.Addr) (Span, error) {
 
 // Lookup returns the current span of object id.
 func (o *Occupancy) Lookup(id ObjectID) (Span, bool) {
-	s, ok := o.byID[id]
-	return s, ok
+	return o.tab.Get(id)
 }
 
 // Live returns the number of live words.
@@ -133,7 +129,7 @@ func (o *Occupancy) Live() word.Size { return o.live }
 func (o *Occupancy) MaxLive() word.Size { return o.maxLive }
 
 // Objects returns the number of live objects.
-func (o *Occupancy) Objects() int { return len(o.byID) }
+func (o *Occupancy) Objects() int { return o.tab.Len() }
 
 // TotalAllocated returns the cumulative number of words ever allocated.
 func (o *Occupancy) TotalAllocated() word.Size { return o.totalled }
@@ -147,27 +143,32 @@ func (o *Occupancy) HighWater() word.Addr { return o.ever }
 // Extent returns the end address of the highest-addressed currently
 // live word (0 when empty).
 func (o *Occupancy) Extent() word.Addr {
-	n := o.byAddr.root
-	if n == nil {
+	top, ok := o.bits.MaxSet()
+	if !ok {
 		return 0
 	}
-	for n.right != nil {
-		n = n.right
-	}
-	return n.span.End()
+	return top + 1
 }
 
 // Each calls fn for every live object in address order until fn
-// returns false. The ObjectID is resolved through the byID map, so the
-// callback receives identity as well as placement.
+// returns false. Occupancy walks are not on the hot allocation path;
+// the address-sorted view is built on demand (into a reused buffer).
 func (o *Occupancy) Each(fn func(Object) bool) {
-	// Build a reverse index lazily; occupancy walks are not on the hot
-	// allocation path.
-	rev := make(map[word.Addr]ObjectID, len(o.byID))
-	for id, s := range o.byID {
-		rev[s.Addr] = id
-	}
-	o.byAddr.walk(func(s Span) bool {
-		return fn(Object{ID: rev[s.Addr], Span: s})
+	o.scratch = o.scratch[:0]
+	o.tab.Each(func(id ObjectID, s Span) bool {
+		o.scratch = append(o.scratch, Object{ID: id, Span: s})
+		return true
 	})
+	slices.SortFunc(o.scratch, func(a, b Object) int {
+		// Live spans are disjoint, so start addresses are unique keys.
+		if a.Span.Addr < b.Span.Addr {
+			return -1
+		}
+		return 1
+	})
+	for _, obj := range o.scratch {
+		if !fn(obj) {
+			return
+		}
+	}
 }

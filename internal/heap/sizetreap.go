@@ -11,6 +11,7 @@ type sizeTreap struct {
 	root *sizeNode
 	rng  xorshift
 	n    int
+	pool *sizeNode // freelist of recycled nodes, chained via right
 }
 
 type sizeNode struct {
@@ -66,7 +67,13 @@ func sizeMerge(l, r *sizeNode) *sizeNode {
 }
 
 func (t *sizeTreap) insert(s Span) {
-	nn := &sizeNode{span: s, prio: t.rng.next()}
+	var nn *sizeNode
+	if nn = t.pool; nn != nil {
+		t.pool = nn.right
+		*nn = sizeNode{span: s, prio: t.rng.next()}
+	} else {
+		nn = &sizeNode{span: s, prio: t.rng.next()}
+	}
 	l, r := sizeSplit(t.root, s)
 	t.root = sizeMerge(sizeMerge(l, nn), r)
 	t.n++
@@ -81,6 +88,9 @@ func (t *sizeTreap) remove(s Span) bool {
 		return false
 	}
 	t.n--
+	mid.left = nil
+	mid.right = t.pool
+	t.pool = mid
 	return true
 }
 

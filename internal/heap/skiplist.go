@@ -19,6 +19,12 @@ type skipList struct {
 	rng  xorshift
 	n    int
 	lvl  int
+	up   [skipMaxLevel]*skipNode // reusable path scratch
+	// Freelists of recycled nodes, chained via next[0] and bucketed by
+	// capacity (height): a single list would stall whenever its head is
+	// shorter than the requested height, making steady-state reuse
+	// probabilistic instead of guaranteed.
+	pool [skipMaxLevel + 1]*skipNode
 }
 
 const skipMaxLevel = 24
@@ -55,8 +61,10 @@ func (s *skipList) randLevel() int {
 }
 
 // path returns, per level, the rightmost node whose address is < addr.
+// The result aliases a scratch buffer on the list, valid until the
+// next path call; the list is single-goroutine like the rest of heap.
 func (s *skipList) path(addr word.Addr) []*skipNode {
-	update := make([]*skipNode, skipMaxLevel)
+	update := s.up[:]
 	x := s.head
 	for l := s.lvl - 1; l >= 0; l-- {
 		for x.next[l] != nil && x.next[l].span.Addr < addr {
@@ -65,6 +73,32 @@ func (s *skipList) path(addr word.Addr) []*skipNode {
 		update[l] = x
 	}
 	return update
+}
+
+// newNode takes a pooled node of sufficient height if available,
+// preferring the smallest capacity that fits so tall nodes stay
+// available for tall requests.
+func (s *skipList) newNode(sp Span, h int) *skipNode {
+	for k := h; k <= skipMaxLevel; k++ {
+		n := s.pool[k]
+		if n == nil {
+			continue
+		}
+		s.pool[k] = n.next[0]
+		n.span = sp
+		n.next = n.next[:h]
+		n.segMax = n.segMax[:h]
+		for l := 0; l < h; l++ {
+			n.next[l] = nil
+			n.segMax[l] = 0
+		}
+		return n
+	}
+	return &skipNode{
+		span:   sp,
+		next:   make([]*skipNode, h),
+		segMax: make([]word.Size, h),
+	}
 }
 
 // refresh recomputes segMax for node x at level l from the level
@@ -100,11 +134,7 @@ func (s *skipList) insert(sp Span) {
 		}
 		s.lvl = h
 	}
-	node := &skipNode{
-		span:   sp,
-		next:   make([]*skipNode, h),
-		segMax: make([]word.Size, h),
-	}
+	node := s.newNode(sp, h)
 	for l := 0; l < h; l++ {
 		node.next[l] = update[l].next[l]
 		update[l].next[l] = node
@@ -137,7 +167,33 @@ func (s *skipList) remove(addr word.Addr) (Span, bool) {
 	for s.lvl > 1 && s.head.next[s.lvl-1] == nil {
 		s.lvl--
 	}
-	return target.span, true
+	sp := target.span
+	target.next = target.next[:cap(target.next)]
+	target.segMax = target.segMax[:cap(target.segMax)]
+	k := len(target.next)
+	target.next[0] = s.pool[k]
+	s.pool[k] = target
+	return sp, true
+}
+
+// replace rewrites, in place, the span of the node keyed by addr; the
+// caller guarantees the new start address preserves address order (see
+// addrTreap.replace). Only the augmentation along the search path is
+// refreshed — no relinking.
+func (s *skipList) replace(addr word.Addr, sp Span) bool {
+	update := s.path(addr)
+	target := update[0].next[0]
+	if target == nil || target.span.Addr != addr {
+		return false
+	}
+	target.span = sp
+	for l := 0; l < s.lvl; l++ {
+		if l < len(target.next) {
+			refresh(target, l)
+		}
+		refresh(update[l], l)
+	}
+	return true
 }
 
 func (s *skipList) find(addr word.Addr) (Span, bool) {

@@ -12,6 +12,7 @@ type addrTreap struct {
 	root *addrNode
 	rng  xorshift
 	n    int
+	pool *addrNode // freelist of recycled nodes, chained via right
 }
 
 type addrNode struct {
@@ -88,10 +89,28 @@ func addrMerge(l, r *addrNode) *addrNode {
 	}
 }
 
+// newNode takes a node from the freelist, or allocates one. Churn on
+// the free-interval set (every carve and coalesce) reuses nodes
+// instead of pressuring the garbage collector.
+func (t *addrTreap) newNode(s Span) *addrNode {
+	if n := t.pool; n != nil {
+		t.pool = n.right
+		*n = addrNode{span: s, prio: t.rng.next(), maxSize: s.Size}
+		return n
+	}
+	return &addrNode{span: s, prio: t.rng.next(), maxSize: s.Size}
+}
+
+func (t *addrTreap) recycle(n *addrNode) {
+	n.left = nil
+	n.right = t.pool
+	t.pool = n
+}
+
 // insert adds a span keyed by its start address. The caller must ensure
 // no existing node shares the same start address.
 func (t *addrTreap) insert(s Span) {
-	nn := &addrNode{span: s, prio: t.rng.next(), maxSize: s.Size}
+	nn := t.newNode(s)
 	l, r := addrSplit(t.root, s.Addr)
 	t.root = addrMerge(addrMerge(l, nn), r)
 	t.n++
@@ -107,7 +126,39 @@ func (t *addrTreap) remove(addr word.Addr) (Span, bool) {
 		return Span{}, false
 	}
 	t.n--
-	return mid.span, true
+	s := mid.span
+	t.recycle(mid)
+	return s, true
+}
+
+// replace rewrites, in place, the span of the node keyed by addr. The
+// caller guarantees the new span's start address preserves the node's
+// position in address order (true whenever the replacement lies within
+// the gap the old interval occupied, as in carving and coalescing).
+// This turns the hot carve/release paths into a single root-to-node
+// descent instead of four split/merge passes.
+func (t *addrTreap) replace(addr word.Addr, s Span) bool {
+	return replaceNode(t.root, addr, s)
+}
+
+func replaceNode(n *addrNode, addr word.Addr, s Span) bool {
+	if n == nil {
+		return false
+	}
+	var ok bool
+	switch {
+	case addr < n.span.Addr:
+		ok = replaceNode(n.left, addr, s)
+	case addr > n.span.Addr:
+		ok = replaceNode(n.right, addr, s)
+	default:
+		n.span = s
+		ok = true
+	}
+	if ok {
+		addrUpdate(n)
+	}
+	return ok
 }
 
 // find returns the span starting exactly at addr.

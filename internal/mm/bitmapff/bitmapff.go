@@ -1,14 +1,16 @@
 // Package bitmapff implements a bitmap-based first-fit allocator: a
-// word-granularity occupancy bitmap with a coarse summary level, the
-// allocation scheme used by mark-sweep collectors that allocate
+// word-granularity occupancy bitmap with a per-granule summary level,
+// the allocation scheme used by mark-sweep collectors that allocate
 // directly over their mark bitmaps (e.g. Go's pre-1.5 span allocator,
 // Jikes RVM's mark-sweep space). It is a non-moving manager.
 //
-// The fine bitmap has one bit per heap word; the summary has one bit
-// per 64-word granule, set when the granule is completely occupied.
-// Searches skip fully-occupied granules via the summary and scan
-// candidate granules with bit tricks, starting from a low-address
-// watermark that is rolled back on every free.
+// The fine bitmap has one bit per heap word. Each 64-word granule
+// carries a small summary — the lengths of its free prefix, free
+// suffix, and longest free run — so a first-fit scan composes free
+// runs across granules in O(1) per granule and descends to individual
+// bits only inside the single granule that is known to contain the
+// answer. A low-address watermark (rolled back on every free) bounds
+// the scan's starting point.
 package bitmapff
 
 import (
@@ -21,16 +23,43 @@ import (
 	"compaction/internal/word"
 )
 
+// granMeta summarizes the free runs of one 64-word granule: the free
+// prefix length, free suffix length, and the longest free run anywhere
+// in the granule (all in [0, 64]).
+type granMeta struct{ pre, suf, max uint8 }
+
+func computeMeta(w uint64) granMeta {
+	switch w {
+	case 0:
+		return granMeta{64, 64, 64}
+	case ^uint64(0):
+		return granMeta{}
+	}
+	// The longest run of zero bits in w is the longest run of ones in
+	// ^w, found by run-doubling; it subsumes the prefix and suffix.
+	z := ^w
+	var max uint8
+	for z != 0 {
+		z &= z << 1
+		max++
+	}
+	return granMeta{
+		pre: uint8(bits.TrailingZeros64(w)),
+		suf: uint8(bits.LeadingZeros64(w)),
+		max: max,
+	}
+}
+
 // Manager is the bitmap first-fit allocator.
 type Manager struct {
 	capacity word.Size
 	// fine[i] bit b = word 64i+b occupied.
 	fine []uint64
-	// full[i] = granule i (words [64i, 64i+64)) completely occupied.
-	full []bool
+	// meta[i] summarizes granule i's free runs.
+	meta []granMeta
 	// watermark: no free word exists below this granule index.
 	watermark int
-	objs      map[heap.ObjectID]heap.Span
+	objs      heap.SpanTable
 }
 
 var _ sim.Manager = (*Manager)(nil)
@@ -46,9 +75,12 @@ func (m *Manager) Reset(cfg sim.Config) {
 	m.capacity = cfg.Capacity
 	granules := (cfg.Capacity + 63) / 64
 	m.fine = make([]uint64, granules)
-	m.full = make([]bool, granules)
+	m.meta = make([]granMeta, granules)
+	for i := range m.meta {
+		m.meta[i] = granMeta{64, 64, 64}
+	}
 	m.watermark = 0
-	m.objs = make(map[heap.ObjectID]heap.Span)
+	m.objs.Reset()
 }
 
 // isFree reports whether word a is free.
@@ -74,7 +106,7 @@ func (m *Manager) setRange(s heap.Span, occupied bool) {
 		} else {
 			m.fine[g] &^= mask
 		}
-		m.full[g] = m.fine[g] == ^uint64(0)
+		m.meta[g] = computeMeta(m.fine[g])
 		a = g<<6 + word.Addr(hi)
 	}
 }
@@ -87,31 +119,36 @@ func (m *Manager) Allocate(id heap.ObjectID, size word.Size, _ sim.Mover) (word.
 	}
 	s := heap.Span{Addr: addr, Size: size}
 	m.setRange(s, true)
-	m.objs[id] = s
+	m.objs.Set(id, s)
 	m.advanceWatermark()
 	return addr, nil
 }
 
 // advanceWatermark moves the watermark past fully-occupied granules.
 func (m *Manager) advanceWatermark() {
-	for m.watermark < len(m.full) && m.full[m.watermark] {
+	for m.watermark < len(m.fine) && m.fine[m.watermark] == ^uint64(0) {
 		m.watermark++
 	}
 }
 
-// scan finds the lowest address of a free run of the given length.
+// scan finds the lowest address of a free run of the given length. It
+// walks granules, carrying the length of the free run that reaches the
+// current granule boundary; summaries decide each granule in O(1), and
+// only a granule whose cached max proves it contains a fitting inner
+// run is scanned bit by bit.
 func (m *Manager) scan(size word.Size) (word.Addr, bool) {
-	var run word.Size
-	var start word.Addr
+	var run word.Size   // free run ending at the current granule boundary
+	var start word.Addr // its start address
 	for g := m.watermark; g < len(m.fine); g++ {
 		w := m.fine[g]
 		if w == ^uint64(0) {
 			run = 0
 			continue
 		}
+		base := word.Addr(g) << 6
 		if w == 0 {
 			if run == 0 {
-				start = word.Addr(g) << 6
+				start = base
 			}
 			run += 64
 			if run >= size {
@@ -119,30 +156,41 @@ func (m *Manager) scan(size word.Size) (word.Addr, bool) {
 			}
 			continue
 		}
-		// Mixed granule: walk its free runs bit by bit, in chunks of
-		// consecutive zero bits.
-		base := word.Addr(g) << 6
-		bit := 0
-		for bit < 64 {
-			rem := w >> uint(bit)
-			if rem&1 == 0 {
-				zeros := bits.TrailingZeros64(rem)
-				if rem == 0 {
-					zeros = 64 - bit
-				}
-				if run == 0 {
-					start = base + word.Addr(bit)
-				}
-				run += word.Size(zeros)
-				if run >= size {
-					return start, true
-				}
-				bit += zeros
-			} else {
-				ones := bits.TrailingZeros64(^rem)
-				run = 0
-				bit += ones
+		mt := m.meta[g]
+		// A run carried in from below extends by this granule's free
+		// prefix; if that does not reach size, the carried run dies here
+		// (the prefix is followed by an occupied bit).
+		if run > 0 {
+			if run+word.Size(mt.pre) >= size {
+				return start, true
 			}
+			run = 0
+		}
+		// Runs wholly inside this granule: the cached max says in O(1)
+		// whether one fits; only then is the granule's bit pattern
+		// walked, and success is guaranteed.
+		if word.Size(mt.max) >= size {
+			bit := 0
+			for bit < 64 {
+				rem := w >> uint(bit)
+				if rem&1 == 0 {
+					zeros := bits.TrailingZeros64(rem)
+					if rem == 0 {
+						zeros = 64 - bit
+					}
+					if word.Size(zeros) >= size {
+						return base + word.Addr(bit), true
+					}
+					bit += zeros
+				} else {
+					bit += bits.TrailingZeros64(^rem)
+				}
+			}
+		}
+		// The granule's free suffix seeds the carry into the next one.
+		if mt.suf > 0 {
+			run = word.Size(mt.suf)
+			start = base + 64 - word.Addr(mt.suf)
 		}
 	}
 	return 0, false
@@ -150,11 +198,11 @@ func (m *Manager) scan(size word.Size) (word.Addr, bool) {
 
 // Free implements sim.Manager.
 func (m *Manager) Free(id heap.ObjectID, s heap.Span) {
-	cur, ok := m.objs[id]
+	cur, ok := m.objs.Get(id)
 	if !ok || cur != s {
 		panic(fmt.Sprintf("bitmapff: Free(%d, %v) does not match record %v", id, s, cur))
 	}
-	delete(m.objs, id)
+	m.objs.Delete(id)
 	m.setRange(s, false)
 	if g := int(s.Addr >> 6); g < m.watermark {
 		m.watermark = g

@@ -20,6 +20,8 @@ import (
 // Manager is the (c+1)M bump-and-slide compactor.
 type Manager struct {
 	mm.Base
+	// scanBuf is the reused address-ordered object buffer for scans.
+	scanBuf  []heap.Object
 	frontier word.Addr
 	live     word.Size
 }
@@ -65,7 +67,8 @@ func (m *Manager) fragmented() bool {
 // compact slides all objects to the bottom in address order.
 func (m *Manager) compact(mv sim.Mover) {
 	var front word.Addr
-	for _, o := range m.ObjectsByAddr() {
+	m.scanBuf = m.AppendObjectsByAddr(m.scanBuf)
+	for _, o := range m.scanBuf {
 		if o.Span.Addr != front {
 			if mv.Remaining() < o.Span.Size {
 				break
@@ -85,11 +88,12 @@ func (m *Manager) compact(mv sim.Mover) {
 	}
 	// Recompute the frontier: the end of the highest live object.
 	m.frontier = 0
-	for _, s := range m.Objs {
+	m.Objs.Each(func(_ heap.ObjectID, s heap.Span) bool {
 		if s.End() > m.frontier {
 			m.frontier = s.End()
 		}
-	}
+		return true
+	})
 }
 
 // Allocate implements sim.Manager by bump allocation at the frontier.

@@ -30,6 +30,8 @@ import (
 // Manager is the reconstructed Theorem-2-style partial compactor.
 type Manager struct {
 	mm.Base
+	// scanBuf is the reused address-ordered object buffer for scans.
+	scanBuf []heap.Object
 	// maxMovesPerRound caps the per-round compaction sweep; 0 = no cap.
 	maxMovesPerRound int
 }
@@ -73,11 +75,12 @@ func (m *Manager) StartRound(mv sim.Mover) {
 	if mv.Remaining() == 0 {
 		return
 	}
-	objs := m.ObjectsByAddr()
+	m.scanBuf = m.AppendObjectsByAddr(m.scanBuf)
+	objs := m.scanBuf
 	moves := 0
 	for i := len(objs) - 1; i >= 0; i-- {
 		o := objs[i]
-		cur, ok := m.Objs[o.ID]
+		cur, ok := m.Objs.Get(o.ID)
 		if !ok {
 			continue
 		}

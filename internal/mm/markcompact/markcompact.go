@@ -22,7 +22,9 @@ import (
 // Manager is the sliding mark-compact manager.
 type Manager struct {
 	mm.Base
-	live word.Size
+	// scanBuf is the reused address-ordered object buffer for scans.
+	scanBuf []heap.Object
+	live    word.Size
 }
 
 var (
@@ -54,7 +56,8 @@ func (m *Manager) StartRound(mv sim.Mover) {
 	if mv.Remaining() < m.live {
 		return
 	}
-	objs := m.ObjectsByAddr()
+	m.scanBuf = m.AppendObjectsByAddr(m.scanBuf)
+	objs := m.scanBuf
 	var frontier word.Addr
 	fragmented := false
 	for _, o := range objs {
@@ -69,7 +72,7 @@ func (m *Manager) StartRound(mv sim.Mover) {
 	}
 	frontier = 0
 	for _, o := range objs {
-		cur, ok := m.Objs[o.ID]
+		cur, ok := m.Objs.Get(o.ID)
 		if !ok {
 			continue
 		}

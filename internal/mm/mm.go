@@ -20,6 +20,7 @@ package mm
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 
@@ -81,27 +82,30 @@ func namesLocked() []string {
 // Base carries the bookkeeping shared by the free-list managers: the
 // run configuration, a free-space index over the heap, and the table
 // of live objects the manager has placed. Managers embed Base and
-// implement Allocate.
+// implement Allocate. The object table is a paged dense SpanTable (the
+// engine hands out sequential IDs), which keeps the record/free hot
+// path off the map runtime entirely.
 type Base struct {
 	Cfg  sim.Config
 	FS   *heap.FreeSpace
-	Objs map[heap.ObjectID]heap.Span
+	Objs heap.SpanTable
 }
 
 // Reset implements the corresponding part of sim.Manager.
 func (b *Base) Reset(cfg sim.Config) {
 	b.Cfg = cfg
 	b.FS = heap.NewFreeSpaceWith(cfg.Capacity, cfg.Index)
-	b.Objs = make(map[heap.ObjectID]heap.Span)
+	b.Objs.Reset()
 }
 
 // Free implements sim.Manager by returning the object's words to the
 // free space.
 func (b *Base) Free(id heap.ObjectID, s heap.Span) {
-	if cur, ok := b.Objs[id]; !ok || cur != s {
-		panic(fmt.Sprintf("mm: Free(%d, %v) does not match manager record %v", id, s, b.Objs[id]))
+	cur, ok := b.Objs.Get(id)
+	if !ok || cur != s {
+		panic(fmt.Sprintf("mm: Free(%d, %v) does not match manager record %v", id, s, cur))
 	}
-	delete(b.Objs, id)
+	b.Objs.Delete(id)
 	if err := b.FS.Release(s); err != nil {
 		panic(fmt.Sprintf("mm: releasing %v: %v", s, err))
 	}
@@ -110,13 +114,13 @@ func (b *Base) Free(id heap.ObjectID, s heap.Span) {
 // Record notes a placement the manager has just carved from its free
 // space.
 func (b *Base) Record(id heap.ObjectID, s heap.Span) {
-	b.Objs[id] = s
+	b.Objs.Set(id, s)
 }
 
 // Drop forgets an object whose words are already accounted as free
 // (used after a move when the program freed the object in flight).
 func (b *Base) Drop(id heap.ObjectID) {
-	delete(b.Objs, id)
+	b.Objs.Delete(id)
 }
 
 // MoveObject relocates one of the manager's own objects using the
@@ -126,7 +130,7 @@ func (b *Base) Drop(id heap.ObjectID) {
 // program frees the object in response, the destination is released
 // again and removed=true is returned.
 func (b *Base) MoveObject(mv sim.Mover, id heap.ObjectID, to word.Addr) (removed bool, err error) {
-	from, ok := b.Objs[id]
+	from, ok := b.Objs.Get(id)
 	if !ok {
 		return false, fmt.Errorf("mm: move of unknown object %d", id)
 	}
@@ -154,13 +158,13 @@ func (b *Base) MoveObject(mv sim.Mover, id heap.ObjectID, to word.Addr) (removed
 		return false, err
 	}
 	if freed {
-		delete(b.Objs, id)
+		b.Objs.Delete(id)
 		if err := b.FS.Release(dst); err != nil {
 			panic(fmt.Sprintf("mm: releasing freed destination %v: %v", dst, err))
 		}
 		return true, nil
 	}
-	b.Objs[id] = dst
+	b.Objs.Set(id, dst)
 	return false, nil
 }
 
@@ -171,10 +175,24 @@ func (b *Base) LiveWords() word.Size {
 
 // ObjectsByAddr returns the manager's live objects sorted by address.
 func (b *Base) ObjectsByAddr() []heap.Object {
-	objs := make([]heap.Object, 0, len(b.Objs))
-	for id, s := range b.Objs {
-		objs = append(objs, heap.Object{ID: id, Span: s})
-	}
-	sort.Slice(objs, func(i, j int) bool { return objs[i].Span.Addr < objs[j].Span.Addr })
-	return objs
+	return b.AppendObjectsByAddr(nil)
+}
+
+// AppendObjectsByAddr appends the manager's live objects in address
+// order to buf and returns it, so compactors that scan every round can
+// reuse one buffer.
+func (b *Base) AppendObjectsByAddr(buf []heap.Object) []heap.Object {
+	buf = buf[:0]
+	b.Objs.Each(func(id heap.ObjectID, s heap.Span) bool {
+		buf = append(buf, heap.Object{ID: id, Span: s})
+		return true
+	})
+	slices.SortFunc(buf, func(x, y heap.Object) int {
+		// Placements are disjoint, so start addresses are unique keys.
+		if x.Span.Addr < y.Span.Addr {
+			return -1
+		}
+		return 1
+	})
+	return buf
 }

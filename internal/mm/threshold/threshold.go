@@ -34,6 +34,8 @@ type Options struct {
 // Manager is the density-threshold evacuating compactor.
 type Manager struct {
 	mm.Base
+	// scanBuf is the reused address-ordered object buffer for scans.
+	scanBuf   []heap.Object
 	opts      Options
 	chunkSize word.Size
 	// freedSinceScan accumulates freed words to pace evacuation scans.
@@ -97,7 +99,8 @@ func (m *Manager) StartRound(mv sim.Mover) {
 		objs  []heap.Object
 	}
 	chunks := make(map[int64]*chunkInfo)
-	for _, o := range m.ObjectsByAddr() {
+	m.scanBuf = m.AppendObjectsByAddr(m.scanBuf)
+	for _, o := range m.scanBuf {
 		first := word.ChunkIndex(o.Span.Addr, m.chunkSize)
 		last := word.ChunkIndex(o.Span.End()-1, m.chunkSize)
 		for ci := first; ci <= last; ci++ {
@@ -140,7 +143,7 @@ func (m *Manager) StartRound(mv sim.Mover) {
 			if evacuated[o.ID] {
 				continue
 			}
-			cur, ok := m.Objs[o.ID]
+			cur, ok := m.Objs.Get(o.ID)
 			if !ok {
 				continue // moved-and-freed earlier this scan
 			}

@@ -208,30 +208,49 @@ type Engine struct {
 	occ    *heap.Occupancy
 	ledger *budget.Ledger
 	nextID heap.ObjectID
+	mv     mover // reused across every move/alloc; no per-op allocation
 
 	rounds int
 	allocs int64
 	frees  int64
 	moves  int64
 
-	// RoundHook, if set, is called after every round with a snapshot.
+	// RoundHook, if set, is called with a result snapshot after rounds
+	// selected by RoundHookEvery.
 	RoundHook func(Result)
+	// RoundHookEvery samples the hook: values > 1 fire it only every
+	// k-th round (and always on the final round). Values <= 1 fire it
+	// every round. Verification harnesses use this to keep refereed
+	// runs affordable at paper scale; see check.RunSampled.
+	RoundHookEvery int
 }
 
 // NewEngine validates the configuration and prepares a run.
 func NewEngine(cfg Config, prog Program, mgr Manager) (*Engine, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.Validate(); err != nil {
+	e := &Engine{occ: heap.NewOccupancy()}
+	e.mv.e = e
+	if err := e.Reset(cfg, prog, mgr); err != nil {
 		return nil, err
 	}
-	return &Engine{
-		cfg:    cfg,
-		prog:   prog,
-		mgr:    mgr,
-		occ:    heap.NewOccupancy(),
-		ledger: budget.NewLedger(cfg.C),
-		nextID: 1,
-	}, nil
+	return e, nil
+}
+
+// Reset prepares the engine for a fresh run with a new configuration,
+// program, and manager, retaining internal structures (the occupancy
+// bitmap and table pages) for reuse. It lets a sweep worker run many
+// cells without rebuilding the engine's ground truth from scratch.
+// The hook settings carry over.
+func (e *Engine) Reset(cfg Config, prog Program, mgr Manager) error {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	e.cfg, e.prog, e.mgr = cfg, prog, mgr
+	e.occ.Reset()
+	e.ledger = budget.NewLedger(cfg.C)
+	e.nextID = 1
+	e.rounds, e.allocs, e.frees, e.moves = 0, 0, 0, 0
+	return nil
 }
 
 // Run executes the interaction to completion and returns the result.
@@ -249,13 +268,14 @@ func (e *Engine) Run() (Result, error) {
 			return e.result(), err
 		}
 		if rc, ok := e.mgr.(RoundCompactor); ok {
-			rc.StartRound(&mover{e})
+			rc.StartRound(&e.mv)
 		}
 		if err := e.doAllocs(allocs); err != nil {
 			return e.result(), err
 		}
 		e.rounds = round + 1
-		if e.RoundHook != nil {
+		if e.RoundHook != nil &&
+			(e.RoundHookEvery <= 1 || done || (round+1)%e.RoundHookEvery == 0) {
 			e.RoundHook(e.result())
 		}
 		if done {
@@ -297,7 +317,7 @@ func (e *Engine) doAllocs(allocs []word.Size) error {
 		e.ledger.RecordAlloc(size)
 		id := e.nextID
 		e.nextID++
-		addr, err := e.mgr.Allocate(id, size, &mover{e})
+		addr, err := e.mgr.Allocate(id, size, &e.mv)
 		if err != nil {
 			return fmt.Errorf("%w: %s failed to allocate %d words (round %d): %v",
 				ErrManager, e.mgr.Name(), size, e.rounds, err)

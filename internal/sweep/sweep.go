@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"compaction/internal/mm"
 	"compaction/internal/sim"
@@ -40,60 +41,75 @@ type Outcome struct {
 }
 
 // Run executes all cells with the given parallelism (<= 0 selects
-// GOMAXPROCS) and returns outcomes in cell order.
+// runtime.NumCPU) and returns outcomes in cell order. Workers claim
+// cells from a shared atomic counter and reuse one simulation engine
+// each across their cells (the engine's page-retaining Reset makes
+// back-to-back large runs allocation-free); managers and programs are
+// still constructed fresh per cell, since both are single-use.
 func Run(cells []Cell, parallelism int) []Outcome {
 	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
+		parallelism = runtime.NumCPU()
 	}
 	if parallelism > len(cells) {
 		parallelism = len(cells)
 	}
 	out := make([]Outcome, len(cells))
 	var wg sync.WaitGroup
-	work := make(chan int)
+	var next atomic.Int64
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range work {
-				out[i] = runCell(cells[i])
+			var e *sim.Engine
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(cells) {
+					return
+				}
+				out[i], e = runCell(cells[i], e)
 			}
 		}()
 	}
-	for i := range cells {
-		work <- i
-	}
-	close(work)
 	wg.Wait()
 	return out
 }
 
-func runCell(c Cell) (o Outcome) {
+// runCell runs one cell, reusing the worker's engine when one is
+// handed in. It returns the engine for the next cell, or nil when the
+// engine's state can no longer be trusted (a panic mid-run).
+func runCell(c Cell, e *sim.Engine) (o Outcome, next *sim.Engine) {
 	o = Outcome{Cell: c}
+	next = e
 	// A panicking program or manager must fail its own cell, not tear
 	// down the whole sweep (and with it every other cell's result).
 	defer func() {
 		if r := recover(); r != nil {
 			o.Err = fmt.Errorf("sweep: cell %q manager %q panicked: %v", c.Label, c.Manager, r)
+			next = nil
 		}
 	}()
 	if c.Program == nil {
 		o.Err = fmt.Errorf("sweep: cell %q manager %q has no program constructor", c.Label, c.Manager)
-		return o
+		return o, next
 	}
 	mgr, err := mm.New(c.Manager)
 	if err != nil {
 		o.Err = err
-		return o
+		return o, next
 	}
-	e, err := sim.NewEngine(c.Config, c.Program(), mgr)
-	if err != nil {
+	if e == nil {
+		if e, err = sim.NewEngine(c.Config, c.Program(), mgr); err != nil {
+			o.Err = err
+			return o, nil
+		}
+		next = e
+	} else if err := e.Reset(c.Config, c.Program(), mgr); err != nil {
 		o.Err = err
-		return o
+		return o, next
 	}
 	res, err := e.Run()
 	o.Result, o.Err = res, err
-	return o
+	return o, next
 }
 
 // Grid builds the cross product of compaction bounds and manager

@@ -1,0 +1,69 @@
+package compaction_test
+
+import (
+	"testing"
+	"time"
+
+	"compaction"
+	"compaction/internal/bounds"
+	"compaction/internal/check"
+	"compaction/internal/core"
+	"compaction/internal/sim"
+	"compaction/internal/word"
+)
+
+// paperScaleDeadline bounds the wall clock of one refereed paper-scale
+// run. Measured on the reference machine (single 2.1 GHz Xeon core):
+// ~3 min for first-fit, ~2.5 min for threshold. The deadline leaves
+// ~3× headroom for slower CI runners while still catching an
+// accidental return to the pre-optimization engine, whose projected
+// time at this scale (extrapolated from the ~7× per-round slowdown at
+// M=2^16, compounded by per-round reallocation at 256× the object
+// count) is far beyond it.
+const paperScaleDeadline = 10 * time.Minute
+
+// TestSim1PaperScaleSmoke runs P_F at the paper's own scale —
+// M = 2^24 words of live space, objects up to n = 2^12 words — against
+// a non-moving manager and a compacting one, under a sampled referee.
+// It asserts the Theorem 1 conclusion (HS ≥ h·M) and that the run
+// finishes within a CI-tolerable deadline.
+//
+// The referee samples its full-heap invariant sweep every
+// paperScaleSampleEvery rounds (see Referee.SetSampleEvery): per-round
+// exact checking is O(live) per operation, which at 16.7M objects is
+// what made this scale unreachable before the sampling knob existed.
+func TestSim1PaperScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale smoke skipped in -short mode")
+	}
+	const sampleEvery = 64
+	cfg := sim.Config{M: 1 << 24, N: 1 << 12, C: 16, Pow2Only: true}
+	h, _, err := bounds.Theorem1(bounds.Params{M: cfg.M, N: cfg.N, C: cfg.C})
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := word.Size(float64(cfg.M) * h)
+	for _, name := range []string{"first-fit", "threshold"} {
+		t.Run(name, func(t *testing.T) {
+			start := time.Now()
+			rep, err := check.RunSampled(cfg, compaction.NewPF(core.Options{}), name, sampleEvery)
+			if err != nil {
+				t.Fatal(err)
+			}
+			elapsed := time.Since(start)
+			if !rep.Ok() {
+				t.Fatalf("refereed paper-scale run failed: %s", rep)
+			}
+			t.Logf("%s: HS=%d waste=%.3f (floor %.3f) rounds done in %s",
+				name, rep.Result.HighWater, rep.Result.WasteFactor(), h, elapsed)
+			if rep.Result.HighWater < floor {
+				t.Errorf("HS = %d below Theorem 1 floor h·M = %d (h=%.3f): adversary lost power at paper scale",
+					rep.Result.HighWater, floor, h)
+			}
+			if elapsed > paperScaleDeadline {
+				t.Errorf("run took %s, over the %s deadline: paper scale is no longer CI-tolerable",
+					elapsed, paperScaleDeadline)
+			}
+		})
+	}
+}
