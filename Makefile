@@ -5,10 +5,10 @@ GO ?= go
 FUZZTIME ?= 10s
 FUZZ_TARGETS := FuzzManagerTrace FuzzFreeIndex FuzzBoundsMonotone FuzzTraceRoundtrip
 
-BENCH_PATTERN := BenchmarkSim1PF|BenchmarkAllocatorThroughput
+BENCH_PATTERN := BenchmarkSim1PF|BenchmarkAllocatorThroughput|BenchmarkObsOverhead
 BENCH_OUT := bench.out
 
-.PHONY: all build test vet race fuzz-smoke check bench bench-check clean
+.PHONY: all build test vet race fuzz-smoke check bench bench-check trace clean
 
 all: build
 
@@ -27,7 +27,7 @@ vet:
 # stress test drives sweep.Run past GOMAXPROCS with a shared-state
 # canary manager).
 race:
-	$(GO) test -race ./internal/sim ./internal/sweep ./internal/check
+	$(GO) test -race ./internal/sim ./internal/sweep ./internal/check ./internal/obs
 
 # A short fuzzing pass over every native fuzz target. Each target runs
 # separately because `go test -fuzz` accepts only one target per
@@ -54,6 +54,13 @@ bench: build
 bench-check: build
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime 1x . | tee $(BENCH_OUT)
 	$(GO) run ./cmd/benchdiff -check BENCH_sim.json $(BENCH_OUT)
+
+# Produce sample observability artifacts from a seeded adversarial
+# run: a Chrome trace_event file (load trace_pf.json in Perfetto or
+# chrome://tracing) and the per-round HS/live/moved series as CSV.
+trace: build
+	$(GO) run ./cmd/compactsim -adversary pf -M 16Ki -n 64 -c 8 -manager first-fit \
+		-trace-out trace_pf.json -series-out series_pf.csv
 
 clean:
 	$(GO) clean ./...

@@ -20,6 +20,7 @@ import (
 	"compaction/internal/core"
 	"compaction/internal/figures"
 	"compaction/internal/mm"
+	"compaction/internal/obs"
 	"compaction/internal/profile"
 	"compaction/internal/sim"
 	"compaction/internal/workload"
@@ -267,6 +268,47 @@ func BenchmarkProfiles(b *testing.B) {
 				b.ReportMetric(waste, "HS/M")
 			})
 		}
+	}
+}
+
+// BenchmarkObsOverhead measures what the observability layer adds to
+// a full adversarial run: the nil-tracer fast path against a ring
+// sink, the atomic metrics bundle, and both tee'd together. The "off"
+// case is the shipping default, so its allocs/op are part of the
+// gated baseline.
+func BenchmarkObsOverhead(b *testing.B) {
+	cfg := sim.Config{M: 1 << 14, N: 1 << 6, C: 16, Pow2Only: true}
+	modes := []struct {
+		name string
+		mk   func() obs.Tracer
+	}{
+		{"off", func() obs.Tracer { return nil }},
+		{"ring", func() obs.Tracer { return obs.NewRing(1 << 12) }},
+		{"metrics", func() obs.Tracer { return obs.NewSimMetrics(obs.NewRegistry()) }},
+		{"ring+metrics", func() obs.Tracer {
+			return obs.Tee(obs.NewRing(1<<12), obs.NewSimMetrics(obs.NewRegistry()))
+		}},
+	}
+	for _, m := range modes {
+		m := m
+		b.Run(m.name, func(b *testing.B) {
+			b.ReportAllocs()
+			tracer := m.mk()
+			for i := 0; i < b.N; i++ {
+				mgr, err := mm.New("first-fit")
+				if err != nil {
+					b.Fatal(err)
+				}
+				e, err := sim.NewEngine(cfg, core.NewPF(core.Options{}), mgr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				e.Tracer = tracer
+				if _, err := e.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -9,6 +9,9 @@
 //	compactsim -adversary pf -sweep 8,16,32,64     # parallel c sweep
 //	compactsim -adversary random -check            # referee every invariant
 //	compactsim -replay min.bin -manager best-fit   # replay a saved trace
+//	compactsim -adversary pf -manager first-fit -trace-out run.json
+//	compactsim -adversary pf -manager first-fit -series-out hs.csv
+//	compactsim -adversary pf -sweep 8,16,32 -progress -metrics-addr :6060
 //
 // The engine enforces the model (live bound M, compaction budget s/c,
 // no overlapping placements); any violation aborts the run with an
@@ -19,6 +22,14 @@
 // -replay the program side comes from a recorded trace artifact (as
 // written by trace.WriteBinary or the check package's shrinker)
 // instead of an adversary, using the trace's own M, n and c.
+//
+// Observability (internal/obs): -trace-out records the run's event
+// stream (NDJSON for .ndjson paths, Chrome trace_event JSON otherwise
+// — load the latter in Perfetto/chrome://tracing), -series-out writes
+// the per-round HS/live/moved series as CSV, -metrics-addr serves live
+// metrics, expvar and pprof over HTTP, and -progress prints a stderr
+// ticker. Tracing applies to single runs against a single manager;
+// -progress and -metrics-addr also cover -sweep via the sweep monitor.
 package main
 
 import (
@@ -27,6 +38,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"compaction/internal/adversary/pw"
 	"compaction/internal/adversary/robson"
@@ -35,6 +47,7 @@ import (
 	"compaction/internal/check"
 	"compaction/internal/core"
 	"compaction/internal/mm"
+	"compaction/internal/obs"
 	"compaction/internal/profile"
 	"compaction/internal/sim"
 	"compaction/internal/stats"
@@ -71,11 +84,24 @@ func main() {
 		csvOut     = flag.String("csv", "", "write sweep results as CSV to this file")
 		seeds      = flag.Int("seeds", 1, "run seed-driven workloads this many times and report mean±sd")
 		checkRun   = flag.Bool("check", false, "referee the run: re-verify every model invariant independently")
-		checkEvery = flag.Int("checkevery", 1, "with -check, sample the referee's full-heap sweep every k rounds "+
+		checkEvery = flag.Int("checkevery", 1, "sample the referee's full-heap sweep every k rounds; ignored without -check "+
 			"(k > 1 keeps refereed paper-scale runs affordable; per-op bookkeeping stays exact)")
-		replay = flag.String("replay", "", "replay a recorded trace artifact instead of an adversary")
+		replay      = flag.String("replay", "", "replay a recorded trace artifact instead of an adversary")
+		traceOut    = flag.String("trace-out", "", "write the run's event trace to this file (.ndjson → NDJSON, otherwise Chrome trace_event JSON)")
+		traceFormat = flag.String("trace-format", "auto", "trace file format: auto, ndjson or chrome")
+		seriesOut   = flag.String("series-out", "", "write the per-round series (hs, waste, live, moved, budget) as CSV to this file")
+		metricsAddr = flag.String("metrics-addr", "", "serve live metrics, expvar and pprof on this HTTP address (e.g. localhost:6060)")
+		progress    = flag.Bool("progress", false, "print a progress ticker to stderr while the run executes")
 	)
 	flag.Parse()
+	oo := obsOpts{
+		traceOut: *traceOut, traceFormat: *traceFormat, seriesOut: *seriesOut,
+		metricsAddr: *metricsAddr, progress: *progress,
+	}
+	if msg := oo.validate(*manager, *sweepCs != "", *seeds); msg != "" {
+		fmt.Fprintln(os.Stderr, "compactsim:", msg)
+		os.Exit(2)
+	}
 	var err error
 	if (*replay != "" || *checkRun) && (*seeds > 1 || *sweepCs != "") {
 		fmt.Fprintln(os.Stderr, "compactsim: -replay and -check apply to single runs, not -sweep or -seeds")
@@ -84,13 +110,14 @@ func main() {
 	if *seeds > 1 {
 		err = runSeeds(*adv, *manager, mFlag.Size(), nFlag.Size(), *cFlag, *seeds, *rounds, *ell)
 	} else if *sweepCs != "" {
-		err = runSweep(*adv, *manager, mFlag.Size(), nFlag.Size(), *sweepCs, *csvOut, *seed, *rounds, *ell)
+		err = runSweep(*adv, *manager, mFlag.Size(), nFlag.Size(), *sweepCs, *csvOut, *seed, *rounds, *ell, oo)
 	} else {
 		err = run(runOpts{
 			adv: *adv, manager: *manager,
 			m: mFlag.Size(), n: nFlag.Size(), c: *cFlag,
 			seed: *seed, rounds: *rounds, ell: *ell,
 			showMap: *showMap, check: *checkRun, checkEvery: *checkEvery, replay: *replay,
+			obs: oo,
 		})
 	}
 	if err != nil {
@@ -99,7 +126,90 @@ func main() {
 	}
 }
 
-func runSweep(adv, manager string, m, n int64, sweepCs, csvOut string, seed int64, rounds, ell int) error {
+// obsOpts bundles the observability flags.
+type obsOpts struct {
+	traceOut, traceFormat string
+	seriesOut             string
+	metricsAddr           string
+	progress              bool
+}
+
+// validate rejects flag combinations the sinks cannot honor. It
+// returns a usage message, or "" when the combination is fine.
+func (o obsOpts) validate(manager string, sweeping bool, seeds int) string {
+	tracing := o.traceOut != "" || o.seriesOut != ""
+	switch {
+	case o.traceFormat != "auto" && o.traceFormat != "ndjson" && o.traceFormat != "chrome":
+		return fmt.Sprintf("unknown -trace-format %q (want auto, ndjson or chrome)", o.traceFormat)
+	case o.traceFormat != "auto" && o.traceOut == "":
+		return "-trace-format is meaningless without -trace-out"
+	case tracing && (sweeping || seeds > 1):
+		return "-trace-out and -series-out record a single run, not -sweep or -seeds"
+	case tracing && manager == "all":
+		return "-trace-out and -series-out record one manager's run; pick a single -manager"
+	case (o.progress || o.metricsAddr != "") && seeds > 1:
+		return "-progress and -metrics-addr are not supported with -seeds"
+	}
+	return ""
+}
+
+// openTraceSink creates the trace file upfront — an unwritable path
+// must fail the command before the simulation runs, not after — and
+// returns the sink plus a closer that finalizes the file.
+func openTraceSink(path, format string) (obs.Tracer, func() error, error) {
+	if format == "auto" {
+		if strings.HasSuffix(path, ".ndjson") {
+			format = "ndjson"
+		} else {
+			format = "chrome"
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("-trace-out: %w", err)
+	}
+	if format == "ndjson" {
+		s := obs.NewNDJSONSink(f)
+		return s, func() error {
+			if err := s.Err(); err != nil {
+				f.Close()
+				return fmt.Errorf("-trace-out %s: %w", path, err)
+			}
+			return f.Close()
+		}, nil
+	}
+	s := obs.NewChromeSink(f)
+	return s, func() error {
+		if err := s.Close(); err != nil {
+			f.Close()
+			return fmt.Errorf("-trace-out %s: %w", path, err)
+		}
+		return f.Close()
+	}, nil
+}
+
+// startProgress launches a once-a-second stderr ticker over the
+// engine metrics and returns a stop function.
+func startProgress(label string, sm *obs.SimMetrics) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				fmt.Fprintf(os.Stderr, "compactsim: %s: round %d, live %s, hs %s, %d moves\n",
+					label, sm.Rounds.Value(), word.Format(sm.Live.Value()),
+					word.Format(sm.HighWater.Value()), sm.Moves.Value())
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+func runSweep(adv, manager string, m, n int64, sweepCs, csvOut string, seed int64, rounds, ell int, oo obsOpts) error {
 	makeProg, pow2, err := newProgram(adv, seed, rounds, ell)
 	if err != nil {
 		return err
@@ -118,7 +228,38 @@ func runSweep(adv, manager string, m, n int64, sweepCs, csvOut string, seed int6
 	}
 	base := sim.Config{M: m, N: n, Pow2Only: pow2}
 	cells := sweep.Grid(base, cs, managers, adv, makeProg)
-	outs := sweep.Run(cells, 0)
+	var mon *sweep.Monitor
+	if oo.progress || oo.metricsAddr != "" {
+		reg := obs.NewRegistry()
+		mon = sweep.NewMonitor(reg)
+		if oo.metricsAddr != "" {
+			addr, err := obs.Serve(oo.metricsAddr, "compactsim", reg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "compactsim: metrics on http://%s/metrics\n", addr)
+		}
+	}
+	if oo.progress {
+		done := make(chan struct{})
+		go func() {
+			t := time.NewTicker(time.Second)
+			defer t.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-t.C:
+					fmt.Fprintln(os.Stderr, mon.Snapshot().Line())
+				}
+			}
+		}()
+		defer close(done)
+	}
+	outs := sweep.RunWith(cells, 0, mon)
+	if oo.progress {
+		fmt.Fprintln(os.Stderr, mon.Snapshot().Line())
+	}
 	fmt.Printf("sweep: adversary=%s M=%s n=%s\n", adv, word.Format(m), word.Format(n))
 	fmt.Print(sweep.Summary(outs))
 	if csvOut != "" {
@@ -225,6 +366,7 @@ type runOpts struct {
 	check        bool
 	checkEvery   int
 	replay       string
+	obs          obsOpts
 }
 
 func run(o runOpts) error {
@@ -250,6 +392,55 @@ func run(o runOpts) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
+	if (o.obs.traceOut != "" || o.obs.seriesOut != "") && o.manager == "all" {
+		return fmt.Errorf("-trace-out and -series-out record one manager's run; pick a single -manager")
+	}
+	// Observability sinks: files open before the run so unwritable
+	// paths fail fast, metrics always present when anything needs the
+	// gauges (progress ticker, HTTP endpoint).
+	var (
+		tracers []obs.Tracer
+		closers []func() error
+		metrics *obs.SimMetrics
+		series  *obs.SeriesRecorder
+	)
+	if o.obs.progress || o.obs.metricsAddr != "" {
+		reg := obs.NewRegistry()
+		metrics = obs.NewSimMetrics(reg)
+		tracers = append(tracers, metrics)
+		if o.obs.metricsAddr != "" {
+			addr, err := obs.Serve(o.obs.metricsAddr, "compactsim", reg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "compactsim: metrics on http://%s/metrics (expvar /debug/vars, pprof /debug/pprof)\n", addr)
+		}
+	}
+	if o.obs.traceOut != "" {
+		sink, closeSink, err := openTraceSink(o.obs.traceOut, o.obs.traceFormat)
+		if err != nil {
+			return err
+		}
+		tracers = append(tracers, sink)
+		closers = append(closers, closeSink)
+	}
+	if o.obs.seriesOut != "" {
+		f, err := os.Create(o.obs.seriesOut)
+		if err != nil {
+			return fmt.Errorf("-series-out: %w", err)
+		}
+		series = &obs.SeriesRecorder{}
+		tracers = append(tracers, series)
+		m := cfg.M
+		closers = append(closers, func() error {
+			if err := series.WriteCSV(f, m); err != nil {
+				f.Close()
+				return fmt.Errorf("-series-out %s: %w", o.obs.seriesOut, err)
+			}
+			return f.Close()
+		})
+	}
+	tracer := obs.Tee(tracers...)
 	names := []string{o.manager}
 	if o.manager == "all" {
 		names = mm.Names()
@@ -275,7 +466,20 @@ func run(o runOpts) error {
 			e.RoundHook = ref.CheckRound
 			e.RoundHookEvery = o.checkEvery
 		}
+		if tracer != nil {
+			e.Tracer = tracer
+			if ts, ok := mgr.(obs.TracerSetter); ok {
+				ts.SetTracer(tracer)
+			}
+		}
+		var stopTicker func()
+		if o.obs.progress {
+			stopTicker = startProgress(o.adv+" vs "+name, metrics)
+		}
 		res, err := e.Run()
+		if stopTicker != nil {
+			stopTicker()
+		}
 		if ref != nil {
 			for _, v := range ref.Violations() {
 				fmt.Printf("%s: %s\n", name, v)
@@ -289,6 +493,19 @@ func run(o runOpts) error {
 		if o.showMap {
 			fmt.Printf("%-18s %s", name, stats.HeapMap(e.Objects(), e.Extent(), 72))
 		}
+	}
+	// Finalize the sinks: the Chrome epilogue and the series CSV are
+	// written here, and a sink that failed mid-run fails the command.
+	for _, closeSink := range closers {
+		if err := closeSink(); err != nil {
+			return err
+		}
+	}
+	if o.obs.traceOut != "" {
+		fmt.Printf("wrote %s\n", o.obs.traceOut)
+	}
+	if o.obs.seriesOut != "" {
+		fmt.Printf("wrote %s\n", o.obs.seriesOut)
 	}
 	fmt.Printf("adversary=%s M=%s n=%s c=%d\n", o.adv, word.Format(cfg.M), word.Format(cfg.N), cfg.C)
 	fmt.Print(stats.Table(rows))

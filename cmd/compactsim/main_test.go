@@ -1,11 +1,17 @@
 package main
 
 import (
+	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 
 	"compaction/internal/check"
+	"compaction/internal/core"
+	"compaction/internal/mm"
 	"compaction/internal/sim"
 	"compaction/internal/workload"
 )
@@ -118,13 +124,173 @@ func TestRunReplayMissingArtifact(t *testing.T) {
 func TestRunSweepEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	csv := filepath.Join(dir, "out.csv")
-	if err := runSweep("robson", "first-fit", 1<<10, 1<<4, "0", csv, 1, 10, 0); err != nil {
+	if err := runSweep("robson", "first-fit", 1<<10, 1<<4, "0", csv, 1, 10, 0, obsOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(csv); err != nil {
 		t.Fatalf("csv not written: %v", err)
 	}
-	if err := runSweep("pf", "first-fit", 1<<12, 1<<6, "8,bogus", "", 1, 10, 0); err == nil {
+	if err := runSweep("pf", "first-fit", 1<<12, 1<<6, "8,bogus", "", 1, 10, 0, obsOpts{}); err == nil {
 		t.Fatal("bad sweep list accepted")
+	}
+}
+
+func TestRunSweepWithMonitor(t *testing.T) {
+	// -progress over a sweep goes through the sweep.Monitor path.
+	if err := runSweep("robson", "first-fit", 1<<10, 1<<4, "0,-1", "", 1, 10, 0, obsOpts{progress: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObsFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		oo      obsOpts
+		manager string
+		sweep   bool
+		seeds   int
+		wantErr bool
+	}{
+		{"clean single run", obsOpts{traceOut: "t.json"}, "first-fit", false, 1, false},
+		{"bad format", obsOpts{traceOut: "t.json", traceFormat: "xml"}, "first-fit", false, 1, true},
+		{"format without trace", obsOpts{traceFormat: "ndjson"}, "first-fit", false, 1, true},
+		{"trace with sweep", obsOpts{traceOut: "t.json"}, "first-fit", true, 1, true},
+		{"series with seeds", obsOpts{seriesOut: "s.csv"}, "first-fit", false, 5, true},
+		{"trace with all managers", obsOpts{traceOut: "t.json"}, "all", false, 1, true},
+		{"progress with seeds", obsOpts{progress: true}, "first-fit", false, 3, true},
+		{"progress with sweep", obsOpts{progress: true}, "all", true, 1, false},
+	}
+	for _, c := range cases {
+		oo := c.oo
+		if oo.traceFormat == "" {
+			oo.traceFormat = "auto"
+		}
+		msg := oo.validate(c.manager, c.sweep, c.seeds)
+		if (msg != "") != c.wantErr {
+			t.Errorf("%s: validate = %q, wantErr=%v", c.name, msg, c.wantErr)
+		}
+	}
+}
+
+func TestTraceOutUnwritablePathFails(t *testing.T) {
+	err := run(runOpts{
+		adv: "robson", manager: "first-fit", m: 1 << 10, n: 1 << 4, c: -1, seed: 1, rounds: 10,
+		obs: obsOpts{traceOut: filepath.Join(t.TempDir(), "no", "such", "dir", "t.json"), traceFormat: "auto"},
+	})
+	if err == nil {
+		t.Fatal("unwritable -trace-out path accepted")
+	}
+	err = run(runOpts{
+		adv: "robson", manager: "first-fit", m: 1 << 10, n: 1 << 4, c: -1, seed: 1, rounds: 10,
+		obs: obsOpts{seriesOut: filepath.Join(t.TempDir(), "no", "such", "dir", "s.csv")},
+	})
+	if err == nil {
+		t.Fatal("unwritable -series-out path accepted")
+	}
+}
+
+func TestTraceOutSchemas(t *testing.T) {
+	dir := t.TempDir()
+	chrome := filepath.Join(dir, "run.json")
+	ndjson := filepath.Join(dir, "run.ndjson")
+	series := filepath.Join(dir, "run.csv")
+	err := run(runOpts{
+		adv: "pf", manager: "first-fit", m: 1 << 12, n: 1 << 6, c: 8, seed: 1, rounds: 10,
+		obs: obsOpts{traceOut: chrome, traceFormat: "auto", seriesOut: series, progress: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(runOpts{
+		adv: "pf", manager: "first-fit", m: 1 << 12, n: 1 << 6, c: 8, seed: 1, rounds: 10,
+		obs: obsOpts{traceOut: ndjson, traceFormat: "auto"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The .json path must have auto-selected the Chrome trace_event
+	// container: one JSON object with a traceEvents array.
+	raw, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+
+	// The .ndjson path must hold one JSON object per line.
+	nd, err := os.ReadFile(ndjson)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(nd), "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("ndjson trace is empty")
+	}
+	rounds := 0
+	for i, line := range lines {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("ndjson line %d invalid: %v", i+1, err)
+		}
+		if ev["ev"] == "round" {
+			rounds++
+		}
+	}
+	if rounds == 0 {
+		t.Fatal("ndjson trace has no round events")
+	}
+
+	// The series CSV ends on the run's final HS: re-run the identical
+	// configuration and compare bit-exactly.
+	mgr, err := mm.New("first-fit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.NewEngine(sim.Config{M: 1 << 12, N: 1 << 6, C: 8, Pow2Only: true}, core.NewPF(core.Options{}), mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv, err := os.ReadFile(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(strings.TrimRight(string(csv), "\n"), "\n")
+	if len(rows) < 2 {
+		t.Fatalf("series CSV too short:\n%s", csv)
+	}
+	last := strings.Split(rows[len(rows)-1], ",")
+	if len(last) < 3 {
+		t.Fatalf("bad series row %q", rows[len(rows)-1])
+	}
+	hs, err := strconv.ParseInt(last[1], 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs != res.HighWater {
+		t.Fatalf("series final HS %d != run HS %d", hs, res.HighWater)
+	}
+	// HS is recorded exactly, so the waste factor it implies matches
+	// the run's own bit for bit; the CSV waste column itself is
+	// rounded to 6 decimals for readability.
+	if got := float64(hs) / float64(1<<12); math.Float64bits(got) != math.Float64bits(res.WasteFactor()) {
+		t.Fatalf("series-derived waste %v != run waste %v bit-exactly", got, res.WasteFactor())
+	}
+	waste, err := strconv.ParseFloat(last[2], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(waste-res.WasteFactor()) > 1e-6 {
+		t.Fatalf("series waste column %v disagrees with run waste %v", waste, res.WasteFactor())
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"compaction/internal/budget"
 	"compaction/internal/heap"
 	"compaction/internal/mm"
+	"compaction/internal/obs"
 	"compaction/internal/sim"
 	"compaction/internal/trace"
 	"compaction/internal/word"
@@ -103,6 +104,10 @@ type Referee struct {
 	// overlap when CheckRound fires. Counters and byID stay exact.
 	sampleEvery int
 
+	// tracer, when set, receives one referee-sweep event per
+	// CheckRound invocation, carrying the cumulative violation count.
+	tracer obs.Tracer
+
 	violations []Violation
 }
 
@@ -125,6 +130,18 @@ func (r *Referee) SetSampleEvery(every int) { r.sampleEvery = every }
 
 // sampled reports whether the per-op sorted shadow is disabled.
 func (r *Referee) sampled() bool { return r.sampleEvery > 1 }
+
+// SetTracer implements obs.TracerSetter: the referee emits a sweep
+// event per CheckRound and forwards the tracer to the wrapped manager
+// when it accepts one (managers embedding mm.Base do), so one call
+// threads tracing through the whole manager stack. The setting
+// survives Reset.
+func (r *Referee) SetTracer(t obs.Tracer) {
+	r.tracer = t
+	if ts, ok := r.inner.(obs.TracerSetter); ok {
+		ts.SetTracer(t)
+	}
+}
 
 // Name implements sim.Manager; the referee is transparent.
 func (r *Referee) Name() string { return r.inner.Name() }
@@ -304,6 +321,12 @@ func (r *Referee) CheckRound(res sim.Result) {
 	if r.sampled() {
 		r.verifyShadow()
 	}
+	if r.tracer != nil {
+		r.tracer.Emit(obs.Event{
+			Kind: obs.EvSweep, Round: res.Rounds - 1,
+			Violations: len(r.violations), Live: r.live,
+		})
+	}
 }
 
 // verifyShadow rebuilds the sorted span table from byID and checks the
@@ -436,7 +459,11 @@ func Run(cfg sim.Config, prog sim.Program, manager string) (Report, error) {
 // high-water and bookkeeping checks lose no precision — only overlap
 // detection is sampled. Use for paper-scale runs (M ≥ 2^20) where
 // exact checking is quadratic.
-func RunSampled(cfg sim.Config, prog sim.Program, manager string, every int) (Report, error) {
+//
+// Optional tracers are combined with obs.Tee and attached to both the
+// engine and the referee, so long refereed runs can report progress
+// (e.g. via obs.SimMetrics gauges) instead of running silently.
+func RunSampled(cfg sim.Config, prog sim.Program, manager string, every int, tracers ...obs.Tracer) (Report, error) {
 	mgr, err := mm.New(manager)
 	if err != nil {
 		return Report{}, err
@@ -446,6 +473,10 @@ func RunSampled(cfg sim.Config, prog sim.Program, manager string, every int) (Re
 	e, err := sim.NewEngine(cfg, prog, ref)
 	if err != nil {
 		return Report{}, err
+	}
+	if tr := obs.Tee(tracers...); tr != nil {
+		e.Tracer = tr
+		ref.SetTracer(tr)
 	}
 	e.RoundHook = ref.CheckRound
 	e.RoundHookEvery = every

@@ -10,6 +10,7 @@ import (
 	"compaction/internal/bounds"
 	"compaction/internal/core"
 	"compaction/internal/mm"
+	"compaction/internal/obs"
 	"compaction/internal/plot"
 	"compaction/internal/sim"
 	"compaction/internal/word"
@@ -144,7 +145,9 @@ func RunPFAcrossManagers(cfg sim.Config) ([]SimRow, word.Size, error) {
 
 // GrowthFigure traces heap usage round by round while P_F runs
 // against each named manager: the operational picture of how the
-// adversary ratchets the high-water mark up step after step.
+// adversary ratchets the high-water mark up step after step. The
+// series comes from the engine's tracer (obs.SeriesRecorder), the
+// same per-round stream compactsim's -series-out records.
 func GrowthFigure(cfg sim.Config, managers []string) (plot.Figure, error) {
 	fig := plot.Figure{
 		Title: fmt.Sprintf("Heap growth under P_F (M=%s, n=%s, c=%d)",
@@ -152,6 +155,7 @@ func GrowthFigure(cfg sim.Config, managers []string) (plot.Figure, error) {
 		XLabel: "round (adversary step)",
 		YLabel: "HS/M",
 	}
+	var rec obs.SeriesRecorder
 	for _, name := range managers {
 		mgr, err := mm.New(name)
 		if err != nil {
@@ -161,14 +165,12 @@ func GrowthFigure(cfg sim.Config, managers []string) (plot.Figure, error) {
 		if err != nil {
 			return plot.Figure{}, err
 		}
-		var xs, ys []float64
-		e.RoundHook = func(r sim.Result) {
-			xs = append(xs, float64(r.Rounds))
-			ys = append(ys, r.WasteFactor())
-		}
+		rec.Reset()
+		e.Tracer = &rec
 		if _, err := e.Run(); err != nil {
 			return plot.Figure{}, fmt.Errorf("growth: P_F vs %s: %w", name, err)
 		}
+		xs, ys := rec.WasteSeries(cfg.M)
 		fig.Series = append(fig.Series, plot.Series{Name: name, X: xs, Y: ys})
 	}
 	return fig, nil

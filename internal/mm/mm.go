@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"compaction/internal/heap"
+	"compaction/internal/obs"
 	"compaction/internal/sim"
 	"compaction/internal/word"
 )
@@ -89,6 +90,26 @@ type Base struct {
 	Cfg  sim.Config
 	FS   *heap.FreeSpace
 	Objs heap.SpanTable
+
+	// tracer, when set, receives the manager-side events the engine
+	// cannot see: move attempts that were refused before or by the
+	// engine (budget exhaustion, occupied destination). Successful
+	// moves are reported by the engine itself.
+	tracer obs.Tracer
+}
+
+// SetTracer implements obs.TracerSetter. The setting survives Reset.
+func (b *Base) SetTracer(t obs.Tracer) { b.tracer = t }
+
+// rejectMove reports a refused move attempt. Base does not know the
+// engine's round counter, so manager-side events carry Round == -1.
+func (b *Base) rejectMove(id heap.ObjectID, from heap.Span, to word.Addr) {
+	if b.tracer != nil {
+		b.tracer.Emit(obs.Event{
+			Kind: obs.EvMoveReject, Round: -1,
+			ID: id, From: from.Addr, Addr: to, Size: from.Size,
+		})
+	}
 }
 
 // Reset implements the corresponding part of sim.Manager.
@@ -144,6 +165,7 @@ func (b *Base) MoveObject(mv sim.Mover, id heap.ObjectID, to word.Addr) (removed
 		if rerr := b.FS.Reserve(from); rerr != nil {
 			panic(fmt.Sprintf("mm: rollback reserve of %v failed: %v", from, rerr))
 		}
+		b.rejectMove(id, from, to)
 		return false, fmt.Errorf("mm: move destination not free: %w", err)
 	}
 	freed, err := mv.Move(id, to)
@@ -155,6 +177,7 @@ func (b *Base) MoveObject(mv sim.Mover, id heap.ObjectID, to word.Addr) (removed
 		if rerr := b.FS.Reserve(from); rerr != nil {
 			panic(fmt.Sprintf("mm: rollback reserve of %v failed: %v", from, rerr))
 		}
+		b.rejectMove(id, from, to)
 		return false, err
 	}
 	if freed {

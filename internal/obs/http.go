@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the live-introspection mux for a registry:
+//
+//	/metrics        plain-text snapshot (Registry.WriteText)
+//	/debug/vars     the standard expvar JSON (includes the registry
+//	                once PublishExpvar has run)
+//	/debug/pprof/   the standard pprof index, profiles and traces
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = reg.WriteText(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve publishes the registry via expvar under name, binds addr
+// (":0" picks a free port) and serves Handler(reg) on it in a
+// background goroutine for the life of the process. It returns the
+// bound address.
+func Serve(addr, name string, reg *Registry) (string, error) {
+	reg.PublishExpvar(name)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		srv := &http.Server{Handler: Handler(reg)}
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr().String(), nil
+}

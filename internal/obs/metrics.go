@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric with an atomic hot
+// path.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value with an atomic hot path.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the number of log-scaled histogram buckets: bucket i
+// holds observations v with bits.Len64(v) == i, i.e. v in
+// [2^(i-1), 2^i). Non-positive observations land in bucket 0. 64
+// buckets cover the whole int64 range.
+const histBuckets = 64
+
+// Histogram aggregates int64 observations into power-of-two buckets
+// with an atomic, allocation-free Observe. It is the right shape for
+// the long-tailed quantities of the pipeline: allocation sizes,
+// free-span lengths, move distances, per-round latencies.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketOf returns the bucket index for an observation.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// bucketUpper returns the largest value bucket i can hold (its
+// nominal representative when estimating quantiles).
+func bucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Quantile estimates the q-quantile as the upper edge of the bucket
+// holding the nearest-rank observation — the same nearest-rank rule
+// stats.Quantile applies exactly (both go through Rank), coarsened to
+// the histogram's power-of-two resolution.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(Rank(int(n), q))
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}
+
+// Rank returns the 0-based index of the q-quantile under the
+// nearest-rank definition (ceil(q·n) − 1, clamped to [0, n−1]). It is
+// the single quantile rule of the repository: stats.Quantile applies
+// it to exact sorted samples, Histogram.Quantile to bucket counts.
+func Rank(n int, q float64) int {
+	if n <= 0 {
+		return 0
+	}
+	if q <= 0 {
+		return 0
+	}
+	if q >= 1 {
+		return n - 1
+	}
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+// QuantileSorted returns the q-quantile of an ascending-sorted sample
+// by nearest rank. It returns 0 for empty input.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[Rank(len(sorted), q)]
+}
+
+// Registry is a named collection of metrics. Lookup and registration
+// take a mutex; the metrics themselves are lock-free, so the hot path
+// (holding *Counter etc. directly) never contends.
+type Registry struct {
+	mu   sync.Mutex
+	vars map[string]any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{vars: make(map[string]any)}
+}
+
+// lookup returns the metric under name, creating it with mk when
+// absent. It panics when the name is already bound to a different
+// metric type — a programming error at wiring time.
+func lookup[T any](r *Registry, name string, mk func() *T) *T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.vars[name]; ok {
+		t, ok := v.(*T)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q already registered as %T", name, v))
+		}
+		return t
+	}
+	t := mk()
+	r.vars[name] = t
+	return t
+}
+
+// Counter returns the counter under name, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	return lookup(r, name, func() *Counter { return new(Counter) })
+}
+
+// Gauge returns the gauge under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	return lookup(r, name, func() *Gauge { return new(Gauge) })
+}
+
+// Histogram returns the histogram under name, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	return lookup(r, name, func() *Histogram { return new(Histogram) })
+}
+
+// names returns the registered names, sorted.
+func (r *Registry) names() []string {
+	names := make([]string, 0, len(r.vars))
+	for n := range r.vars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteText dumps a plain-text snapshot, one metric per line in name
+// order:
+//
+//	name value                                       (counter, gauge)
+//	name count=N sum=S mean=M p50=A p90=B p99=C      (histogram)
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.names() {
+		var err error
+		switch v := r.vars[name].(type) {
+		case *Counter:
+			_, err = fmt.Fprintf(w, "%s %d\n", name, v.Value())
+		case *Gauge:
+			_, err = fmt.Fprintf(w, "%s %d\n", name, v.Value())
+		case *Histogram:
+			_, err = fmt.Fprintf(w, "%s count=%d sum=%d mean=%.2f p50=%d p90=%d p99=%d\n",
+				name, v.Count(), v.Sum(), v.Mean(),
+				v.Quantile(0.50), v.Quantile(0.90), v.Quantile(0.99))
+		default:
+			err = fmt.Errorf("obs: unknown metric type %T", v)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot returns the current values as a plain map (histograms as
+// nested maps), the shape served through expvar.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.vars))
+	for name, v := range r.vars {
+		switch v := v.(type) {
+		case *Counter:
+			out[name] = v.Value()
+		case *Gauge:
+			out[name] = v.Value()
+		case *Histogram:
+			out[name] = map[string]any{
+				"count": v.Count(),
+				"sum":   v.Sum(),
+				"p50":   v.Quantile(0.50),
+				"p90":   v.Quantile(0.90),
+				"p99":   v.Quantile(0.99),
+			}
+		}
+	}
+	return out
+}
+
+// PublishExpvar publishes the registry under the given top-level
+// expvar name. Republishing the same name is a no-op (expvar itself
+// panics on duplicates), so CLIs can call it unconditionally.
+func (r *Registry) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

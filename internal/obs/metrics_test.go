@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+	if r.Counter("c") != c || r.Gauge("g") != g {
+		t.Fatal("lookup did not return the registered metric")
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering x as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	var h Histogram
+	// 100 observations: 1..100. Nearest-rank p50 is the 50th value
+	// (50), which lives in bucket len(50)=6, upper edge 63.
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 100 || h.Sum() != 5050 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	if m := h.Mean(); math.Abs(m-50.5) > 1e-9 {
+		t.Fatalf("mean = %v", m)
+	}
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0, 1},      // rank 0 → value 1 → bucket 1 → upper 1
+		{0.5, 63},   // rank 49 → value 50 → bucket 6
+		{0.99, 127}, // rank 98 → value 99 → bucket 7
+		{1, 127},    // rank 99 → value 100 → bucket 7
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+	if (&Histogram{}).Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile must be 0")
+	}
+}
+
+func TestHistogramNonPositiveObservations(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-5)
+	if h.Quantile(1) != 0 {
+		t.Fatalf("non-positive observations must land in bucket 0, got %d", h.Quantile(1))
+	}
+}
+
+// TestRankMatchesNearestRank pins the shared quantile rule against the
+// definition stats.Quantile has always used.
+func TestRankMatchesNearestRank(t *testing.T) {
+	for n := 1; n <= 20; n++ {
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.9, 0.99, 1} {
+			want := int(math.Ceil(q*float64(n))) - 1
+			if q <= 0 {
+				want = 0
+			}
+			if q >= 1 {
+				want = n - 1
+			}
+			if want < 0 {
+				want = 0
+			}
+			if got := Rank(n, q); got != want {
+				t.Fatalf("Rank(%d, %v) = %d, want %d", n, q, got, want)
+			}
+		}
+	}
+}
+
+func TestQuantileSorted(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	sort.Float64s(xs)
+	if got := QuantileSorted(xs, 0.5); got != 5 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := QuantileSorted(xs, 0.9); got != 9 {
+		t.Fatalf("p90 = %v", got)
+	}
+	if QuantileSorted(nil, 0.5) != 0 {
+		t.Fatal("empty input")
+	}
+}
+
+func TestWriteTextSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim.allocs").Add(3)
+	r.Gauge("sim.live_words").Set(128)
+	r.Histogram("sim.alloc_size").Observe(16)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "sim.alloc_size count=1 sum=16 mean=16.00 p50=31 p90=31 p99=31\n" +
+		"sim.allocs 3\n" +
+		"sim.live_words 128\n"
+	if got != want {
+		t.Fatalf("snapshot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestSnapshotMapAndHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs").Inc()
+	r.Histogram("lat").Observe(100)
+	snap := r.Snapshot()
+	if snap["runs"] != int64(1) {
+		t.Fatalf("snapshot runs = %v", snap["runs"])
+	}
+	if _, ok := snap["lat"].(map[string]any); !ok {
+		t.Fatalf("histogram snapshot shape = %T", snap["lat"])
+	}
+
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "runs 1\n") {
+		t.Fatalf("/metrics body:\n%s", body)
+	}
+	resp, err = srv.Client().Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestConcurrentMetricUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			h := r.Histogram("hist")
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("shared").Value() != 8000 {
+		t.Fatalf("lost updates: %d", r.Counter("shared").Value())
+	}
+	if r.Histogram("hist").Count() != 8000 {
+		t.Fatalf("lost observations: %d", r.Histogram("hist").Count())
+	}
+}

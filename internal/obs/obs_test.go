@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestEventKindStrings(t *testing.T) {
+	want := map[EventKind]string{
+		EvAlloc:      "alloc",
+		EvFree:       "free",
+		EvMove:       "move",
+		EvMoveReject: "move-reject",
+		EvRound:      "round",
+		EvSweep:      "sweep",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("kind %d = %q, want %q", k, k.String(), s)
+		}
+	}
+	if got := EventKind(250).String(); got != "unknown" {
+		t.Errorf("bogus kind = %q", got)
+	}
+}
+
+func TestRingRetainsNewest(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Kind: EvAlloc, Round: i})
+	}
+	if r.Total() != 10 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Round != 6+i {
+			t.Errorf("event %d has round %d, want %d (oldest-first order)", i, ev.Round, 6+i)
+		}
+	}
+	r.Reset()
+	if r.Total() != 0 || len(r.Events()) != 0 {
+		t.Error("reset did not clear the ring")
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	r := NewRing(8)
+	r.Emit(Event{Round: 1})
+	r.Emit(Event{Round: 2})
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Round != 1 || evs[1].Round != 2 {
+		t.Fatalf("partial fill = %+v", evs)
+	}
+}
+
+func TestTee(t *testing.T) {
+	if Tee() != nil || Tee(nil, nil) != nil {
+		t.Fatal("empty tee must be nil")
+	}
+	a, b := &Recorder{}, &Recorder{}
+	if got := Tee(nil, a); got != Tracer(a) {
+		t.Fatal("single-tracer tee must return the tracer itself")
+	}
+	tee := Tee(a, nil, b)
+	tee.Emit(Event{Kind: EvFree, Round: 3})
+	if len(a.Events) != 1 || len(b.Events) != 1 {
+		t.Fatalf("fan-out missed a sink: %d, %d", len(a.Events), len(b.Events))
+	}
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		t.Fatal("sinks saw different events")
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	r := &Recorder{}
+	r.Emit(Event{Round: 1})
+	r.Reset()
+	if len(r.Events) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestRingEmitDoesNotAllocate(t *testing.T) {
+	r := NewRing(16)
+	ev := Event{Kind: EvMove, Round: 7, ID: 3, From: 10, Addr: 2, Size: 8}
+	allocs := testing.AllocsPerRun(100, func() { r.Emit(ev) })
+	if allocs != 0 {
+		t.Errorf("Ring.Emit allocates %.1f per call, want 0", allocs)
+	}
+}
+
+func TestSimMetricsEmitDoesNotAllocate(t *testing.T) {
+	m := NewSimMetrics(NewRegistry())
+	evs := []Event{
+		{Kind: EvAlloc, Size: 16},
+		{Kind: EvFree, Size: 16},
+		{Kind: EvMove, From: 100, Addr: 4, Size: 8},
+		{Kind: EvRound, Live: 32, HighWater: 64, Budget: 4, Nanos: 1500},
+		{Kind: EvSweep, Violations: 0},
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, ev := range evs {
+			m.Emit(ev)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("SimMetrics.Emit allocates %.1f per cycle, want 0", allocs)
+	}
+}

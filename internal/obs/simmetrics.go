@@ -1,0 +1,79 @@
+package obs
+
+// SimMetrics is the standard metric set of one engine run, updated
+// from the event stream: it is a Tracer, so it composes with file
+// sinks and ring buffers through Tee. All updates are atomic and
+// allocation-free.
+//
+// Metric names are flat dotted strings under the "sim." prefix so a
+// registry can also carry sweep- or CLI-level metrics without
+// collisions.
+type SimMetrics struct {
+	Rounds      *Counter // completed rounds
+	Allocs      *Counter // objects placed
+	Frees       *Counter // objects freed (including free-on-move)
+	Moves       *Counter // engine-validated relocations
+	MoveRejects *Counter // manager move attempts refused (budget, overlap)
+	Sweeps      *Counter // referee full-heap sweeps
+	Violations  *Gauge   // referee violations observed so far
+
+	Live      *Gauge // live words at the last round boundary
+	HighWater *Gauge // HS at the last round boundary
+	Budget    *Gauge // remaining compaction budget (words)
+
+	AllocSize    *Histogram // words per allocation
+	FreeSpan     *Histogram // words per freed span
+	MoveDistance *Histogram // |to − from| per move
+	RoundNanos   *Histogram // wall clock per round
+}
+
+// NewSimMetrics registers the standard engine metrics in r and
+// returns the bundle.
+func NewSimMetrics(r *Registry) *SimMetrics {
+	return &SimMetrics{
+		Rounds:       r.Counter("sim.rounds"),
+		Allocs:       r.Counter("sim.allocs"),
+		Frees:        r.Counter("sim.frees"),
+		Moves:        r.Counter("sim.moves"),
+		MoveRejects:  r.Counter("sim.move_rejects"),
+		Sweeps:       r.Counter("sim.referee_sweeps"),
+		Violations:   r.Gauge("sim.referee_violations"),
+		Live:         r.Gauge("sim.live_words"),
+		HighWater:    r.Gauge("sim.high_water"),
+		Budget:       r.Gauge("sim.budget_remaining"),
+		AllocSize:    r.Histogram("sim.alloc_size"),
+		FreeSpan:     r.Histogram("sim.free_span"),
+		MoveDistance: r.Histogram("sim.move_distance"),
+		RoundNanos:   r.Histogram("sim.round_nanos"),
+	}
+}
+
+// Emit implements Tracer.
+func (m *SimMetrics) Emit(ev Event) {
+	switch ev.Kind {
+	case EvAlloc:
+		m.Allocs.Inc()
+		m.AllocSize.Observe(ev.Size)
+	case EvFree:
+		m.Frees.Inc()
+		m.FreeSpan.Observe(ev.Size)
+	case EvMove:
+		m.Moves.Inc()
+		d := ev.Addr - ev.From
+		if d < 0 {
+			d = -d
+		}
+		m.MoveDistance.Observe(d)
+	case EvMoveReject:
+		m.MoveRejects.Inc()
+	case EvRound:
+		m.Rounds.Inc()
+		m.Live.Set(ev.Live)
+		m.HighWater.Set(ev.HighWater)
+		m.Budget.Set(ev.Budget)
+		m.RoundNanos.Observe(ev.Nanos)
+	case EvSweep:
+		m.Sweeps.Inc()
+		m.Violations.Set(int64(ev.Violations))
+	}
+}

@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"compaction/internal/word"
+)
+
+// appendKV appends `,"key":value` (or `"key":value` when first).
+func appendKV(dst []byte, first bool, key string, v int64) []byte {
+	if !first {
+		dst = append(dst, ',')
+	}
+	dst = append(dst, '"')
+	dst = append(dst, key...)
+	dst = append(dst, '"', ':')
+	return strconv.AppendInt(dst, v, 10)
+}
+
+// AppendNDJSON appends one event as a single NDJSON line (with
+// trailing newline) to dst. The field order is fixed per kind and is
+// part of the schema: identical event streams serialize to identical
+// bytes, which the golden and deterministic-replay tests pin.
+// Event.Nanos is wall clock and deliberately not serialized.
+//
+// Schema by kind:
+//
+//	{"ev":"alloc","round":R,"id":I,"addr":A,"size":S}
+//	{"ev":"free","round":R,"id":I,"addr":A,"size":S}
+//	{"ev":"move","round":R,"id":I,"from":F,"to":T,"size":S}
+//	{"ev":"move-reject","round":R,"id":I,"from":F,"to":T,"size":S}
+//	{"ev":"round","round":R,"live":L,"allocated":S,"moved":Q,"hs":H,"budget":B}
+//	{"ev":"sweep","round":R,"violations":V,"live":L}
+func AppendNDJSON(dst []byte, ev Event) []byte {
+	dst = append(dst, `{"ev":"`...)
+	dst = append(dst, ev.Kind.String()...)
+	dst = append(dst, '"')
+	dst = appendKV(dst, false, "round", int64(ev.Round))
+	switch ev.Kind {
+	case EvAlloc, EvFree:
+		dst = appendKV(dst, false, "id", int64(ev.ID))
+		dst = appendKV(dst, false, "addr", ev.Addr)
+		dst = appendKV(dst, false, "size", ev.Size)
+	case EvMove, EvMoveReject:
+		dst = appendKV(dst, false, "id", int64(ev.ID))
+		dst = appendKV(dst, false, "from", ev.From)
+		dst = appendKV(dst, false, "to", ev.Addr)
+		dst = appendKV(dst, false, "size", ev.Size)
+	case EvRound:
+		dst = appendKV(dst, false, "live", ev.Live)
+		dst = appendKV(dst, false, "allocated", ev.Allocated)
+		dst = appendKV(dst, false, "moved", ev.Moved)
+		dst = appendKV(dst, false, "hs", ev.HighWater)
+		dst = appendKV(dst, false, "budget", ev.Budget)
+	case EvSweep:
+		dst = appendKV(dst, false, "violations", int64(ev.Violations))
+		dst = appendKV(dst, false, "live", ev.Live)
+	}
+	return append(dst, '}', '\n')
+}
+
+// NDJSONSink streams events as newline-delimited JSON, one event per
+// line. Write errors are sticky and reported by Err, so emission
+// sites stay error-free.
+type NDJSONSink struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// NewNDJSONSink returns a sink writing to w. Wrap w in a bufio.Writer
+// for file output; the sink itself does not buffer.
+func NewNDJSONSink(w io.Writer) *NDJSONSink {
+	return &NDJSONSink{w: w, buf: make([]byte, 0, 256)}
+}
+
+// Emit implements Tracer.
+func (s *NDJSONSink) Emit(ev Event) {
+	if s.err != nil {
+		return
+	}
+	s.buf = AppendNDJSON(s.buf[:0], ev)
+	_, s.err = s.w.Write(s.buf)
+}
+
+// Err returns the first write error, if any.
+func (s *NDJSONSink) Err() error { return s.err }
+
+// ChromeSink streams events in the Chrome trace_event JSON format,
+// loadable in chrome://tracing and https://ui.perfetto.dev. Close must
+// be called to terminate the JSON document.
+//
+// Timestamps are synthetic: each event advances a deterministic
+// logical clock by one microsecond, so the stream is byte-identical
+// across identical runs and Perfetto shows model order, not wall
+// clock. Round boundaries appear as counter tracks ("heap",
+// "compaction"); allocs, frees, moves and sweeps as instant events.
+type ChromeSink struct {
+	w    io.Writer
+	buf  []byte
+	seq  int64
+	err  error
+	open bool
+}
+
+// NewChromeSink writes the document prolog and returns the sink.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	s := &ChromeSink{w: w, buf: make([]byte, 0, 512), open: true}
+	_, s.err = io.WriteString(w,
+		`{"displayTimeUnit":"ms","traceEvents":[`+"\n"+
+			`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"compactsim"}}`)
+	return s
+}
+
+// instant appends one instant event entry.
+func (s *ChromeSink) instant(name string, tid int64, ev Event, withSpan bool) {
+	s.buf = append(s.buf, ",\n{\"name\":\""...)
+	s.buf = append(s.buf, name...)
+	s.buf = append(s.buf, "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1"...)
+	s.buf = appendKV(s.buf, false, "tid", tid)
+	s.buf = appendKV(s.buf, false, "ts", s.seq)
+	s.buf = append(s.buf, ",\"args\":{"...)
+	s.buf = appendKV(s.buf, true, "round", int64(ev.Round))
+	s.buf = appendKV(s.buf, false, "id", int64(ev.ID))
+	if withSpan {
+		if ev.Kind == EvMove || ev.Kind == EvMoveReject {
+			s.buf = appendKV(s.buf, false, "from", ev.From)
+			s.buf = appendKV(s.buf, false, "to", ev.Addr)
+		} else {
+			s.buf = appendKV(s.buf, false, "addr", ev.Addr)
+		}
+		s.buf = appendKV(s.buf, false, "size", ev.Size)
+	}
+	s.buf = append(s.buf, '}', '}')
+}
+
+// counter appends one counter ("C") entry with the given arg pairs.
+func (s *ChromeSink) counter(name string, keys [2]string, vals [2]int64) {
+	s.buf = append(s.buf, ",\n{\"name\":\""...)
+	s.buf = append(s.buf, name...)
+	s.buf = append(s.buf, "\",\"ph\":\"C\",\"pid\":1"...)
+	s.buf = appendKV(s.buf, false, "ts", s.seq)
+	s.buf = append(s.buf, ",\"args\":{"...)
+	s.buf = appendKV(s.buf, true, keys[0], vals[0])
+	s.buf = appendKV(s.buf, false, keys[1], vals[1])
+	s.buf = append(s.buf, '}', '}')
+}
+
+// Emit implements Tracer.
+func (s *ChromeSink) Emit(ev Event) {
+	if s.err != nil || !s.open {
+		return
+	}
+	s.seq++
+	s.buf = s.buf[:0]
+	switch ev.Kind {
+	case EvAlloc, EvFree:
+		s.instant(ev.Kind.String(), 1, ev, true)
+	case EvMove, EvMoveReject:
+		s.instant(ev.Kind.String(), 1, ev, true)
+	case EvRound:
+		s.counter("heap", [2]string{"hs", "live"}, [2]int64{ev.HighWater, ev.Live})
+		s.counter("compaction", [2]string{"budget", "moved"}, [2]int64{ev.Budget, ev.Moved})
+	case EvSweep:
+		s.buf = append(s.buf, ",\n{\"name\":\"referee-sweep\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":2"...)
+		s.buf = appendKV(s.buf, false, "ts", s.seq)
+		s.buf = append(s.buf, ",\"args\":{"...)
+		s.buf = appendKV(s.buf, true, "round", int64(ev.Round))
+		s.buf = appendKV(s.buf, false, "violations", int64(ev.Violations))
+		s.buf = append(s.buf, '}', '}')
+	default:
+		return
+	}
+	_, s.err = s.w.Write(s.buf)
+}
+
+// Close terminates the JSON document. Emit calls after Close are
+// dropped.
+func (s *ChromeSink) Close() error {
+	if !s.open {
+		return s.err
+	}
+	s.open = false
+	if s.err != nil {
+		return s.err
+	}
+	_, s.err = io.WriteString(s.w, "\n]}\n")
+	return s.err
+}
+
+// Err returns the first write error, if any.
+func (s *ChromeSink) Err() error { return s.err }
+
+// RoundSample is one per-round observation of the quantities the
+// paper's argument is made of.
+type RoundSample struct {
+	Round     int       // 0-based index of the finished round
+	Live      word.Size // live words
+	Allocated word.Size // cumulative allocated words s
+	Moved     word.Size // cumulative moved words q
+	Budget    word.Size // remaining compaction budget
+	HighWater word.Addr // HS
+}
+
+// SeriesRecorder collects the per-round time series from round
+// events. It ignores every other kind, so it can share a Tee with
+// full-stream sinks. Emit appends to a growing slice: amortized
+// allocation only, and none at all once the slice has warmed up to
+// the run's round count (the alloc-free engine test relies on this
+// after a warm-up run).
+type SeriesRecorder struct {
+	Samples []RoundSample
+}
+
+// Emit implements Tracer.
+func (r *SeriesRecorder) Emit(ev Event) {
+	if ev.Kind != EvRound {
+		return
+	}
+	r.Samples = append(r.Samples, RoundSample{
+		Round:     ev.Round,
+		Live:      ev.Live,
+		Allocated: ev.Allocated,
+		Moved:     ev.Moved,
+		Budget:    ev.Budget,
+		HighWater: ev.HighWater,
+	})
+}
+
+// Reset forgets all samples, retaining capacity.
+func (r *SeriesRecorder) Reset() { r.Samples = r.Samples[:0] }
+
+// FinalHighWater returns the HS of the last recorded round, 0 when
+// empty. HS is monotone, so this equals the run's final high-water
+// mark.
+func (r *SeriesRecorder) FinalHighWater() word.Addr {
+	if len(r.Samples) == 0 {
+		return 0
+	}
+	return r.Samples[len(r.Samples)-1].HighWater
+}
+
+// WasteSeries returns (x, y) = (1-based round, HS/M) ready for
+// plotting. m must be the run's live bound M.
+func (r *SeriesRecorder) WasteSeries(m word.Size) (xs, ys []float64) {
+	xs = make([]float64, len(r.Samples))
+	ys = make([]float64, len(r.Samples))
+	for i, s := range r.Samples {
+		xs[i] = float64(s.Round + 1)
+		ys[i] = float64(s.HighWater) / float64(m)
+	}
+	return xs, ys
+}
+
+// WriteCSV emits the series as CSV. With m > 0 a waste column (HS/m)
+// is included; the header is
+//
+//	round,hs,waste,live,allocated,moved,budget_remaining
+func (r *SeriesRecorder) WriteCSV(w io.Writer, m word.Size) error {
+	if _, err := fmt.Fprintln(w, "round,hs,waste,live,allocated,moved,budget_remaining"); err != nil {
+		return err
+	}
+	for _, s := range r.Samples {
+		waste := 0.0
+		if m > 0 {
+			waste = float64(s.HighWater) / float64(m)
+		}
+		if _, err := fmt.Fprintf(w, "%d,%d,%.6f,%d,%d,%d,%d\n",
+			s.Round, s.HighWater, waste, s.Live, s.Allocated, s.Moved, s.Budget); err != nil {
+			return err
+		}
+	}
+	return nil
+}

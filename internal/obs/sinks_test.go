@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden sink outputs")
+
+// goldenEvents is a canned stream covering every event kind and every
+// per-kind field. The committed goldens pin the serialized schema:
+// a byte-level diff here means the schema changed and every consumer
+// (Perfetto configs, jq scripts, the docs) must be revisited.
+func goldenEvents() []Event {
+	return []Event{
+		{Kind: EvAlloc, Round: 0, ID: 1, Addr: 0, Size: 16},
+		{Kind: EvAlloc, Round: 0, ID: 2, Addr: 16, Size: 32},
+		{Kind: EvRound, Round: 0, Live: 48, Allocated: 48, Moved: 0, HighWater: 48, Budget: 3, Nanos: 999},
+		{Kind: EvFree, Round: 1, ID: 1, Addr: 0, Size: 16},
+		{Kind: EvMoveReject, Round: -1, ID: 2, From: 16, Addr: 512, Size: 32},
+		{Kind: EvMove, Round: 1, ID: 2, From: 16, Addr: 0, Size: 32},
+		{Kind: EvSweep, Round: 1, Violations: 0, Live: 32},
+		{Kind: EvRound, Round: 1, Live: 32, Allocated: 48, Moved: 32, HighWater: 48, Budget: 0, Nanos: 1234},
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from the committed schema.\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+func TestNDJSONGolden(t *testing.T) {
+	var b bytes.Buffer
+	sink := NewNDJSONSink(&b)
+	for _, ev := range goldenEvents() {
+		sink.Emit(ev)
+	}
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+	// Every line must be standalone valid JSON with the "ev" tag.
+	for i, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", i, err, line)
+		}
+		if _, ok := m["ev"]; !ok {
+			t.Fatalf("line %d lacks the ev tag: %s", i, line)
+		}
+	}
+	checkGolden(t, "events.ndjson", b.Bytes())
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var b bytes.Buffer
+	sink := NewChromeSink(&b)
+	for _, ev := range goldenEvents() {
+		sink.Emit(ev)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The document must parse as the trace_event container format.
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, b.Bytes())
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	for i, ev := range doc.TraceEvents {
+		if _, ok := ev["ph"]; !ok {
+			t.Fatalf("entry %d lacks a phase: %v", i, ev)
+		}
+	}
+	checkGolden(t, "events.trace.json", b.Bytes())
+}
+
+func TestChromeSinkCloseIsIdempotent(t *testing.T) {
+	var b bytes.Buffer
+	sink := NewChromeSink(&b)
+	sink.Emit(Event{Kind: EvAlloc, ID: 1, Size: 4})
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n := b.Len()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sink.Emit(Event{Kind: EvAlloc, ID: 2, Size: 4}) // dropped after close
+	if b.Len() != n {
+		t.Fatal("writes after Close")
+	}
+}
+
+func TestSeriesRecorder(t *testing.T) {
+	var r SeriesRecorder
+	for _, ev := range goldenEvents() {
+		r.Emit(ev)
+	}
+	if len(r.Samples) != 2 {
+		t.Fatalf("recorded %d samples, want 2 (only round events)", len(r.Samples))
+	}
+	if r.FinalHighWater() != 48 {
+		t.Fatalf("final HS = %d", r.FinalHighWater())
+	}
+	xs, ys := r.WasteSeries(16)
+	if len(xs) != 2 || xs[0] != 1 || xs[1] != 2 {
+		t.Fatalf("xs = %v", xs)
+	}
+	if ys[0] != 3.0 || ys[1] != 3.0 {
+		t.Fatalf("ys = %v", ys)
+	}
+
+	var b bytes.Buffer
+	if err := r.WriteCSV(&b, 16); err != nil {
+		t.Fatal(err)
+	}
+	want := "round,hs,waste,live,allocated,moved,budget_remaining\n" +
+		"0,48,3.000000,48,48,0,3\n" +
+		"1,48,3.000000,32,48,32,0\n"
+	if b.String() != want {
+		t.Fatalf("csv:\n%s\nwant:\n%s", b.String(), want)
+	}
+
+	r.Reset()
+	if len(r.Samples) != 0 {
+		t.Fatal("reset did not clear")
+	}
+	if r.FinalHighWater() != 0 {
+		t.Fatal("empty recorder HS must be 0")
+	}
+}

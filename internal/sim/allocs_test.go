@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"compaction/internal/heap"
+	"compaction/internal/obs"
 	"compaction/internal/word"
 )
 
@@ -105,18 +106,24 @@ func (m *stackMgr) Free(_ heap.ObjectID, s heap.Span) {
 	m.free = append(m.free, s.Addr)
 }
 
+// TestEngineRoundIsAllocFree pins the zero-allocs-per-round property
+// in both observability modes: with tracing disabled (the nil-tracer
+// fast path every production sweep uses) and with an enabled tracer
+// built from the allocation-free obs primitives (ring buffer + atomic
+// metrics), which is what makes always-on flight recording free.
 func TestEngineRoundIsAllocFree(t *testing.T) {
 	cfg := Config{M: 1 << 10, N: 1 << 6, C: 16}
 	const k = 8
 	const slot = word.Size(16)
 
-	measure := func(rounds int) float64 {
+	measure := func(rounds int, tracer obs.Tracer) float64 {
 		prog := newSteadyProg(rounds, k, slot)
 		mgr := &stackMgr{slot: slot, free: make([]word.Addr, 0, k)}
 		e, err := NewEngine(cfg, prog, mgr)
 		if err != nil {
 			t.Fatal(err)
 		}
+		e.Tracer = tracer
 		run := func() {
 			prog.reset()
 			if err := e.Reset(cfg, prog, mgr); err != nil {
@@ -130,15 +137,28 @@ func TestEngineRoundIsAllocFree(t *testing.T) {
 		return testing.AllocsPerRun(10, run)
 	}
 
-	short := measure(32)
-	long := measure(512)
-	if long > short {
-		perRound := (long - short) / (512 - 32)
-		t.Errorf("engine rounds allocate: %.0f allocs at 512 rounds vs %.0f at 32 (%.3f allocs/round, want 0)",
-			long, short, perRound)
+	modes := []struct {
+		name   string
+		tracer func() obs.Tracer
+	}{
+		{"disabled", func() obs.Tracer { return nil }},
+		{"ring+metrics", func() obs.Tracer {
+			return obs.Tee(obs.NewRing(1<<10), obs.NewSimMetrics(obs.NewRegistry()))
+		}},
 	}
-	if short > runFixedAllocBudget {
-		t.Errorf("per-run fixed allocations = %.0f, over the documented budget %d",
-			short, runFixedAllocBudget)
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			short := measure(32, mode.tracer())
+			long := measure(512, mode.tracer())
+			if long > short {
+				perRound := (long - short) / (512 - 32)
+				t.Errorf("engine rounds allocate: %.0f allocs at 512 rounds vs %.0f at 32 (%.3f allocs/round, want 0)",
+					long, short, perRound)
+			}
+			if short > runFixedAllocBudget {
+				t.Errorf("per-run fixed allocations = %.0f, over the documented budget %d",
+					short, runFixedAllocBudget)
+			}
+		})
 	}
 }

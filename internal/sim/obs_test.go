@@ -1,0 +1,140 @@
+package sim_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"compaction/internal/core"
+	"compaction/internal/mm"
+	"compaction/internal/obs"
+	"compaction/internal/sim"
+	"compaction/internal/workload"
+
+	_ "compaction/internal/mm/fits"
+	_ "compaction/internal/mm/threshold"
+)
+
+// runTraced runs one seeded workload against a fresh manager with the
+// given tracer attached to both the engine and (when accepted) the
+// manager stack.
+func runTraced(t *testing.T, cfg sim.Config, mkProg func() sim.Program, manager string, tr obs.Tracer) sim.Result {
+	t.Helper()
+	mgr, err := mm.New(manager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.NewEngine(cfg, mkProg(), mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Tracer = tr
+	if ts, ok := mgr.(obs.TracerSetter); ok {
+		ts.SetTracer(tr)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestTraceDeterministicReplay asserts that two identical seeded runs
+// emit identical event streams — both as in-memory events (with the
+// wall-clock Nanos field masked) and as serialized NDJSON bytes
+// (which never contain wall clock at all).
+func TestTraceDeterministicReplay(t *testing.T) {
+	cfg := sim.Config{M: 1 << 12, N: 1 << 5, C: 16}
+	mkProg := func() sim.Program {
+		return workload.NewRandom(workload.Config{Seed: 42, Rounds: 60, Dist: workload.Geometric})
+	}
+
+	capture := func() ([]obs.Event, []byte) {
+		var rec obs.Recorder
+		var ndjson bytes.Buffer
+		sink := obs.NewNDJSONSink(&ndjson)
+		runTraced(t, cfg, mkProg, "first-fit", obs.Tee(&rec, sink))
+		if sink.Err() != nil {
+			t.Fatal(sink.Err())
+		}
+		return rec.Events, ndjson.Bytes()
+	}
+
+	evs1, nd1 := capture()
+	evs2, nd2 := capture()
+	if len(evs1) == 0 {
+		t.Fatal("no events recorded")
+	}
+	if len(evs1) != len(evs2) {
+		t.Fatalf("event counts differ: %d vs %d", len(evs1), len(evs2))
+	}
+	for i := range evs1 {
+		a, b := evs1[i], evs2[i]
+		a.Nanos, b.Nanos = 0, 0
+		if a != b {
+			t.Fatalf("event %d differs:\n%+v\n%+v", i, evs1[i], evs2[i])
+		}
+	}
+	if !bytes.Equal(nd1, nd2) {
+		t.Fatal("NDJSON streams of identical seeded runs differ")
+	}
+}
+
+// TestSeriesReproducesFinalResult is the acceptance check of the
+// telemetry layer: the per-round HS series recorded through the
+// tracer must reproduce the run's final HS — and hence HS/M —
+// bit-exactly, for an adversarial P_F run that actually compacts.
+func TestSeriesReproducesFinalResult(t *testing.T) {
+	cfg := sim.Config{M: 1 << 14, N: 1 << 7, C: 16, Pow2Only: true}
+	for _, manager := range []string{"first-fit", "threshold"} {
+		var rec obs.SeriesRecorder
+		res := runTraced(t, cfg, func() sim.Program { return core.NewPF(core.Options{}) }, manager, &rec)
+		if len(rec.Samples) != res.Rounds {
+			t.Fatalf("%s: %d samples for %d rounds", manager, len(rec.Samples), res.Rounds)
+		}
+		if got := rec.FinalHighWater(); got != res.HighWater {
+			t.Fatalf("%s: series HS %d != final HS %d", manager, got, res.HighWater)
+		}
+		seriesWaste := float64(rec.FinalHighWater()) / float64(cfg.M)
+		if math.Float64bits(seriesWaste) != math.Float64bits(res.WasteFactor()) {
+			t.Fatalf("%s: series waste %v is not bit-identical to result waste %v",
+				manager, seriesWaste, res.WasteFactor())
+		}
+		// The series is internally consistent: HS is monotone and
+		// never below live words.
+		var last int64
+		for _, s := range rec.Samples {
+			if s.HighWater < last {
+				t.Fatalf("%s: HS decreased %d -> %d at round %d", manager, last, s.HighWater, s.Round)
+			}
+			if s.HighWater < s.Live {
+				t.Fatalf("%s: HS %d below live %d at round %d", manager, s.HighWater, s.Live, s.Round)
+			}
+			last = s.HighWater
+		}
+	}
+}
+
+// TestMoveEventsBalance cross-checks the event stream against the
+// engine's own counters: every move and free in the result appears as
+// exactly one event, and free-on-move frees are included.
+func TestMoveEventsBalance(t *testing.T) {
+	cfg := sim.Config{M: 1 << 12, N: 1 << 6, C: 8, Pow2Only: true}
+	var rec obs.Recorder
+	res := runTraced(t, cfg, func() sim.Program { return core.NewPF(core.Options{}) }, "threshold", &rec)
+	var allocs, frees, moves int64
+	for _, ev := range rec.Events {
+		switch ev.Kind {
+		case obs.EvAlloc:
+			allocs++
+		case obs.EvFree:
+			frees++
+		case obs.EvMove:
+			moves++
+		}
+	}
+	if allocs != res.Allocs || frees != res.Frees || moves != res.Moves {
+		t.Fatalf("event counts (a=%d f=%d m=%d) != result counters (a=%d f=%d m=%d)",
+			allocs, frees, moves, res.Allocs, res.Frees, res.Moves)
+	}
+}

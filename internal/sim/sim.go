@@ -22,9 +22,11 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"compaction/internal/budget"
 	"compaction/internal/heap"
+	"compaction/internal/obs"
 	"compaction/internal/word"
 )
 
@@ -223,6 +225,14 @@ type Engine struct {
 	// every round. Verification harnesses use this to keep refereed
 	// runs affordable at paper scale; see check.RunSampled.
 	RoundHookEvery int
+	// Tracer, if non-nil, receives one typed obs event per allocation,
+	// free, move and round boundary (unsampled — the tracer sees every
+	// round even when RoundHookEvery thins the hook). The nil default
+	// costs one predictable branch per emission site and keeps the
+	// round loop allocation-free; enabled tracers built on obs.Ring
+	// and obs.SimMetrics keep it allocation-free too (both pinned by
+	// TestEngineRoundIsAllocFree). The setting survives Reset.
+	Tracer obs.Tracer
 }
 
 // NewEngine validates the configuration and prepares a run.
@@ -257,7 +267,11 @@ func (e *Engine) Reset(cfg Config, prog Program, mgr Manager) error {
 func (e *Engine) Run() (Result, error) {
 	e.mgr.Reset(e.cfg)
 	view := &View{Config: e.cfg, occ: e.occ}
+	var roundStart time.Time
 	for round := 0; round < e.cfg.MaxRounds; round++ {
+		if e.Tracer != nil {
+			roundStart = time.Now()
+		}
 		view.Round = round
 		view.Live = e.occ.Live()
 		view.Allocated, view.Moved = e.ledger.Snapshot()
@@ -274,6 +288,19 @@ func (e *Engine) Run() (Result, error) {
 			return e.result(), err
 		}
 		e.rounds = round + 1
+		if e.Tracer != nil {
+			s, q := e.ledger.Snapshot()
+			e.Tracer.Emit(obs.Event{
+				Kind:      obs.EvRound,
+				Round:     round,
+				Live:      e.occ.Live(),
+				Allocated: s,
+				Moved:     q,
+				HighWater: e.occ.HighWater(),
+				Budget:    e.ledger.Remaining(),
+				Nanos:     time.Since(roundStart).Nanoseconds(),
+			})
+		}
 		if e.RoundHook != nil &&
 			(e.RoundHookEvery <= 1 || done || (round+1)%e.RoundHookEvery == 0) {
 			e.RoundHook(e.result())
@@ -294,6 +321,9 @@ func (e *Engine) doFrees(frees []heap.ObjectID) error {
 		}
 		e.frees++
 		e.mgr.Free(id, s)
+		if e.Tracer != nil {
+			e.Tracer.Emit(obs.Event{Kind: obs.EvFree, Round: e.rounds, ID: id, Addr: s.Addr, Size: s.Size})
+		}
 	}
 	return nil
 }
@@ -332,6 +362,9 @@ func (e *Engine) doAllocs(allocs []word.Size) error {
 				ErrManager, e.mgr.Name(), e.rounds, err)
 		}
 		e.allocs++
+		if e.Tracer != nil {
+			e.Tracer.Emit(obs.Event{Kind: obs.EvAlloc, Round: e.rounds, ID: id, Addr: addr, Size: size})
+		}
 		e.prog.Placed(id, s)
 	}
 	return nil
@@ -390,12 +423,18 @@ func (m *mover) Move(id heap.ObjectID, to word.Addr) (bool, error) {
 		return false, fmt.Errorf("%w: %v", ErrManager, err)
 	}
 	e.moves++
+	if e.Tracer != nil {
+		e.Tracer.Emit(obs.Event{Kind: obs.EvMove, Round: e.rounds, ID: id, From: old.Addr, Addr: to, Size: s.Size})
+	}
 	ns := heap.Span{Addr: to, Size: s.Size}
 	if e.prog.Moved(id, old, ns) {
 		if _, err := e.occ.Remove(id); err != nil {
 			panic(fmt.Sprintf("sim: freeing just-moved object %d: %v", id, err))
 		}
 		e.frees++
+		if e.Tracer != nil {
+			e.Tracer.Emit(obs.Event{Kind: obs.EvFree, Round: e.rounds, ID: id, Addr: to, Size: s.Size})
+		}
 		return true, nil
 	}
 	return false, nil

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 
+	"compaction/internal/obs"
 	"compaction/internal/sim"
 )
 
@@ -17,6 +18,10 @@ type Summary struct {
 	Count          int
 	Min, Max, Mean float64
 	StdDev         float64
+	// P50, P90 and P99 are exact nearest-rank quantiles, computed on
+	// one sorted copy via the shared rule in internal/obs (the same
+	// code the obs histograms apply to their bucket counts).
+	P50, P90, P99 float64
 }
 
 // Summarize computes a Summary of xs. An empty input yields a zero
@@ -25,24 +30,27 @@ func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
 	}
-	s := Summary{Count: len(xs), Min: xs[0], Max: xs[0]}
-	var sum float64
-	for _, x := range xs {
-		sum += x
-		if x < s.Min {
-			s.Min = x
-		}
-		if x > s.Max {
-			s.Max = x
-		}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s := Summary{
+		Count: len(sorted),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+		P50:   obs.QuantileSorted(sorted, 0.50),
+		P90:   obs.QuantileSorted(sorted, 0.90),
+		P99:   obs.QuantileSorted(sorted, 0.99),
 	}
-	s.Mean = sum / float64(len(xs))
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	s.Mean = sum / float64(len(sorted))
 	var ss float64
-	for _, x := range xs {
+	for _, x := range sorted {
 		d := x - s.Mean
 		ss += d * d
 	}
-	s.StdDev = math.Sqrt(ss / float64(len(xs)))
+	s.StdDev = math.Sqrt(ss / float64(len(sorted)))
 	return s
 }
 
@@ -54,17 +62,7 @@ func Quantile(xs []float64, q float64) float64 {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
-	if q <= 0 {
-		return sorted[0]
-	}
-	if q >= 1 {
-		return sorted[len(sorted)-1]
-	}
-	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	return sorted[idx]
+	return obs.QuantileSorted(sorted, q)
 }
 
 // RunRow is one line of a manager-comparison table.

@@ -26,6 +26,41 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+// TestSummarizeQuantiles pins the exact nearest-rank quantiles of
+// Summary against Quantile, the single rule they both come from.
+func TestSummarizeQuantiles(t *testing.T) {
+	var xs []float64
+	for i := 100; i >= 1; i-- { // unsorted on purpose
+		xs = append(xs, float64(i))
+	}
+	s := Summarize(xs)
+	if s.P50 != 50 || s.P90 != 90 || s.P99 != 99 {
+		t.Fatalf("quantiles: p50=%v p90=%v p99=%v", s.P50, s.P90, s.P99)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		want := Quantile(xs, q)
+		var got float64
+		switch q {
+		case 0.5:
+			got = s.P50
+		case 0.9:
+			got = s.P90
+		case 0.99:
+			got = s.P99
+		}
+		if got != want {
+			t.Fatalf("Summary quantile %v = %v disagrees with Quantile = %v", q, got, want)
+		}
+	}
+	if xs[0] != 100 {
+		t.Fatal("Summarize mutated its input")
+	}
+	one := Summarize([]float64{7})
+	if one.P50 != 7 || one.P99 != 7 {
+		t.Fatalf("single-sample quantiles: %+v", one)
+	}
+}
+
 func TestQuantile(t *testing.T) {
 	xs := []float64{5, 1, 3, 2, 4}
 	cases := []struct {

@@ -9,15 +9,17 @@ package sweep
 import (
 	"fmt"
 	"io"
-	"math"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"compaction/internal/mm"
+	"compaction/internal/obs"
 	"compaction/internal/sim"
+	"compaction/internal/stats"
 )
 
 // Cell is one simulation to run.
@@ -47,18 +49,28 @@ type Outcome struct {
 // back-to-back large runs allocation-free); managers and programs are
 // still constructed fresh per cell, since both are single-use.
 func Run(cells []Cell, parallelism int) []Outcome {
+	return RunWith(cells, parallelism, nil)
+}
+
+// RunWith is Run with an optional Monitor observing progress: each
+// worker reports every finished cell, so long grids are no longer
+// silent — CLIs poll the monitor for a stderr ticker and its gauges
+// are served live over -metrics-addr. A nil monitor reduces RunWith
+// to Run.
+func RunWith(cells []Cell, parallelism int, mon *Monitor) []Outcome {
 	if parallelism <= 0 {
 		parallelism = runtime.NumCPU()
 	}
 	if parallelism > len(cells) {
 		parallelism = len(cells)
 	}
+	mon.begin(len(cells), parallelism)
 	out := make([]Outcome, len(cells))
 	var wg sync.WaitGroup
 	var next atomic.Int64
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			var e *sim.Engine
 			for {
@@ -67,11 +79,124 @@ func Run(cells []Cell, parallelism int) []Outcome {
 					return
 				}
 				out[i], e = runCell(cells[i], e)
+				mon.cellDone(worker, out[i].Err != nil)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return out
+}
+
+// Monitor tracks a sweep in flight: total and finished cells, failure
+// count, and per-worker progress, all behind atomic gauges so readers
+// (HTTP handlers, progress tickers) never contend with workers. When
+// constructed over an obs.Registry the gauges are also published
+// there under "sweep.*" names.
+type Monitor struct {
+	reg     *obs.Registry
+	total   *obs.Gauge
+	done    *obs.Gauge
+	failed  *obs.Gauge
+	workers []*obs.Gauge
+	start   time.Time
+}
+
+// NewMonitor returns a monitor registering its gauges in reg. A nil
+// registry is allowed: the monitor then keeps private gauges, which
+// still feed Snapshot and Line.
+func NewMonitor(reg *obs.Registry) *Monitor {
+	m := &Monitor{reg: reg}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	m.total = reg.Gauge("sweep.cells_total")
+	m.done = reg.Gauge("sweep.cells_done")
+	m.failed = reg.Gauge("sweep.cells_failed")
+	return m
+}
+
+// begin arms the monitor for a run of total cells over the given
+// worker count. Nil receivers are allowed so RunWith needs no
+// branching.
+func (m *Monitor) begin(total, workers int) {
+	if m == nil {
+		return
+	}
+	reg := m.reg
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	m.total.Set(int64(total))
+	m.done.Set(0)
+	m.failed.Set(0)
+	m.workers = m.workers[:0]
+	for w := 0; w < workers; w++ {
+		g := reg.Gauge(fmt.Sprintf("sweep.worker%02d.cells_done", w))
+		g.Set(0)
+		m.workers = append(m.workers, g)
+	}
+	m.start = time.Now()
+}
+
+// cellDone records one finished cell for a worker.
+func (m *Monitor) cellDone(worker int, failed bool) {
+	if m == nil {
+		return
+	}
+	m.done.Add(1)
+	if failed {
+		m.failed.Add(1)
+	}
+	if worker >= 0 && worker < len(m.workers) {
+		m.workers[worker].Add(1)
+	}
+}
+
+// Progress is a point-in-time view of a monitored sweep.
+type Progress struct {
+	Done, Total, Failed int64
+	PerWorker           []int64
+	Elapsed             time.Duration
+	// ETA extrapolates the remaining wall clock from the average cell
+	// rate so far; 0 until the first cell finishes.
+	ETA time.Duration
+}
+
+// Snapshot returns the current progress.
+func (m *Monitor) Snapshot() Progress {
+	p := Progress{
+		Done:   m.done.Value(),
+		Total:  m.total.Value(),
+		Failed: m.failed.Value(),
+	}
+	for _, w := range m.workers {
+		p.PerWorker = append(p.PerWorker, w.Value())
+	}
+	if !m.start.IsZero() {
+		p.Elapsed = time.Since(m.start)
+	}
+	if p.Done > 0 && p.Done < p.Total {
+		perCell := p.Elapsed / time.Duration(p.Done)
+		p.ETA = perCell * time.Duration(p.Total-p.Done)
+	}
+	return p
+}
+
+// Line renders the progress as a one-line stderr ticker.
+func (p Progress) Line() string {
+	pct := 0.0
+	if p.Total > 0 {
+		pct = 100 * float64(p.Done) / float64(p.Total)
+	}
+	line := fmt.Sprintf("sweep: %d/%d cells (%.1f%%), %d workers",
+		p.Done, p.Total, pct, len(p.PerWorker))
+	if p.Failed > 0 {
+		line += fmt.Sprintf(", %d failed", p.Failed)
+	}
+	if p.ETA > 0 {
+		line += fmt.Sprintf(", ETA %s", p.ETA.Round(time.Second))
+	}
+	return line
 }
 
 // runCell runs one cell, reusing the worker's engine when one is
@@ -159,8 +284,10 @@ type Aggregate struct {
 	Manager  string
 	Runs     int
 	Failures int
-	// Waste-factor statistics over the successful runs.
+	// Waste-factor statistics over the successful runs. The quantiles
+	// are exact nearest-rank (stats.Summarize).
 	Mean, Min, Max, StdDev float64
+	P50, P90, P99          float64
 }
 
 // RepeatSeeds runs the same (config, manager) cell once per seed with
@@ -189,34 +316,11 @@ func RepeatSeeds(cfg sim.Config, manager string, seeds []int64, mk func(seed int
 		wastes = append(wastes, o.Result.WasteFactor())
 	}
 	if len(wastes) > 0 {
-		s := summarize(wastes)
-		agg.Mean, agg.Min, agg.Max, agg.StdDev = s.mean, s.min, s.max, s.std
+		s := stats.Summarize(wastes)
+		agg.Mean, agg.Min, agg.Max, agg.StdDev = s.Mean, s.Min, s.Max, s.StdDev
+		agg.P50, agg.P90, agg.P99 = s.P50, s.P90, s.P99
 	}
 	return agg, outs
-}
-
-type summaryStats struct{ mean, min, max, std float64 }
-
-func summarize(xs []float64) summaryStats {
-	s := summaryStats{min: xs[0], max: xs[0]}
-	var sum float64
-	for _, x := range xs {
-		sum += x
-		if x < s.min {
-			s.min = x
-		}
-		if x > s.max {
-			s.max = x
-		}
-	}
-	s.mean = sum / float64(len(xs))
-	var ss float64
-	for _, x := range xs {
-		d := x - s.mean
-		ss += d * d
-	}
-	s.std = math.Sqrt(ss / float64(len(xs)))
-	return s
 }
 
 // Summary renders outcomes grouped by c as fixed-width text, best
@@ -239,6 +343,7 @@ func Summary(outs []Outcome) string {
 			return group[i].Result.WasteFactor() < group[j].Result.WasteFactor()
 		})
 		fmt.Fprintf(&b, "c=%d:\n", c)
+		var wastes []float64
 		for _, o := range group {
 			if o.Err != nil {
 				fmt.Fprintf(&b, "  %-20s FAILED: %v\n", o.Cell.Manager, o.Err)
@@ -246,6 +351,12 @@ func Summary(outs []Outcome) string {
 			}
 			fmt.Fprintf(&b, "  %-20s %8.3fx (%d words)\n",
 				o.Cell.Manager, o.Result.WasteFactor(), o.Result.HighWater)
+			wastes = append(wastes, o.Result.WasteFactor())
+		}
+		if len(wastes) > 1 {
+			s := stats.Summarize(wastes)
+			fmt.Fprintf(&b, "  waste p50/p90/p99: %.3f %.3f %.3f over %d managers\n",
+				s.P50, s.P90, s.P99, s.Count)
 		}
 	}
 	return b.String()

@@ -8,6 +8,7 @@ import (
 	"compaction/internal/bounds"
 	"compaction/internal/check"
 	"compaction/internal/core"
+	"compaction/internal/obs"
 	"compaction/internal/sim"
 	"compaction/internal/word"
 )
@@ -45,8 +46,27 @@ func TestSim1PaperScaleSmoke(t *testing.T) {
 	floor := word.Size(float64(cfg.M) * h)
 	for _, name := range []string{"first-fit", "threshold"} {
 		t.Run(name, func(t *testing.T) {
+			// A multi-minute run should not be silent: tee SimMetrics
+			// into the refereed engine and log its gauges periodically.
+			sm := obs.NewSimMetrics(obs.NewRegistry())
+			done := make(chan struct{})
+			defer close(done)
+			go func() {
+				tick := time.NewTicker(30 * time.Second)
+				defer tick.Stop()
+				for {
+					select {
+					case <-done:
+						return
+					case <-tick.C:
+						t.Logf("%s: progress: %d rounds, live=%d, hs=%d, %d moves, %d sweeps",
+							name, sm.Rounds.Value(), sm.Live.Value(), sm.HighWater.Value(),
+							sm.Moves.Value(), sm.Sweeps.Value())
+					}
+				}
+			}()
 			start := time.Now()
-			rep, err := check.RunSampled(cfg, compaction.NewPF(core.Options{}), name, sampleEvery)
+			rep, err := check.RunSampled(cfg, compaction.NewPF(core.Options{}), name, sampleEvery, sm)
 			if err != nil {
 				t.Fatal(err)
 			}
