@@ -8,7 +8,7 @@ FUZZ_TARGETS := FuzzManagerTrace FuzzFreeIndex FuzzBoundsMonotone FuzzTraceRound
 BENCH_PATTERN := BenchmarkSim1PF|BenchmarkAllocatorThroughput|BenchmarkObsOverhead
 BENCH_OUT := bench.out
 
-.PHONY: all build test vet race fuzz-smoke check bench bench-check trace clean
+.PHONY: all build test vet race fuzz-smoke robustness resume-drill check bench bench-check trace clean
 
 all: build
 
@@ -27,7 +27,22 @@ vet:
 # stress test drives sweep.Run past GOMAXPROCS with a shared-state
 # canary manager).
 race:
-	$(GO) test -race ./internal/sim ./internal/sweep ./internal/check ./internal/obs
+	$(GO) test -race ./internal/sim ./internal/sweep ./internal/check ./internal/obs \
+		./internal/resume ./internal/faultinject
+
+# The fault-tolerance suite under the race detector: every injected
+# fault class (panic, deadline, alloc failure, transient, sink write
+# error), checkpoint/resume determinism, cancellation, and the CLI's
+# flush-on-failure and exit-code contracts.
+robustness:
+	$(GO) test -race ./internal/resume ./internal/faultinject ./cmd/compactsim
+	$(GO) test -race -run 'Panic|Deadline|Retry|Retries|Cancel|Checkpoint|Journal|Degrad|Ticker|Backoff|Injected' ./internal/sweep
+
+# End-to-end recovery drill: sweep → SIGTERM → resume → byte-compare
+# against an uninterrupted run. Slower than the unit suite (it runs a
+# real grid twice and a half); CI runs it in the robustness job.
+resume-drill:
+	scripts/resume_drill.sh
 
 # A short fuzzing pass over every native fuzz target. Each target runs
 # separately because `go test -fuzz` accepts only one target per

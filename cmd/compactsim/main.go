@@ -30,14 +30,30 @@
 // metrics, expvar and pprof over HTTP, and -progress prints a stderr
 // ticker. Tracing applies to single runs against a single manager;
 // -progress and -metrics-addr also cover -sweep via the sweep monitor.
+//
+// Fault tolerance: SIGINT/SIGTERM cancel the run cooperatively — the
+// simulation stops at the next round boundary, trace and series sinks
+// are flushed so partial artifacts stay valid, and the process exits
+// with status 3 (0 success, 1 error, 2 usage). Sweeps additionally
+// take -checkpoint (a durable journal of completed cells; rerunning
+// with the same flags resumes exactly where the last run stopped, and
+// the journal is removed once the grid completes), -cell-timeout (a
+// wall-clock deadline per cell) and -retries (re-run failed cells
+// with exponential backoff before declaring a hole):
+//
+//	compactsim -adversary pf -sweep 8,16,32 -checkpoint sweep.ckpt \
+//	    -cell-timeout 5m -retries 2 -csv results.csv
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"compaction/internal/adversary/pw"
@@ -49,6 +65,7 @@ import (
 	"compaction/internal/mm"
 	"compaction/internal/obs"
 	"compaction/internal/profile"
+	"compaction/internal/resume"
 	"compaction/internal/sim"
 	"compaction/internal/stats"
 	"compaction/internal/sweep"
@@ -92,27 +109,48 @@ func main() {
 		seriesOut   = flag.String("series-out", "", "write the per-round series (hs, waste, live, moved, budget) as CSV to this file")
 		metricsAddr = flag.String("metrics-addr", "", "serve live metrics, expvar and pprof on this HTTP address (e.g. localhost:6060)")
 		progress    = flag.Bool("progress", false, "print a progress ticker to stderr while the run executes")
+		checkpoint  = flag.String("checkpoint", "", "durable sweep journal: completed cells survive a crash or signal and are not re-run on resume")
+		cellTimeout = flag.Duration("cell-timeout", 0, "wall-clock deadline per sweep cell (0 = none)")
+		retries     = flag.Int("retries", 0, "re-run a failed sweep cell this many times (with backoff) before declaring a hole")
 	)
 	flag.Parse()
 	oo := obsOpts{
 		traceOut: *traceOut, traceFormat: *traceFormat, seriesOut: *seriesOut,
 		metricsAddr: *metricsAddr, progress: *progress,
 	}
+	ft := ftOpts{checkpoint: *checkpoint, cellTimeout: *cellTimeout, retries: *retries}
 	if msg := oo.validate(*manager, *sweepCs != "", *seeds); msg != "" {
 		fmt.Fprintln(os.Stderr, "compactsim:", msg)
 		os.Exit(2)
 	}
-	var err error
+	if msg := ft.validate(*sweepCs != ""); msg != "" {
+		fmt.Fprintln(os.Stderr, "compactsim:", msg)
+		os.Exit(2)
+	}
 	if (*replay != "" || *checkRun) && (*seeds > 1 || *sweepCs != "") {
 		fmt.Fprintln(os.Stderr, "compactsim: -replay and -check apply to single runs, not -sweep or -seeds")
 		os.Exit(2)
 	}
+	// SIGINT/SIGTERM cancel the context; the engine and the sweep stop
+	// cooperatively, sinks and checkpoints are flushed on the way out,
+	// and the process reports the interruption with exit status 3. A
+	// second signal kills the process the hard way (NotifyContext
+	// restores default handling once the context is done).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var err error
 	if *seeds > 1 {
 		err = runSeeds(*adv, *manager, mFlag.Size(), nFlag.Size(), *cFlag, *seeds, *rounds, *ell)
 	} else if *sweepCs != "" {
-		err = runSweep(*adv, *manager, mFlag.Size(), nFlag.Size(), *sweepCs, *csvOut, *seed, *rounds, *ell, oo)
+		err = runSweep(ctx, sweepOpts{
+			adv: *adv, manager: *manager,
+			m: mFlag.Size(), n: nFlag.Size(),
+			sweepCs: *sweepCs, csvOut: *csvOut,
+			seed: *seed, rounds: *rounds, ell: *ell,
+			obs: oo, ft: ft,
+		})
 	} else {
-		err = run(runOpts{
+		err = run(ctx, runOpts{
 			adv: *adv, manager: *manager,
 			m: mFlag.Size(), n: nFlag.Size(), c: *cFlag,
 			seed: *seed, rounds: *rounds, ell: *ell,
@@ -122,8 +160,48 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "compactsim:", err)
-		os.Exit(1)
 	}
+	os.Exit(exitCode(ctx, err))
+}
+
+// exitCode maps an outcome to the process exit status: 0 success,
+// 1 error, 3 interrupted by signal (2 is usage, decided at flag
+// parsing). An error after the context was canceled is attributed to
+// the interruption — the distinct status lets scripts tell "resume
+// me" from "fix me" apart.
+func exitCode(ctx context.Context, err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case ctx.Err() != nil:
+		return 3
+	default:
+		return 1
+	}
+}
+
+// ftOpts bundles the sweep fault-tolerance flags.
+type ftOpts struct {
+	checkpoint  string
+	cellTimeout time.Duration
+	retries     int
+}
+
+// validate rejects fault-tolerance flags outside a sweep: single runs
+// have no grid to journal or retry.
+func (f ftOpts) validate(sweeping bool) string {
+	if sweeping {
+		return ""
+	}
+	switch {
+	case f.checkpoint != "":
+		return "-checkpoint journals a sweep; it needs -sweep"
+	case f.cellTimeout != 0:
+		return "-cell-timeout bounds sweep cells; it needs -sweep"
+	case f.retries != 0:
+		return "-retries re-runs sweep cells; it needs -sweep"
+	}
+	return ""
 }
 
 // obsOpts bundles the observability flags.
@@ -209,61 +287,87 @@ func startProgress(label string, sm *obs.SimMetrics) (stop func()) {
 	return func() { close(done) }
 }
 
-func runSweep(adv, manager string, m, n int64, sweepCs, csvOut string, seed int64, rounds, ell int, oo obsOpts) error {
-	makeProg, pow2, err := newProgram(adv, seed, rounds, ell)
+// sweepOpts bundles the -sweep mode's inputs.
+type sweepOpts struct {
+	adv, manager    string
+	m, n            int64
+	sweepCs, csvOut string
+	seed            int64
+	rounds, ell     int
+	obs             obsOpts
+	ft              ftOpts
+}
+
+// journalParams encodes the program identity a checkpoint journal is
+// bound to. The cell fingerprints cover the grid's shape (index,
+// label, manager, config); everything else that changes what a cell
+// computes must appear here, so a journal can never be resumed under
+// different flags.
+func journalParams(o sweepOpts) string {
+	return fmt.Sprintf("adv=%s seed=%d rounds=%d ell=%d", o.adv, o.seed, o.rounds, o.ell)
+}
+
+func runSweep(ctx context.Context, o sweepOpts) error {
+	makeProg, pow2, err := newProgram(o.adv, o.seed, o.rounds, o.ell)
 	if err != nil {
 		return err
 	}
 	var cs []int64
-	for _, part := range strings.Split(sweepCs, ",") {
+	for _, part := range strings.Split(o.sweepCs, ",") {
 		c, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
 		if err != nil {
 			return fmt.Errorf("bad -sweep value %q: %w", part, err)
 		}
 		cs = append(cs, c)
 	}
-	managers := []string{manager}
-	if manager == "all" {
+	managers := []string{o.manager}
+	if o.manager == "all" {
 		managers = mm.Names()
 	}
-	base := sim.Config{M: m, N: n, Pow2Only: pow2}
-	cells := sweep.Grid(base, cs, managers, adv, makeProg)
-	var mon *sweep.Monitor
-	if oo.progress || oo.metricsAddr != "" {
+	base := sim.Config{M: o.m, N: o.n, Pow2Only: pow2}
+	cells := sweep.Grid(base, cs, managers, o.adv, makeProg)
+	opts := sweep.Options{
+		CellTimeout: o.ft.cellTimeout,
+		Retries:     o.ft.retries,
+		Seed:        o.seed,
+		Params:      journalParams(o),
+	}
+	if o.ft.checkpoint != "" {
+		j, err := resume.Open(o.ft.checkpoint)
+		if err != nil {
+			return fmt.Errorf("-checkpoint: %w", err)
+		}
+		if j.Len() > 0 {
+			fmt.Fprintf(os.Stderr, "compactsim: resuming %d/%d cells from %s\n",
+				j.Len(), len(cells), o.ft.checkpoint)
+		}
+		opts.Journal = j
+	}
+	if o.obs.progress || o.obs.metricsAddr != "" {
 		reg := obs.NewRegistry()
-		mon = sweep.NewMonitor(reg)
-		if oo.metricsAddr != "" {
-			addr, err := obs.Serve(oo.metricsAddr, "compactsim", reg)
+		opts.Monitor = sweep.NewMonitor(reg)
+		if o.obs.metricsAddr != "" {
+			addr, err := obs.Serve(o.obs.metricsAddr, "compactsim", reg)
 			if err != nil {
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "compactsim: metrics on http://%s/metrics\n", addr)
 		}
 	}
-	if oo.progress {
-		done := make(chan struct{})
-		go func() {
-			t := time.NewTicker(time.Second)
-			defer t.Stop()
-			for {
-				select {
-				case <-done:
-					return
-				case <-t.C:
-					fmt.Fprintln(os.Stderr, mon.Snapshot().Line())
-				}
-			}
-		}()
-		defer close(done)
+	if o.obs.progress {
+		defer opts.Monitor.StartTicker(os.Stderr, time.Second)()
 	}
-	outs := sweep.RunWith(cells, 0, mon)
-	if oo.progress {
-		fmt.Fprintln(os.Stderr, mon.Snapshot().Line())
+	outs, err := sweep.RunOpts(ctx, cells, opts)
+	if err != nil {
+		return err
 	}
-	fmt.Printf("sweep: adversary=%s M=%s n=%s\n", adv, word.Format(m), word.Format(n))
+	if o.obs.progress {
+		fmt.Fprintln(os.Stderr, opts.Monitor.Snapshot().Line())
+	}
+	fmt.Printf("sweep: adversary=%s M=%s n=%s\n", o.adv, word.Format(o.m), word.Format(o.n))
 	fmt.Print(sweep.Summary(outs))
-	if csvOut != "" {
-		f, err := os.Create(csvOut)
+	if o.csvOut != "" {
+		f, err := os.Create(o.csvOut)
 		if err != nil {
 			return err
 		}
@@ -271,8 +375,31 @@ func runSweep(adv, manager string, m, n int64, sweepCs, csvOut string, seed int6
 		if err := sweep.WriteCSV(f, outs); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", csvOut)
-		return f.Close()
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", o.csvOut)
+	}
+	holes := sweep.Holes(outs)
+	if ctx.Err() != nil {
+		if o.ft.checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "compactsim: interrupted with %d/%d cells done; rerun with -checkpoint %s to resume\n",
+				len(cells)-len(holes), len(cells), o.ft.checkpoint)
+		}
+		return fmt.Errorf("sweep interrupted: %d of %d cells incomplete", len(holes), len(cells))
+	}
+	if len(holes) > 0 {
+		// Graceful degradation: the grid completed with explicit holes
+		// (visible in the summary and the CSV error column). The journal
+		// is kept so a rerun retries only the failed cells.
+		fmt.Fprintf(os.Stderr, "compactsim: %d of %d cells failed (explicit holes; see the error column)\n",
+			len(holes), len(cells))
+		return nil
+	}
+	if opts.Journal != nil {
+		if err := opts.Journal.Remove(); err != nil {
+			return fmt.Errorf("-checkpoint: removing completed journal: %w", err)
+		}
 	}
 	return nil
 }
@@ -369,7 +496,7 @@ type runOpts struct {
 	obs          obsOpts
 }
 
-func run(o runOpts) error {
+func run(ctx context.Context, o runOpts) (err error) {
 	var makeProg func() sim.Program
 	cfg := sim.Config{M: o.m, N: o.n, C: o.c}
 	if o.replay != "" {
@@ -440,6 +567,31 @@ func run(o runOpts) error {
 			return f.Close()
 		})
 	}
+	// Every exit path below — success, model violation, referee
+	// failure, cancellation — must finalize the sinks, or an aborted
+	// run leaves a truncated Chrome trace or an empty series CSV on
+	// disk. The deferred flush covers the error paths; the success
+	// path flushes explicitly (making it a no-op in the defer) so sink
+	// errors still fail the command.
+	flushed := false
+	flushSinks := func() error {
+		if flushed {
+			return nil
+		}
+		flushed = true
+		var first error
+		for _, closeSink := range closers {
+			if err := closeSink(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	defer func() {
+		if ferr := flushSinks(); err == nil {
+			err = ferr
+		}
+	}()
 	tracer := obs.Tee(tracers...)
 	names := []string{o.manager}
 	if o.manager == "all" {
@@ -476,7 +628,7 @@ func run(o runOpts) error {
 		if o.obs.progress {
 			stopTicker = startProgress(o.adv+" vs "+name, metrics)
 		}
-		res, err := e.Run()
+		res, err := e.RunCtx(ctx)
 		if stopTicker != nil {
 			stopTicker()
 		}
@@ -496,10 +648,8 @@ func run(o runOpts) error {
 	}
 	// Finalize the sinks: the Chrome epilogue and the series CSV are
 	// written here, and a sink that failed mid-run fails the command.
-	for _, closeSink := range closers {
-		if err := closeSink(); err != nil {
-			return err
-		}
+	if err := flushSinks(); err != nil {
+		return err
 	}
 	if o.obs.traceOut != "" {
 		fmt.Printf("wrote %s\n", o.obs.traceOut)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"math"
 	"os"
@@ -55,13 +56,13 @@ func TestLoadProfileFromFile(t *testing.T) {
 }
 
 func TestRunSingleManagerEndToEnd(t *testing.T) {
-	if err := run(runOpts{adv: "robson", manager: "first-fit", m: 1 << 10, n: 1 << 4, c: -1, seed: 1, rounds: 10}); err != nil {
+	if err := run(context.Background(), runOpts{adv: "robson", manager: "first-fit", m: 1 << 10, n: 1 << 4, c: -1, seed: 1, rounds: 10}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(runOpts{adv: "pf", manager: "no-such", m: 1 << 12, n: 1 << 6, c: 8, seed: 1, rounds: 10}); err == nil {
+	if err := run(context.Background(), runOpts{adv: "pf", manager: "no-such", m: 1 << 12, n: 1 << 6, c: 8, seed: 1, rounds: 10}); err == nil {
 		t.Fatal("unknown manager accepted")
 	}
-	if err := run(runOpts{adv: "pf", manager: "first-fit", c: 8, seed: 1, rounds: 10}); err == nil {
+	if err := run(context.Background(), runOpts{adv: "pf", manager: "first-fit", c: 8, seed: 1, rounds: 10}); err == nil {
 		t.Fatal("invalid config accepted")
 	}
 }
@@ -83,7 +84,7 @@ func demoArtifact(t *testing.T) string {
 }
 
 func TestRunCheckMode(t *testing.T) {
-	err := run(runOpts{
+	err := run(context.Background(), runOpts{
 		adv: "random", manager: "first-fit",
 		m: 1 << 12, n: 1 << 5, c: 16,
 		seed: 1, rounds: 30, check: true,
@@ -97,7 +98,7 @@ func TestRunReplayMode(t *testing.T) {
 	path := demoArtifact(t)
 	// The trace's own M/n/c take over; the bogus flag values must be
 	// ignored rather than rejected.
-	err := run(runOpts{
+	err := run(context.Background(), runOpts{
 		adv: "ignored", manager: "best-fit",
 		m: 1, n: 999, c: -7,
 		replay: path,
@@ -109,13 +110,13 @@ func TestRunReplayMode(t *testing.T) {
 
 func TestRunReplayWithCheck(t *testing.T) {
 	path := demoArtifact(t)
-	if err := run(runOpts{manager: "all", replay: path, check: true}); err != nil {
+	if err := run(context.Background(), runOpts{manager: "all", replay: path, check: true}); err != nil {
 		t.Fatalf("refereed replay across all managers failed: %v", err)
 	}
 }
 
 func TestRunReplayMissingArtifact(t *testing.T) {
-	err := run(runOpts{manager: "first-fit", replay: filepath.Join(t.TempDir(), "nope.bin")})
+	err := run(context.Background(), runOpts{manager: "first-fit", replay: filepath.Join(t.TempDir(), "nope.bin")})
 	if err == nil {
 		t.Fatal("missing artifact not reported")
 	}
@@ -124,20 +125,20 @@ func TestRunReplayMissingArtifact(t *testing.T) {
 func TestRunSweepEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	csv := filepath.Join(dir, "out.csv")
-	if err := runSweep("robson", "first-fit", 1<<10, 1<<4, "0", csv, 1, 10, 0, obsOpts{}); err != nil {
+	if err := runSweep(context.Background(), sweepOpts{adv: "robson", manager: "first-fit", m: 1 << 10, n: 1 << 4, sweepCs: "0", csvOut: csv, seed: 1, rounds: 10}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(csv); err != nil {
 		t.Fatalf("csv not written: %v", err)
 	}
-	if err := runSweep("pf", "first-fit", 1<<12, 1<<6, "8,bogus", "", 1, 10, 0, obsOpts{}); err == nil {
+	if err := runSweep(context.Background(), sweepOpts{adv: "pf", manager: "first-fit", m: 1 << 12, n: 1 << 6, sweepCs: "8,bogus", seed: 1, rounds: 10}); err == nil {
 		t.Fatal("bad sweep list accepted")
 	}
 }
 
 func TestRunSweepWithMonitor(t *testing.T) {
 	// -progress over a sweep goes through the sweep.Monitor path.
-	if err := runSweep("robson", "first-fit", 1<<10, 1<<4, "0,-1", "", 1, 10, 0, obsOpts{progress: true}); err != nil {
+	if err := runSweep(context.Background(), sweepOpts{adv: "robson", manager: "first-fit", m: 1 << 10, n: 1 << 4, sweepCs: "0,-1", seed: 1, rounds: 10, obs: obsOpts{progress: true}}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -173,14 +174,14 @@ func TestObsFlagValidation(t *testing.T) {
 }
 
 func TestTraceOutUnwritablePathFails(t *testing.T) {
-	err := run(runOpts{
+	err := run(context.Background(), runOpts{
 		adv: "robson", manager: "first-fit", m: 1 << 10, n: 1 << 4, c: -1, seed: 1, rounds: 10,
 		obs: obsOpts{traceOut: filepath.Join(t.TempDir(), "no", "such", "dir", "t.json"), traceFormat: "auto"},
 	})
 	if err == nil {
 		t.Fatal("unwritable -trace-out path accepted")
 	}
-	err = run(runOpts{
+	err = run(context.Background(), runOpts{
 		adv: "robson", manager: "first-fit", m: 1 << 10, n: 1 << 4, c: -1, seed: 1, rounds: 10,
 		obs: obsOpts{seriesOut: filepath.Join(t.TempDir(), "no", "such", "dir", "s.csv")},
 	})
@@ -194,14 +195,14 @@ func TestTraceOutSchemas(t *testing.T) {
 	chrome := filepath.Join(dir, "run.json")
 	ndjson := filepath.Join(dir, "run.ndjson")
 	series := filepath.Join(dir, "run.csv")
-	err := run(runOpts{
+	err := run(context.Background(), runOpts{
 		adv: "pf", manager: "first-fit", m: 1 << 12, n: 1 << 6, c: 8, seed: 1, rounds: 10,
 		obs: obsOpts{traceOut: chrome, traceFormat: "auto", seriesOut: series, progress: true},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := run(runOpts{
+	if err := run(context.Background(), runOpts{
 		adv: "pf", manager: "first-fit", m: 1 << 12, n: 1 << 6, c: 8, seed: 1, rounds: 10,
 		obs: obsOpts{traceOut: ndjson, traceFormat: "auto"},
 	}); err != nil {

@@ -1,6 +1,7 @@
 package check
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -91,8 +92,8 @@ func TestSweepRaceStress(t *testing.T) {
 		}
 	}
 	parallelism := 2 * runtime.GOMAXPROCS(0)
-	first := sweep.Run(cells, parallelism)
-	second := sweep.Run(cells, parallelism)
+	first := sweep.Run(context.Background(), cells, parallelism)
+	second := sweep.Run(context.Background(), cells, parallelism)
 
 	if got := canaryInstances.Load(); got != 2*cellCount {
 		t.Errorf("expected a fresh manager per cell: %d instances for %d cells", got, 2*cellCount)

@@ -1,0 +1,242 @@
+// Package faultinject provides seeded, deterministic fault injectors
+// for the run pipeline: programs that panic or stall at a chosen
+// round, managers that fail allocation on a chosen request, writers
+// that start failing after a byte budget, and a seeded Plan that
+// scatters those faults across a sweep grid reproducibly.
+//
+// Everything here is deterministic by construction — faults fire at
+// fixed operation counts, and the Plan derives per-cell decisions from
+// a seed with a stateless hash — so a test that provokes a recovery
+// path provokes exactly the same path on every run and under -race.
+// The injectors live in the production dependency graph's leaves
+// (they wrap sim interfaces) but are imported only by tests and
+// drills.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"compaction/internal/heap"
+	"compaction/internal/sim"
+	"compaction/internal/word"
+)
+
+// ErrInjected marks every fault this package injects, so tests can
+// assert a failure is the planted one and not a real bug.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// PanicValue is the value injected panics carry; recovery paths can
+// match it to distinguish planted panics from genuine ones.
+const PanicValue = "faultinject: injected panic"
+
+// program wrappers ----------------------------------------------------
+
+type wrappedProgram struct {
+	inner sim.Program
+	step  func(round int)
+}
+
+func (p *wrappedProgram) Name() string { return p.inner.Name() }
+
+func (p *wrappedProgram) Step(v *sim.View) ([]heap.ObjectID, []word.Size, bool) {
+	p.step(v.Round)
+	return p.inner.Step(v)
+}
+
+func (p *wrappedProgram) Placed(id heap.ObjectID, s heap.Span) { p.inner.Placed(id, s) }
+
+func (p *wrappedProgram) Moved(id heap.ObjectID, from, to heap.Span) bool {
+	return p.inner.Moved(id, from, to)
+}
+
+// PanicAt wraps a program so that it panics with PanicValue when its
+// Step for round n begins. The rounds before n run unmodified.
+func PanicAt(p sim.Program, n int) sim.Program {
+	return &wrappedProgram{inner: p, step: func(round int) {
+		if round == n {
+			panic(PanicValue)
+		}
+	}}
+}
+
+// Slow wraps a program so that every Step stalls for d first,
+// simulating a cell that blows its wall-clock deadline while still
+// making (slow) progress.
+func Slow(p sim.Program, d time.Duration) sim.Program {
+	return &wrappedProgram{inner: p, step: func(int) { time.Sleep(d) }}
+}
+
+// Hang wraps a program so that Step for round n blocks until the
+// returned release function is called (or forever). It simulates a
+// deadlocked cell; pair it with a sweep cell deadline.
+func Hang(p sim.Program, n int) (prog sim.Program, release func()) {
+	ch := make(chan struct{})
+	var once atomic.Bool
+	return &wrappedProgram{inner: p, step: func(round int) {
+			if round == n {
+				<-ch
+			}
+		}}, func() {
+			if once.CompareAndSwap(false, true) {
+				close(ch)
+			}
+		}
+}
+
+// manager wrapper -----------------------------------------------------
+
+type flakyManager struct {
+	inner sim.Manager
+	nth   int64
+	count int64
+}
+
+// FailAllocAt wraps a manager so that its nth Allocate call (1-based)
+// across the run fails with ErrInjected. Every other call is passed
+// through; Reset restarts the count, so the wrapper is reusable across
+// runs and fails deterministically in each.
+func FailAllocAt(m sim.Manager, nth int64) sim.Manager {
+	return &flakyManager{inner: m, nth: nth}
+}
+
+func (f *flakyManager) Name() string { return f.inner.Name() + "+flaky" }
+
+func (f *flakyManager) Reset(cfg sim.Config) {
+	f.count = 0
+	f.inner.Reset(cfg)
+}
+
+func (f *flakyManager) Allocate(id heap.ObjectID, size word.Size, mv sim.Mover) (word.Addr, error) {
+	f.count++
+	if f.count == f.nth {
+		return 0, fmt.Errorf("%w: allocation %d refused", ErrInjected, f.nth)
+	}
+	return f.inner.Allocate(id, size, mv)
+}
+
+func (f *flakyManager) Free(id heap.ObjectID, s heap.Span) { f.inner.Free(id, s) }
+
+// StartRound forwards round-start compaction when the inner manager
+// compacts; for plain managers it is a harmless no-op.
+func (f *flakyManager) StartRound(mv sim.Mover) {
+	if rc, ok := f.inner.(sim.RoundCompactor); ok {
+		rc.StartRound(mv)
+	}
+}
+
+// transient construction ----------------------------------------------
+
+// Transient returns a program constructor that yields faulty(mk())
+// for the first `failures` constructions and mk() afterwards. It
+// models a transient fault — the cell fails, then succeeds on retry —
+// and is safe for concurrent constructors.
+func Transient(mk func() sim.Program, failures int64, faulty func(sim.Program) sim.Program) func() sim.Program {
+	var built atomic.Int64
+	return func() sim.Program {
+		if built.Add(1) <= failures {
+			return faulty(mk())
+		}
+		return mk()
+	}
+}
+
+// failing writer ------------------------------------------------------
+
+// FailingWriter passes writes through to W until Budget writes have
+// succeeded, then fails every subsequent write with ErrInjected. It
+// simulates a sink losing its backing store mid-run (disk full,
+// pipe closed).
+type FailingWriter struct {
+	W      io.Writer
+	Budget int
+
+	writes int
+}
+
+// Write implements io.Writer.
+func (f *FailingWriter) Write(p []byte) (int, error) {
+	if f.writes >= f.Budget {
+		return 0, fmt.Errorf("%w: write budget exhausted after %d writes", ErrInjected, f.Budget)
+	}
+	f.writes++
+	return f.W.Write(p)
+}
+
+// plan ----------------------------------------------------------------
+
+// Kind enumerates the fault classes a Plan can assign.
+type Kind int
+
+// The fault classes. KindNone means the cell runs clean.
+const (
+	KindNone Kind = iota
+	KindPanic
+	KindSlow
+	KindAllocFail
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindPanic:
+		return "panic"
+	case KindSlow:
+		return "slow"
+	case KindAllocFail:
+		return "alloc-fail"
+	}
+	return "unknown"
+}
+
+// Plan deterministically scatters faults over a grid: given a seed, a
+// rate in [0,1], and the eligible kinds, For(cell) answers "which
+// fault, if any, does cell i get" — identically on every call, every
+// process, every platform. It is stateless (a hash, not a stream of
+// rand draws), so workers can consult it concurrently and out of
+// order.
+type Plan struct {
+	seed  int64
+	num   uint64 // fault numerator out of planDenom
+	kinds []Kind
+}
+
+const planDenom = 1 << 16
+
+// NewPlan builds a plan faulting roughly rate of all cells, cycling
+// deterministically through kinds. Without kinds the plan is empty.
+func NewPlan(seed int64, rate float64, kinds ...Kind) *Plan {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return &Plan{seed: seed, num: uint64(rate * planDenom), kinds: kinds}
+}
+
+// hash is SplitMix64 over the seed/cell pair: cheap, stateless, and
+// well-distributed, which is all the plan needs.
+func (p *Plan) hash(cell int) uint64 {
+	z := uint64(p.seed)*0x9e3779b97f4a7c15 + uint64(cell+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// For returns the fault kind assigned to a cell.
+func (p *Plan) For(cell int) Kind {
+	if len(p.kinds) == 0 {
+		return KindNone
+	}
+	h := p.hash(cell)
+	if h%planDenom >= p.num {
+		return KindNone
+	}
+	return p.kinds[(h>>16)%uint64(len(p.kinds))]
+}

@@ -1,0 +1,232 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"compaction/internal/mm"
+	"compaction/internal/sim"
+	"compaction/internal/workload"
+
+	_ "compaction/internal/mm/fits"
+)
+
+func cfg() sim.Config {
+	return sim.Config{M: 1 << 10, N: 1 << 4, C: 16}
+}
+
+func prog(seed int64) sim.Program {
+	return workload.NewRandom(workload.Config{Seed: seed, Rounds: 20})
+}
+
+func newManager(t *testing.T) sim.Manager {
+	t.Helper()
+	m, err := mm.New("first-fit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPanicAtFiresExactlyAtRound(t *testing.T) {
+	e, err := sim.NewEngine(cfg(), PanicAt(prog(1), 5), newManager(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r != PanicValue {
+			t.Fatalf("recovered %v, want the injected panic value", r)
+		}
+	}()
+	e.Run()
+	t.Fatal("run completed despite injected panic")
+}
+
+func TestPanicAtBeyondEndIsHarmless(t *testing.T) {
+	e, err := sim.NewEngine(cfg(), PanicAt(prog(1), 1<<30), newManager(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailAllocAtInjectsTypedError(t *testing.T) {
+	e, err := sim.NewEngine(cfg(), prog(2), FailAllocAt(newManager(t), 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.Run()
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if !errors.Is(err, sim.ErrManager) {
+		t.Fatalf("injected alloc failure not classified as a manager error: %v", err)
+	}
+}
+
+func TestFailAllocAtResetsWithRun(t *testing.T) {
+	m := FailAllocAt(newManager(t), 3)
+	e, err := sim.NewEngine(cfg(), prog(2), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first run: %v", err)
+	}
+	// A fresh run must fail at the same operation again: determinism.
+	if err := e.Reset(cfg(), prog(2), m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second run: %v", err)
+	}
+}
+
+func TestTransientFailsThenRecovers(t *testing.T) {
+	mk := Transient(func() sim.Program { return prog(3) }, 2,
+		func(p sim.Program) sim.Program { return PanicAt(p, 0) })
+	for attempt := 0; attempt < 2; attempt++ {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("attempt %d did not panic", attempt)
+				}
+			}()
+			e, err := sim.NewEngine(cfg(), mk(), newManager(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Run()
+		}()
+	}
+	e, err := sim.NewEngine(cfg(), mk(), newManager(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("post-transient run failed: %v", err)
+	}
+}
+
+func TestSlowStalls(t *testing.T) {
+	p := Slow(prog(4), 2*time.Millisecond)
+	e, err := sim.NewEngine(cfg(), p, newManager(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("20 slowed rounds took only %v", d)
+	}
+}
+
+func TestHangReleases(t *testing.T) {
+	p, release := Hang(prog(5), 3)
+	e, err := sim.NewEngine(cfg(), p, newManager(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.Run()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("hung run returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	release()
+	release() // idempotent
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run still hung after release")
+	}
+}
+
+func TestFailingWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := &FailingWriter{W: &buf, Budget: 2}
+	for i := 0; i < 2; i++ {
+		if _, err := w.Write([]byte("ok\n")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if _, err := w.Write([]byte("boom\n")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if got := buf.String(); got != "ok\nok\n" {
+		t.Fatalf("surviving bytes = %q", got)
+	}
+}
+
+func TestPlanDeterministicAndScattered(t *testing.T) {
+	p := NewPlan(42, 0.5, KindPanic, KindSlow, KindAllocFail)
+	counts := map[Kind]int{}
+	for i := 0; i < 1000; i++ {
+		k := p.For(i)
+		if k != p.For(i) {
+			t.Fatalf("cell %d nondeterministic", i)
+		}
+		counts[k]++
+	}
+	if counts[KindNone] < 300 || counts[KindNone] > 700 {
+		t.Fatalf("rate 0.5 left %d/1000 clean cells", counts[KindNone])
+	}
+	for _, k := range []Kind{KindPanic, KindSlow, KindAllocFail} {
+		if counts[k] == 0 {
+			t.Errorf("kind %v never assigned", k)
+		}
+	}
+	// A different seed reshuffles the assignment.
+	q := NewPlan(43, 0.5, KindPanic, KindSlow, KindAllocFail)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if p.For(i) == q.For(i) {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("plans identical across seeds")
+	}
+}
+
+func TestPlanEdges(t *testing.T) {
+	if k := NewPlan(1, 1, KindPanic).For(7); k != KindPanic {
+		t.Fatalf("rate 1 gave %v", k)
+	}
+	if k := NewPlan(1, 0, KindPanic).For(7); k != KindNone {
+		t.Fatalf("rate 0 gave %v", k)
+	}
+	if k := NewPlan(1, 1).For(7); k != KindNone {
+		t.Fatalf("kindless plan gave %v", k)
+	}
+	for _, k := range []Kind{KindNone, KindPanic, KindSlow, KindAllocFail, Kind(99)} {
+		if k.String() == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestWrappersPreserveNames(t *testing.T) {
+	if got := PanicAt(prog(1), 1).Name(); got != prog(1).Name() {
+		t.Errorf("PanicAt renamed the program: %q", got)
+	}
+	m := FailAllocAt(newManager(t), 1)
+	if !strings.Contains(m.Name(), "flaky") {
+		t.Errorf("flaky manager not labeled: %q", m.Name())
+	}
+}

@@ -19,6 +19,9 @@
 //	move-reject  a manager-initiated move was refused (budget, overlap)
 //	round        a round boundary: HS, live, budget, cumulative s and q
 //	sweep        the referee ran a full-heap invariant sweep
+//	retry        a sweep cell failed transiently and is being re-run
+//	checkpoint   a sweep durably journaled a completed cell
+//	degraded     a sweep cell exhausted its retries and became a hole
 //
 // Wall-clock durations (Event.Nanos) are deliberately excluded from
 // the NDJSON and Chrome sinks' deterministic fields: two identical
@@ -43,6 +46,9 @@ const (
 	EvMoveReject
 	EvRound
 	EvSweep
+	EvRetry
+	EvCheckpoint
+	EvDegraded
 )
 
 // String returns the schema name of the kind.
@@ -60,6 +66,12 @@ func (k EventKind) String() string {
 		return "round"
 	case EvSweep:
 		return "sweep"
+	case EvRetry:
+		return "retry"
+	case EvCheckpoint:
+		return "checkpoint"
+	case EvDegraded:
+		return "degraded"
 	}
 	return "unknown"
 }
@@ -80,6 +92,11 @@ func (k EventKind) String() string {
 //     Budget (remaining movable words), Nanos (wall clock of the
 //     round; excluded from deterministic sinks).
 //   - sweep: Round, Violations (total observed so far), Live.
+//   - retry/degraded: Cell (grid index), Attempt (1-based attempt that
+//     just failed / total attempts spent). Round is -1: these come from
+//     the sweep scheduler, outside any run.
+//   - checkpoint: Cell (grid index just journaled), Count (completed
+//     cells durable in the journal so far). Round is -1.
 type Event struct {
 	Kind  EventKind
 	Round int
@@ -95,6 +112,11 @@ type Event struct {
 	Budget     word.Size
 	Violations int
 	Nanos      int64
+
+	// Sweep-scheduler fields (retry, checkpoint, degraded).
+	Cell    int
+	Attempt int
+	Count   int64
 }
 
 // Tracer receives events. Implementations used on the engine hot path

@@ -13,6 +13,9 @@ func TestEventKindStrings(t *testing.T) {
 		EvMoveReject: "move-reject",
 		EvRound:      "round",
 		EvSweep:      "sweep",
+		EvRetry:      "retry",
+		EvCheckpoint: "checkpoint",
+		EvDegraded:   "degraded",
 	}
 	for k, s := range want {
 		if k.String() != s {

@@ -33,6 +33,9 @@ func appendKV(dst []byte, first bool, key string, v int64) []byte {
 //	{"ev":"move-reject","round":R,"id":I,"from":F,"to":T,"size":S}
 //	{"ev":"round","round":R,"live":L,"allocated":S,"moved":Q,"hs":H,"budget":B}
 //	{"ev":"sweep","round":R,"violations":V,"live":L}
+//	{"ev":"retry","round":-1,"cell":C,"attempt":A}
+//	{"ev":"checkpoint","round":-1,"cell":C,"completed":N}
+//	{"ev":"degraded","round":-1,"cell":C,"attempts":A}
 func AppendNDJSON(dst []byte, ev Event) []byte {
 	dst = append(dst, `{"ev":"`...)
 	dst = append(dst, ev.Kind.String()...)
@@ -57,6 +60,15 @@ func AppendNDJSON(dst []byte, ev Event) []byte {
 	case EvSweep:
 		dst = appendKV(dst, false, "violations", int64(ev.Violations))
 		dst = appendKV(dst, false, "live", ev.Live)
+	case EvRetry:
+		dst = appendKV(dst, false, "cell", int64(ev.Cell))
+		dst = appendKV(dst, false, "attempt", int64(ev.Attempt))
+	case EvCheckpoint:
+		dst = appendKV(dst, false, "cell", int64(ev.Cell))
+		dst = appendKV(dst, false, "completed", ev.Count)
+	case EvDegraded:
+		dst = appendKV(dst, false, "cell", int64(ev.Cell))
+		dst = appendKV(dst, false, "attempts", int64(ev.Attempt))
 	}
 	return append(dst, '}', '\n')
 }
@@ -169,6 +181,20 @@ func (s *ChromeSink) Emit(ev Event) {
 		s.buf = append(s.buf, ",\"args\":{"...)
 		s.buf = appendKV(s.buf, true, "round", int64(ev.Round))
 		s.buf = appendKV(s.buf, false, "violations", int64(ev.Violations))
+		s.buf = append(s.buf, '}', '}')
+	case EvRetry, EvCheckpoint, EvDegraded:
+		// Sweep-scheduler events share a lane (tid 3) above the run's.
+		s.buf = append(s.buf, ",\n{\"name\":\""...)
+		s.buf = append(s.buf, ev.Kind.String()...)
+		s.buf = append(s.buf, "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":3"...)
+		s.buf = appendKV(s.buf, false, "ts", s.seq)
+		s.buf = append(s.buf, ",\"args\":{"...)
+		s.buf = appendKV(s.buf, true, "cell", int64(ev.Cell))
+		if ev.Kind == EvCheckpoint {
+			s.buf = appendKV(s.buf, false, "completed", ev.Count)
+		} else {
+			s.buf = appendKV(s.buf, false, "attempt", int64(ev.Attempt))
+		}
 		s.buf = append(s.buf, '}', '}')
 	default:
 		return

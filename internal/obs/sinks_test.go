@@ -26,6 +26,9 @@ func goldenEvents() []Event {
 		{Kind: EvMove, Round: 1, ID: 2, From: 16, Addr: 0, Size: 32},
 		{Kind: EvSweep, Round: 1, Violations: 0, Live: 32},
 		{Kind: EvRound, Round: 1, Live: 32, Allocated: 48, Moved: 32, HighWater: 48, Budget: 0, Nanos: 1234},
+		{Kind: EvRetry, Round: -1, Cell: 4, Attempt: 1},
+		{Kind: EvCheckpoint, Round: -1, Cell: 4, Count: 7},
+		{Kind: EvDegraded, Round: -1, Cell: 5, Attempt: 3},
 	}
 }
 

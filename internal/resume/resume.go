@@ -1,0 +1,264 @@
+// Package resume implements durable checkpoints for long-running
+// sweeps: a journal of completed cell outcomes, keyed by a
+// deterministic cell fingerprint, written atomically (temp file +
+// rename) so that a sweep killed at any instant — worker panic, OOM
+// kill, Ctrl-C — leaves either the previous consistent checkpoint or
+// the next one on disk, never a torn file.
+//
+// The file format is NDJSON: a header line binding the journal to one
+// specific grid (its fingerprint, cell count, and an opaque caller
+// params string), followed by one line per completed cell. A journal
+// whose header does not match the grid being run is refused rather
+// than silently merged, so stale checkpoints cannot corrupt a new
+// experiment. A truncated or corrupt trailing line — the signature of
+// a crash during a non-atomic append by some future writer, or of a
+// half-copied file — is tolerated: every fully parseable prefix entry
+// is recovered.
+//
+// Resume contract: the fingerprint covers the cell's index, label,
+// manager and full model configuration. Program identity (adversary
+// kind, seed, rounds) is NOT part of sim.Config, so callers must fold
+// anything that changes the program's behavior into either the cell
+// label or the journal's params string; compactsim encodes
+// adversary/seed/rounds/ell in params for exactly this reason.
+package resume
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"compaction/internal/sim"
+)
+
+// Version is the journal format version; bumped on incompatible
+// schema changes so old files fail loudly instead of misparsing.
+const Version = 1
+
+// ErrMismatch reports a journal that belongs to a different grid (or
+// a different program parameterization) than the one being resumed.
+var ErrMismatch = errors.New("resume: journal does not match this grid")
+
+// CellKey identifies one sweep cell for fingerprinting.
+type CellKey struct {
+	// Index is the cell's position in the grid. Including it keeps two
+	// otherwise-identical cells (same label, manager, config) distinct.
+	Index int
+	// Label and Manager mirror the sweep cell's fields.
+	Label, Manager string
+	// Config is the full model configuration of the run.
+	Config sim.Config
+}
+
+// Fingerprint returns a deterministic 64-bit FNV-1a fingerprint of the
+// key, rendered as fixed-width hex. It is stable across processes and
+// platforms: only explicit field values are hashed, never memory
+// layout.
+func Fingerprint(k CellKey) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s|%d|%d|%d|%t|%d|%d|%d",
+		k.Index, k.Label, k.Manager,
+		k.Config.M, k.Config.N, k.Config.C, k.Config.Pow2Only,
+		k.Config.Capacity, k.Config.MaxRounds, k.Config.Index)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// GridFingerprint folds the cell fingerprints (in grid order) into one
+// fingerprint identifying the whole grid.
+func GridFingerprint(cellFPs []string) string {
+	h := fnv.New64a()
+	for _, fp := range cellFPs {
+		io.WriteString(h, fp)
+		h.Write([]byte{'\n'})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// header is the first journal line.
+type header struct {
+	Version int    `json:"v"`
+	Grid    string `json:"grid"`
+	Cells   int    `json:"cells"`
+	Params  string `json:"params,omitempty"`
+}
+
+// Entry is one journaled cell outcome. Only successful outcomes are
+// journaled: failed cells are re-run on resume, so a transient fault
+// in the original run does not become a permanent hole.
+type Entry struct {
+	Fingerprint string     `json:"cell"`
+	Index       int        `json:"index"`
+	Label       string     `json:"label"`
+	Manager     string     `json:"manager"`
+	Result      sim.Result `json:"result"`
+}
+
+// Journal is a durable set of completed cell outcomes bound to one
+// grid. It is safe for concurrent use by the sweep's worker pool.
+type Journal struct {
+	mu      sync.Mutex
+	path    string
+	hdr     header
+	bound   bool
+	entries map[string]Entry
+}
+
+// Open loads the journal at path, or prepares a fresh one when the
+// file does not exist. Corrupt trailing lines are dropped; a corrupt
+// or version-mismatched header fails the open (the file is not a
+// journal, and overwriting it silently would destroy whatever it is).
+func Open(path string) (*Journal, error) {
+	j := &Journal{path: path, entries: make(map[string]Entry)}
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return j, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("resume: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	if !sc.Scan() {
+		// Empty file: treat as fresh (a crash before the first save).
+		return j, nil
+	}
+	if err := json.Unmarshal(sc.Bytes(), &j.hdr); err != nil || j.hdr.Grid == "" {
+		return nil, fmt.Errorf("resume: %s: unrecognized journal header", path)
+	}
+	if j.hdr.Version != Version {
+		return nil, fmt.Errorf("resume: %s: journal version %d, want %d", path, j.hdr.Version, Version)
+	}
+	j.bound = true
+	for sc.Scan() {
+		var e Entry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil || e.Fingerprint == "" {
+			// Torn tail from a crash mid-write: keep the recovered
+			// prefix, drop the rest.
+			break
+		}
+		j.entries[e.Fingerprint] = e
+	}
+	return j, nil
+}
+
+// Bind ties the journal to a grid. A fresh journal adopts the
+// identity; a loaded one must match it exactly or Bind returns
+// ErrMismatch and the journal stays unusable for recording.
+func (j *Journal) Bind(gridFP string, cells int, params string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	want := header{Version: Version, Grid: gridFP, Cells: cells, Params: params}
+	if !j.bound {
+		j.hdr = want
+		j.bound = true
+		return nil
+	}
+	if j.hdr != want {
+		return fmt.Errorf("%w: journal %s holds grid %s (%d cells, params %q), running grid %s (%d cells, params %q)",
+			ErrMismatch, j.path, j.hdr.Grid, j.hdr.Cells, j.hdr.Params, gridFP, cells, params)
+	}
+	return nil
+}
+
+// Lookup returns the journaled entry for a cell fingerprint.
+func (j *Journal) Lookup(fp string) (Entry, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e, ok := j.entries[fp]
+	return e, ok
+}
+
+// Len returns the number of journaled entries.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Record adds one completed cell and durably saves the journal. It
+// returns the number of entries now journaled.
+func (j *Journal) Record(e Entry) (int, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.bound {
+		return 0, fmt.Errorf("resume: Record before Bind")
+	}
+	j.entries[e.Fingerprint] = e
+	return len(j.entries), j.saveLocked()
+}
+
+// Save durably writes the journal: the full state is serialized to a
+// temp file in the journal's directory, synced, and renamed over the
+// previous version, so readers and crashes only ever observe a
+// complete checkpoint.
+func (j *Journal) Save() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.bound {
+		return fmt.Errorf("resume: Save before Bind")
+	}
+	return j.saveLocked()
+}
+
+func (j *Journal) saveLocked() error {
+	tmp, err := os.CreateTemp(filepath.Dir(j.path), filepath.Base(j.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("resume: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	w := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(j.hdr); err != nil {
+		tmp.Close()
+		return fmt.Errorf("resume: %w", err)
+	}
+	// Entries in grid order: byte-stable saves for identical states.
+	sorted := make([]Entry, 0, len(j.entries))
+	for _, e := range j.entries {
+		sorted = append(sorted, e)
+	}
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Index < sorted[b].Index })
+	for _, e := range sorted {
+		if err := enc.Encode(e); err != nil {
+			tmp.Close()
+			return fmt.Errorf("resume: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("resume: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("resume: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("resume: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		return fmt.Errorf("resume: %w", err)
+	}
+	return nil
+}
+
+// Remove deletes the journal file, typically after the sweep it
+// guarded completed with no holes. A missing file is not an error.
+func (j *Journal) Remove() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := os.Remove(j.path); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("resume: %w", err)
+	}
+	return nil
+}

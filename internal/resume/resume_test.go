@@ -1,0 +1,209 @@
+package resume
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"compaction/internal/sim"
+)
+
+func key(i int) CellKey {
+	return CellKey{
+		Index: i, Label: "pf", Manager: "first-fit",
+		Config: sim.Config{M: 1 << 14, N: 1 << 6, C: 16, Pow2Only: true},
+	}
+}
+
+func entry(i int) Entry {
+	return Entry{
+		Fingerprint: Fingerprint(key(i)),
+		Index:       i, Label: "pf", Manager: "first-fit",
+		Result: sim.Result{Program: "pf", Manager: "first-fit", Rounds: 10 + i, HighWater: int64(100 * i)},
+	}
+}
+
+func TestFingerprintDiscriminates(t *testing.T) {
+	base := Fingerprint(key(0))
+	variants := []CellKey{key(1)}
+	k := key(0)
+	k.Label = "other"
+	variants = append(variants, k)
+	k = key(0)
+	k.Manager = "best-fit"
+	variants = append(variants, k)
+	k = key(0)
+	k.Config.C = 32
+	variants = append(variants, k)
+	k = key(0)
+	k.Config.Pow2Only = false
+	variants = append(variants, k)
+	for i, v := range variants {
+		if Fingerprint(v) == base {
+			t.Errorf("variant %d collides with base fingerprint", i)
+		}
+	}
+	if Fingerprint(key(0)) != base {
+		t.Error("fingerprint not deterministic")
+	}
+}
+
+func TestJournalRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := GridFingerprint([]string{Fingerprint(key(0)), Fingerprint(key(1))})
+	if err := j.Bind(grid, 2, "adv=pf seed=1"); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := j.Record(entry(0)); err != nil || n != 1 {
+		t.Fatalf("record: n=%d err=%v", n, err)
+	}
+	if n, err := j.Record(entry(1)); err != nil || n != 2 {
+		t.Fatalf("record: n=%d err=%v", n, err)
+	}
+
+	// No temp residue next to the journal after atomic saves.
+	files, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		if strings.Contains(f.Name(), ".tmp") {
+			t.Errorf("temp file left behind: %s", f.Name())
+		}
+	}
+
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Bind(grid, 2, "adv=pf seed=1"); err != nil {
+		t.Fatal(err)
+	}
+	if j2.Len() != 2 {
+		t.Fatalf("reloaded %d entries, want 2", j2.Len())
+	}
+	e, ok := j2.Lookup(Fingerprint(key(1)))
+	if !ok {
+		t.Fatal("entry 1 missing after reload")
+	}
+	if e.Result.HighWater != 100 || e.Result.Rounds != 11 {
+		t.Fatalf("entry drifted through the journal: %+v", e.Result)
+	}
+}
+
+func TestJournalRefusesMismatchedGrid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	j, _ := Open(path)
+	grid := GridFingerprint([]string{Fingerprint(key(0))})
+	if err := j.Bind(grid, 1, "adv=pf"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Record(entry(0)); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Bind("deadbeefdeadbeef", 1, "adv=pf"); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("mismatched grid accepted: %v", err)
+	}
+	if err := j2.Bind(grid, 1, "adv=robson"); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("mismatched params accepted: %v", err)
+	}
+	if err := j2.Bind(grid, 1, "adv=pf"); err != nil {
+		t.Fatalf("matching rebind refused: %v", err)
+	}
+}
+
+func TestJournalToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	j, _ := Open(path)
+	grid := GridFingerprint([]string{Fingerprint(key(0)), Fingerprint(key(1))})
+	if err := j.Bind(grid, 2, ""); err != nil {
+		t.Fatal(err)
+	}
+	j.Record(entry(0))
+	j.Record(entry(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last line mid-record, as a crash during a copy would.
+	if err := os.WriteFile(path, data[:len(data)-17], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatalf("torn journal refused entirely: %v", err)
+	}
+	if j2.Len() != 1 {
+		t.Fatalf("recovered %d entries from torn journal, want 1", j2.Len())
+	}
+	if _, ok := j2.Lookup(Fingerprint(key(0))); !ok {
+		t.Fatal("intact prefix entry lost")
+	}
+}
+
+func TestJournalRefusesForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "notes.txt")
+	if err := os.WriteFile(path, []byte("these are not checkpoints\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("foreign file accepted as a journal")
+	}
+}
+
+func TestJournalMissingAndEmptyAreFresh(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(filepath.Join(dir, "absent.ckpt"))
+	if err != nil || j.Len() != 0 {
+		t.Fatalf("missing journal: len=%d err=%v", j.Len(), err)
+	}
+	empty := filepath.Join(dir, "empty.ckpt")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err = Open(empty)
+	if err != nil || j.Len() != 0 {
+		t.Fatalf("empty journal: len=%d err=%v", j.Len(), err)
+	}
+	if err := j.Bind("abc", 1, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalRemove(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	j, _ := Open(path)
+	j.Bind("abc", 1, "")
+	if _, err := j.Record(entry(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("journal file still present after Remove")
+	}
+	if err := j.Remove(); err != nil {
+		t.Fatalf("second Remove not idempotent: %v", err)
+	}
+}
+
+func TestRecordBeforeBindFails(t *testing.T) {
+	j, _ := Open(filepath.Join(t.TempDir(), "x.ckpt"))
+	if _, err := j.Record(entry(0)); err == nil {
+		t.Fatal("Record before Bind accepted")
+	}
+	if err := j.Save(); err == nil {
+		t.Fatal("Save before Bind accepted")
+	}
+}

@@ -1,0 +1,101 @@
+package sim_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"compaction/internal/mm"
+	"compaction/internal/sim"
+	"compaction/internal/workload"
+
+	_ "compaction/internal/mm/fits"
+)
+
+func ctxEngine(t *testing.T, rounds int) *sim.Engine {
+	t.Helper()
+	mgr, err := mm.New("first-fit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.NewEngine(sim.Config{M: 1 << 10, N: 1 << 4, C: 16},
+		workload.NewRandom(workload.Config{Seed: 1, Rounds: rounds}), mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestRunCtxBackgroundCompletes(t *testing.T) {
+	res, err := ctxEngine(t, 20).RunCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 20 {
+		t.Fatalf("rounds = %d, want 20", res.Rounds)
+	}
+}
+
+func TestRunCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := ctxEngine(t, 20).RunCtx(ctx)
+	if !errors.Is(err, sim.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("context cause lost: %v", err)
+	}
+	if res.Rounds != 0 {
+		t.Fatalf("pre-canceled run still did %d rounds", res.Rounds)
+	}
+}
+
+func TestRunCtxDeadlineStopsMidRun(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	// A workload long enough to outlive the deadline: the per-round
+	// poll must stop it with a partial result.
+	e := ctxEngine(t, 1<<20)
+	start := time.Now()
+	res, err := e.RunCtx(ctx)
+	if !errors.Is(err, sim.ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("deadline not honored")
+	}
+	if res.Rounds == 0 {
+		t.Fatal("no progress before the deadline")
+	}
+}
+
+func TestRunCtxCancelMidRunKeepsPartialResult(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	e := ctxEngine(t, 1<<20)
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	res, err := e.RunCtx(ctx)
+	if !errors.Is(err, sim.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	// The partial result is still internally consistent.
+	if res.Allocs < res.Moves || res.HighWater <= 0 {
+		t.Fatalf("partial result inconsistent: %+v", res)
+	}
+	// The engine remains reusable after a canceled run.
+	mgr, err2 := mm.New("first-fit")
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if err := e.Reset(sim.Config{M: 1 << 10, N: 1 << 4, C: 16},
+		workload.NewRandom(workload.Config{Seed: 2, Rounds: 10}), mgr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("engine unusable after cancellation: %v", err)
+	}
+}

@@ -20,6 +20,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -200,6 +201,12 @@ var (
 	// a program violation (the model requires termination), so it also
 	// matches ErrProgram.
 	ErrMaxRounds = fmt.Errorf("%w: round limit exceeded", ErrProgram)
+	// ErrCanceled marks a run stopped cooperatively by its context —
+	// a cancellation or a deadline, not a model violation by either
+	// party. The wrapped chain includes the context's own error, so
+	// errors.Is(err, context.DeadlineExceeded) distinguishes deadline
+	// misses from plain cancellation.
+	ErrCanceled = errors.New("sim: run canceled")
 )
 
 // Engine couples one program with one manager for one run.
@@ -265,10 +272,29 @@ func (e *Engine) Reset(cfg Config, prog Program, mgr Manager) error {
 
 // Run executes the interaction to completion and returns the result.
 func (e *Engine) Run() (Result, error) {
+	return e.RunCtx(context.Background())
+}
+
+// RunCtx is Run under cooperative cancellation: the engine polls the
+// context at every round boundary and, when it is done, stops the run
+// with a partial Result and an error matching ErrCanceled (and the
+// context's cause). Cancellation is cooperative — a program stalled
+// inside a single Step is not preempted — which keeps the round loop
+// allocation-free: a background context costs one nil check per
+// round, a real one a non-blocking channel poll.
+func (e *Engine) RunCtx(ctx context.Context) (Result, error) {
 	e.mgr.Reset(e.cfg)
 	view := &View{Config: e.cfg, occ: e.occ}
+	done := ctx.Done()
 	var roundStart time.Time
 	for round := 0; round < e.cfg.MaxRounds; round++ {
+		if done != nil {
+			select {
+			case <-done:
+				return e.result(), fmt.Errorf("%w at round %d: %w", ErrCanceled, round, context.Cause(ctx))
+			default:
+			}
+		}
 		if e.Tracer != nil {
 			roundStart = time.Now()
 		}
@@ -349,7 +375,9 @@ func (e *Engine) doAllocs(allocs []word.Size) error {
 		e.nextID++
 		addr, err := e.mgr.Allocate(id, size, &e.mv)
 		if err != nil {
-			return fmt.Errorf("%w: %s failed to allocate %d words (round %d): %v",
+			// %w on the manager's own error: retry policies and fault
+			// tests classify failures with errors.Is through this wrap.
+			return fmt.Errorf("%w: %s failed to allocate %d words (round %d): %w",
 				ErrManager, e.mgr.Name(), size, e.rounds, err)
 		}
 		s := heap.Span{Addr: addr, Size: size}

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -111,7 +112,7 @@ func TestRunEdgeCases(t *testing.T) {
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
-			outs := Run(tc.cells, tc.parallelism)
+			outs := Run(context.Background(), tc.cells, tc.parallelism)
 			if len(outs) != len(tc.cells) {
 				t.Fatalf("got %d outcomes for %d cells", len(outs), len(tc.cells))
 			}
@@ -133,7 +134,7 @@ func TestRunEdgeCases(t *testing.T) {
 // outcome for a misbehaving program must still satisfy errors.Is so
 // callers can triage cell failures.
 func TestRunProgramErrorIsErrProgram(t *testing.T) {
-	outs := Run([]Cell{{
+	outs := Run(context.Background(), []Cell{{
 		Label: "overM", Config: sim.Config{M: 10, N: 8, C: 8}, Manager: "first-fit",
 		Program: func() sim.Program {
 			return sim.NewScript("overM", []sim.ScriptRound{{Allocs: []word.Size{8, 8}}})

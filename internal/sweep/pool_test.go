@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"testing"
 
 	"compaction/internal/sim"
@@ -27,8 +28,8 @@ func TestWorkerEngineReuse(t *testing.T) {
 				return sim.NewScript("c", []sim.ScriptRound{{Allocs: []word.Size{4, 4, 4}}})
 			}},
 	}
-	serial := Run(cells, 1)
-	parallel := Run(cells, len(cells))
+	serial := Run(context.Background(), cells, 1)
+	parallel := Run(context.Background(), cells, len(cells))
 	for i := range cells {
 		if i == 1 {
 			for _, outs := range [][]Outcome{serial, parallel} {

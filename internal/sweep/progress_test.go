@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -30,7 +31,7 @@ func monitorCells(n int) []Cell {
 func TestRunWithMonitor(t *testing.T) {
 	reg := obs.NewRegistry()
 	mon := NewMonitor(reg)
-	outs := RunWith(monitorCells(9), 3, mon)
+	outs := RunWith(context.Background(), monitorCells(9), 3, mon)
 	for _, o := range outs {
 		if o.Err != nil {
 			t.Fatalf("%s: %v", o.Cell.Manager, o.Err)
@@ -61,7 +62,7 @@ func TestMonitorCountsFailures(t *testing.T) {
 	cells := monitorCells(3)
 	cells[1].Program = nil // runCell reports this as an error
 	mon := NewMonitor(nil)
-	RunWith(cells, 2, mon)
+	RunWith(context.Background(), cells, 2, mon)
 	p := mon.Snapshot()
 	if p.Failed != 1 || p.Done != 3 {
 		t.Fatalf("progress = %+v", p)
@@ -72,7 +73,7 @@ func TestMonitorCountsFailures(t *testing.T) {
 }
 
 func TestRunWithNilMonitor(t *testing.T) {
-	outs := RunWith(monitorCells(2), 0, nil)
+	outs := RunWith(context.Background(), monitorCells(2), 0, nil)
 	if len(outs) != 2 {
 		t.Fatalf("outcomes = %d", len(outs))
 	}

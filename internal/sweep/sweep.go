@@ -4,9 +4,21 @@
 // regeneration fast on multi-core machines: every cell is an
 // independent deterministic simulation, so the sweep is embarrassingly
 // parallel.
+//
+// Paper-scale grids run for minutes to hours, so the sweep is also
+// fault-tolerant: cells are isolated (a panicking or erroring cell
+// becomes a typed hole, never a torn-down sweep), attempts are bounded
+// by per-cell deadlines and retried with exponential backoff + seeded
+// jitter, completed cells are durably journaled through
+// internal/resume so a killed sweep resumes exactly where it stopped,
+// and cancellation is cooperative end-to-end: Run, RunWith and
+// RunOpts take a context, and a canceled sweep returns a partial grid
+// with explicit holes rather than nothing. See Options.
 package sweep
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -18,28 +30,163 @@ import (
 
 	"compaction/internal/mm"
 	"compaction/internal/obs"
+	"compaction/internal/resume"
 	"compaction/internal/sim"
 	"compaction/internal/stats"
 )
 
 // Cell is one simulation to run.
 type Cell struct {
-	// Label names the cell in reports (e.g. the program name).
+	// Label names the cell in reports (e.g. the program name). It is
+	// part of the resume fingerprint, so anything that changes the
+	// program's behavior without changing the Config — a seed, a round
+	// count — must be folded into the label (or the journal params) for
+	// checkpoint/resume to be sound.
 	Label string
 	// Config is the model configuration.
 	Config sim.Config
 	// Manager is the registered manager name.
 	Manager string
 	// Program constructs a fresh program for the run (programs are
-	// single-use).
+	// single-use; retries construct a new one per attempt).
 	Program func() sim.Program
+}
+
+// key returns the cell's resume fingerprint key.
+func (c Cell) key(index int) resume.CellKey {
+	return resume.CellKey{Index: index, Label: c.Label, Manager: c.Manager, Config: c.Config}
 }
 
 // Outcome is the result of one cell.
 type Outcome struct {
 	Cell   Cell
 	Result sim.Result
-	Err    error
+	// Err is nil for completed cells. Failed, skipped and timed-out
+	// cells carry a *CellError describing the hole.
+	Err error
+	// Restored marks an outcome satisfied from a checkpoint journal
+	// rather than a fresh run.
+	Restored bool
+}
+
+// FailKind classifies why a cell failed.
+type FailKind int
+
+// The failure classes a cell can end in.
+const (
+	// FailError: the run returned an error (model violation, bad
+	// manager name, injected fault).
+	FailError FailKind = iota
+	// FailPanic: the program or manager panicked; the panic was
+	// contained to the cell.
+	FailPanic
+	// FailDeadline: the cell exceeded Options.CellTimeout.
+	FailDeadline
+	// FailCanceled: the sweep's context was canceled while the cell
+	// was running.
+	FailCanceled
+	// FailSkipped: the sweep's context was canceled before the cell
+	// started; it was never attempted.
+	FailSkipped
+)
+
+// String names the kind.
+func (k FailKind) String() string {
+	switch k {
+	case FailError:
+		return "error"
+	case FailPanic:
+		return "panic"
+	case FailDeadline:
+		return "deadline"
+	case FailCanceled:
+		return "canceled"
+	case FailSkipped:
+		return "skipped"
+	}
+	return "unknown"
+}
+
+// CellError is the typed error a failed cell's Outcome carries: which
+// cell, how it failed, how many attempts were spent, and the
+// underlying cause (available to errors.Is/As through Unwrap).
+type CellError struct {
+	Label, Manager string
+	Index          int
+	Attempts       int
+	Kind           FailKind
+	Err            error
+}
+
+// Error implements error.
+func (e *CellError) Error() string {
+	return fmt.Sprintf("sweep: cell %d (%q vs %q) %s after %d attempt(s): %v",
+		e.Index, e.Label, e.Manager, e.Kind, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying cause.
+func (e *CellError) Unwrap() error { return e.Err }
+
+// panicCause wraps a recovered panic value as an error so it can ride
+// in a CellError chain.
+type panicCause struct{ val any }
+
+func (p *panicCause) Error() string { return fmt.Sprintf("panic: %v", p.val) }
+
+// Options configures a fault-tolerant sweep. The zero value reproduces
+// the plain parallel sweep: no deadlines, no retries, no journal.
+type Options struct {
+	// Parallelism is the worker count; <= 0 selects runtime.NumCPU.
+	Parallelism int
+	// Monitor, if non-nil, observes progress (see RunWith).
+	Monitor *Monitor
+	// CellTimeout bounds each attempt's wall clock. Enforcement is
+	// cooperative (the engine polls at round boundaries), so a single
+	// enormous round can overshoot. 0 disables deadlines.
+	CellTimeout time.Duration
+	// Retries is how many times a failed attempt is re-run before the
+	// cell becomes a hole. Every failure except sweep cancellation is
+	// considered possibly transient and retried: a deterministic model
+	// violation wastes its retries quickly, while an injected or
+	// environmental fault gets its chance to clear.
+	Retries int
+	// BackoffBase and BackoffMax shape the exponential backoff between
+	// retries (base, 2·base, 4·base, … capped at max), each delay
+	// stretched by up to 50% deterministic jitter. Defaults: 10ms, 1s.
+	BackoffBase, BackoffMax time.Duration
+	// Seed drives the backoff jitter (and nothing else); sweeps with
+	// equal seeds back off identically. 0 is a valid seed.
+	Seed int64
+	// Journal, if non-nil, is the durable checkpoint: completed cells
+	// are recorded (atomic temp-file+rename per checkpoint) and a
+	// resumed sweep restores them without re-running. The journal must
+	// be freshly opened or belong to this exact grid; RunOpts refuses a
+	// mismatch. Failed cells are never journaled — they re-run on
+	// resume.
+	Journal *resume.Journal
+	// Params is an opaque program-identity string bound into the
+	// journal header (e.g. "adv=pf seed=1 rounds=100"); resuming with
+	// different params is refused. Ignored without Journal.
+	Params string
+	// Tracer, if non-nil, receives retry, checkpoint and degraded
+	// events. The sweep serializes emissions, so any tracer works.
+	Tracer obs.Tracer
+}
+
+func (o Options) withDefaults(cells int) Options {
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.NumCPU()
+	}
+	if o.Parallelism > cells {
+		o.Parallelism = cells
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 10 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = time.Second
+	}
+	return o
 }
 
 // Run executes all cells with the given parallelism (<= 0 selects
@@ -47,9 +194,11 @@ type Outcome struct {
 // cells from a shared atomic counter and reuse one simulation engine
 // each across their cells (the engine's page-retaining Reset makes
 // back-to-back large runs allocation-free); managers and programs are
-// still constructed fresh per cell, since both are single-use.
-func Run(cells []Cell, parallelism int) []Outcome {
-	return RunWith(cells, parallelism, nil)
+// still constructed fresh per cell, since both are single-use. A
+// canceled context stops the sweep cooperatively; unstarted cells
+// become FailSkipped holes.
+func Run(ctx context.Context, cells []Cell, parallelism int) []Outcome {
+	return RunWith(ctx, cells, parallelism, nil)
 }
 
 // RunWith is Run with an optional Monitor observing progress: each
@@ -57,18 +206,49 @@ func Run(cells []Cell, parallelism int) []Outcome {
 // silent — CLIs poll the monitor for a stderr ticker and its gauges
 // are served live over -metrics-addr. A nil monitor reduces RunWith
 // to Run.
-func RunWith(cells []Cell, parallelism int, mon *Monitor) []Outcome {
-	if parallelism <= 0 {
-		parallelism = runtime.NumCPU()
-	}
-	if parallelism > len(cells) {
-		parallelism = len(cells)
-	}
-	mon.begin(len(cells), parallelism)
+func RunWith(ctx context.Context, cells []Cell, parallelism int, mon *Monitor) []Outcome {
+	outs, _ := RunOpts(ctx, cells, Options{Parallelism: parallelism, Monitor: mon})
+	return outs
+}
+
+// RunOpts is the fault-tolerant sweep: Run plus per-cell deadlines,
+// bounded retry with backoff, durable checkpoint/resume, and
+// fault-tolerance observability. The returned error reports sweep
+// infrastructure problems — a journal that belongs to a different
+// grid, or a checkpoint write failure (the sweep still completes; it
+// just stops journaling) — never individual cell failures, which live
+// in the outcomes as typed holes. Cell order is always preserved and
+// the slice always has len(cells) entries.
+func RunOpts(ctx context.Context, cells []Cell, o Options) ([]Outcome, error) {
+	o = o.withDefaults(len(cells))
+	s := &scheduler{cells: cells, o: o, mon: o.Monitor, tracer: o.Tracer}
 	out := make([]Outcome, len(cells))
+	restored := make([]bool, len(cells))
+	if o.Journal != nil {
+		s.fps = make([]string, len(cells))
+		for i, c := range cells {
+			s.fps[i] = resume.Fingerprint(c.key(i))
+		}
+		if err := o.Journal.Bind(resume.GridFingerprint(s.fps), len(cells), o.Params); err != nil {
+			return out, err
+		}
+		s.journal = o.Journal
+		for i := range cells {
+			if e, ok := o.Journal.Lookup(s.fps[i]); ok {
+				out[i] = Outcome{Cell: cells[i], Result: e.Result, Restored: true}
+				restored[i] = true
+			}
+		}
+	}
+	s.mon.begin(len(cells), o.Parallelism)
+	for _, r := range restored {
+		if r {
+			s.mon.cellRestored()
+		}
+	}
 	var wg sync.WaitGroup
 	var next atomic.Int64
-	for w := 0; w < parallelism; w++ {
+	for w := 0; w < o.Parallelism; w++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
@@ -78,138 +258,193 @@ func RunWith(cells []Cell, parallelism int, mon *Monitor) []Outcome {
 				if i >= len(cells) {
 					return
 				}
-				out[i], e = runCell(cells[i], e)
-				mon.cellDone(worker, out[i].Err != nil)
+				if restored[i] {
+					continue
+				}
+				if ctx.Err() != nil {
+					out[i] = Outcome{Cell: cells[i], Err: &CellError{
+						Label: cells[i].Label, Manager: cells[i].Manager, Index: i,
+						Kind: FailSkipped, Err: context.Cause(ctx),
+					}}
+					s.mon.cellSkipped()
+					continue
+				}
+				out[i], e = s.runCell(ctx, i, e)
+				s.mon.cellDone(worker, out[i].Err != nil)
 			}
 		}(w)
 	}
 	wg.Wait()
-	return out
+	return out, s.err()
 }
 
-// Monitor tracks a sweep in flight: total and finished cells, failure
-// count, and per-worker progress, all behind atomic gauges so readers
-// (HTTP handlers, progress tickers) never contend with workers. When
-// constructed over an obs.Registry the gauges are also published
-// there under "sweep.*" names.
-type Monitor struct {
-	reg     *obs.Registry
-	total   *obs.Gauge
-	done    *obs.Gauge
-	failed  *obs.Gauge
-	workers []*obs.Gauge
-	start   time.Time
+// scheduler carries the shared state of one RunOpts call.
+type scheduler struct {
+	cells   []Cell
+	o       Options
+	mon     *Monitor
+	fps     []string
+	journal *resume.Journal
+
+	mu         sync.Mutex
+	tracer     obs.Tracer
+	journalErr error
+	journalOff bool
 }
 
-// NewMonitor returns a monitor registering its gauges in reg. A nil
-// registry is allowed: the monitor then keeps private gauges, which
-// still feed Snapshot and Line.
-func NewMonitor(reg *obs.Registry) *Monitor {
-	m := &Monitor{reg: reg}
-	if reg == nil {
-		reg = obs.NewRegistry()
-	}
-	m.total = reg.Gauge("sweep.cells_total")
-	m.done = reg.Gauge("sweep.cells_done")
-	m.failed = reg.Gauge("sweep.cells_failed")
-	return m
-}
-
-// begin arms the monitor for a run of total cells over the given
-// worker count. Nil receivers are allowed so RunWith needs no
-// branching.
-func (m *Monitor) begin(total, workers int) {
-	if m == nil {
+// emit serializes tracer emissions across workers.
+func (s *scheduler) emit(ev obs.Event) {
+	if s.tracer == nil {
 		return
 	}
-	reg := m.reg
-	if reg == nil {
-		reg = obs.NewRegistry()
-	}
-	m.total.Set(int64(total))
-	m.done.Set(0)
-	m.failed.Set(0)
-	m.workers = m.workers[:0]
-	for w := 0; w < workers; w++ {
-		g := reg.Gauge(fmt.Sprintf("sweep.worker%02d.cells_done", w))
-		g.Set(0)
-		m.workers = append(m.workers, g)
-	}
-	m.start = time.Now()
+	s.mu.Lock()
+	s.tracer.Emit(ev)
+	s.mu.Unlock()
 }
 
-// cellDone records one finished cell for a worker.
-func (m *Monitor) cellDone(worker int, failed bool) {
-	if m == nil {
+// err returns the first sweep-infrastructure error.
+func (s *scheduler) err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.journalErr
+}
+
+// checkpoint journals a completed cell. A write failure disables
+// further journaling (degraded but still running) and is surfaced by
+// RunOpts once the sweep finishes.
+func (s *scheduler) checkpoint(i int, res sim.Result) {
+	if s.journal == nil {
 		return
 	}
-	m.done.Add(1)
-	if failed {
-		m.failed.Add(1)
+	s.mu.Lock()
+	off := s.journalOff
+	s.mu.Unlock()
+	if off {
+		return
 	}
-	if worker >= 0 && worker < len(m.workers) {
-		m.workers[worker].Add(1)
+	n, err := s.journal.Record(resume.Entry{
+		Fingerprint: s.fps[i], Index: i,
+		Label: s.cells[i].Label, Manager: s.cells[i].Manager,
+		Result: res,
+	})
+	if err != nil {
+		s.mu.Lock()
+		if s.journalErr == nil {
+			s.journalErr = fmt.Errorf("sweep: checkpointing disabled: %w", err)
+		}
+		s.journalOff = true
+		s.mu.Unlock()
+		return
+	}
+	s.mon.checkpointed()
+	s.emit(obs.Event{Kind: obs.EvCheckpoint, Round: -1, Cell: i, Count: int64(n)})
+}
+
+// runCell runs one cell to its final outcome: attempts with optional
+// deadlines, bounded retries with backoff, typed classification, and
+// a checkpoint on success.
+func (s *scheduler) runCell(ctx context.Context, i int, e *sim.Engine) (Outcome, *sim.Engine) {
+	c := s.cells[i]
+	attempts := 0
+	for {
+		attempts++
+		actx, cancel := ctx, context.CancelFunc(func() {})
+		if s.o.CellTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, s.o.CellTimeout)
+		}
+		o, next := runCellAttempt(actx, c, e)
+		cancel()
+		e = next
+		if o.Err == nil {
+			s.checkpoint(i, o.Result)
+			return o, e
+		}
+		kind := classify(ctx, o.Err)
+		if kind != FailCanceled && attempts <= s.o.Retries {
+			s.mon.retried()
+			s.emit(obs.Event{Kind: obs.EvRetry, Round: -1, Cell: i, Attempt: attempts})
+			if !s.backoff(ctx, i, attempts) {
+				// Canceled while backing off: finalize as canceled.
+				kind = FailCanceled
+			} else {
+				continue
+			}
+		}
+		o.Err = &CellError{
+			Label: c.Label, Manager: c.Manager, Index: i,
+			Attempts: attempts, Kind: kind, Err: o.Err,
+		}
+		if kind != FailCanceled {
+			s.emit(obs.Event{Kind: obs.EvDegraded, Round: -1, Cell: i, Attempt: attempts})
+		}
+		return o, e
 	}
 }
 
-// Progress is a point-in-time view of a monitored sweep.
-type Progress struct {
-	Done, Total, Failed int64
-	PerWorker           []int64
-	Elapsed             time.Duration
-	// ETA extrapolates the remaining wall clock from the average cell
-	// rate so far; 0 until the first cell finishes.
-	ETA time.Duration
+// backoffDelay computes the exponential-backoff delay for the given
+// attempt, with deterministic jitter derived from (seed, cell,
+// attempt): sweeps with equal seeds back off identically.
+func (s *scheduler) backoffDelay(cell, attempt int) time.Duration {
+	d := s.o.BackoffBase << (attempt - 1)
+	if d <= 0 || d > s.o.BackoffMax {
+		d = s.o.BackoffMax
+	}
+	// SplitMix64 over (seed, cell, attempt): stateless jitter in
+	// [0, d/2] that is identical across runs with equal seeds.
+	z := uint64(s.o.Seed)*0x9e3779b97f4a7c15 + uint64(cell)<<16 + uint64(attempt)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return d + time.Duration(z%uint64(d/2+1))
 }
 
-// Snapshot returns the current progress.
-func (m *Monitor) Snapshot() Progress {
-	p := Progress{
-		Done:   m.done.Value(),
-		Total:  m.total.Value(),
-		Failed: m.failed.Value(),
+// backoff sleeps the backoffDelay for the given attempt. It returns
+// false when the context was canceled during the wait.
+func (s *scheduler) backoff(ctx context.Context, cell, attempt int) bool {
+	t := time.NewTimer(s.backoffDelay(cell, attempt))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
 	}
-	for _, w := range m.workers {
-		p.PerWorker = append(p.PerWorker, w.Value())
-	}
-	if !m.start.IsZero() {
-		p.Elapsed = time.Since(m.start)
-	}
-	if p.Done > 0 && p.Done < p.Total {
-		perCell := p.Elapsed / time.Duration(p.Done)
-		p.ETA = perCell * time.Duration(p.Total-p.Done)
-	}
-	return p
 }
 
-// Line renders the progress as a one-line stderr ticker.
-func (p Progress) Line() string {
-	pct := 0.0
-	if p.Total > 0 {
-		pct = 100 * float64(p.Done) / float64(p.Total)
+// classify maps an attempt error to its failure class. The parent
+// context decides between a per-attempt deadline (retryable) and a
+// sweep-wide cancellation (terminal).
+func classify(parent context.Context, err error) FailKind {
+	var pc *panicCause
+	switch {
+	case errors.As(err, &pc):
+		return FailPanic
+	case parent.Err() != nil:
+		return FailCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return FailDeadline
+	case errors.Is(err, sim.ErrCanceled), errors.Is(err, context.Canceled):
+		// Canceled but not by the parent and not by a deadline: treat
+		// as an ordinary (retryable) error from the attempt.
+		return FailError
+	default:
+		return FailError
 	}
-	line := fmt.Sprintf("sweep: %d/%d cells (%.1f%%), %d workers",
-		p.Done, p.Total, pct, len(p.PerWorker))
-	if p.Failed > 0 {
-		line += fmt.Sprintf(", %d failed", p.Failed)
-	}
-	if p.ETA > 0 {
-		line += fmt.Sprintf(", ETA %s", p.ETA.Round(time.Second))
-	}
-	return line
 }
 
-// runCell runs one cell, reusing the worker's engine when one is
-// handed in. It returns the engine for the next cell, or nil when the
-// engine's state can no longer be trusted (a panic mid-run).
-func runCell(c Cell, e *sim.Engine) (o Outcome, next *sim.Engine) {
+// runCellAttempt runs one attempt of one cell, reusing the worker's
+// engine when one is handed in. It returns the engine for the next
+// cell, or nil when the engine's state can no longer be trusted (a
+// panic mid-run).
+func runCellAttempt(ctx context.Context, c Cell, e *sim.Engine) (o Outcome, next *sim.Engine) {
 	o = Outcome{Cell: c}
 	next = e
 	// A panicking program or manager must fail its own cell, not tear
 	// down the whole sweep (and with it every other cell's result).
 	defer func() {
 		if r := recover(); r != nil {
-			o.Err = fmt.Errorf("sweep: cell %q manager %q panicked: %v", c.Label, c.Manager, r)
+			o.Err = fmt.Errorf("sweep: cell %q manager %q panicked: %w",
+				c.Label, c.Manager, &panicCause{val: r})
 			next = nil
 		}
 	}()
@@ -232,9 +467,21 @@ func runCell(c Cell, e *sim.Engine) (o Outcome, next *sim.Engine) {
 		o.Err = err
 		return o, next
 	}
-	res, err := e.Run()
+	res, err := e.RunCtx(ctx)
 	o.Result, o.Err = res, err
 	return o, next
+}
+
+// Holes returns the indices of failed cells — the explicit gaps in a
+// degraded grid.
+func Holes(outs []Outcome) []int {
+	var holes []int
+	for i, o := range outs {
+		if o.Err != nil {
+			holes = append(holes, i)
+		}
+	}
+	return holes
 }
 
 // Grid builds the cross product of compaction bounds and manager
@@ -305,7 +552,7 @@ func RepeatSeeds(cfg sim.Config, manager string, seeds []int64, mk func(seed int
 			Program: func() sim.Program { return mk(seed) },
 		}
 	}
-	outs := Run(cells, parallelism)
+	outs := Run(context.Background(), cells, parallelism)
 	agg := Aggregate{Manager: manager, Runs: len(outs)}
 	var wastes []float64
 	for _, o := range outs {

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -34,8 +35,8 @@ func TestGridShape(t *testing.T) {
 
 func TestRunParallelMatchesSerial(t *testing.T) {
 	cells := Grid(baseCfg(), []int64{8, 16}, []string{"first-fit", "bp-compact", "threshold"}, "pf", pfProg)
-	par := Run(cells, 4)
-	ser := Run(cells, 1)
+	par := Run(context.Background(), cells, 4)
+	ser := Run(context.Background(), cells, 1)
 	if len(par) != len(cells) || len(ser) != len(cells) {
 		t.Fatal("outcome count mismatch")
 	}
@@ -53,7 +54,7 @@ func TestRunParallelMatchesSerial(t *testing.T) {
 func TestSweepRespectsTheorem1(t *testing.T) {
 	cs := []int64{8, 16, 32}
 	cells := Grid(baseCfg(), cs, []string{"first-fit", "threshold"}, "pf", pfProg)
-	outs := Run(cells, 0)
+	outs := Run(context.Background(), cells, 0)
 	for _, o := range outs {
 		if o.Err != nil {
 			t.Fatalf("%s c=%d: %v", o.Cell.Manager, o.Cell.Config.C, o.Err)
@@ -71,7 +72,7 @@ func TestSweepRespectsTheorem1(t *testing.T) {
 
 func TestWriteCSV(t *testing.T) {
 	cells := Grid(baseCfg(), []int64{8}, []string{"first-fit"}, "pf", pfProg)
-	outs := Run(cells, 1)
+	outs := Run(context.Background(), cells, 1)
 	var buf bytes.Buffer
 	if err := WriteCSV(&buf, outs); err != nil {
 		t.Fatal(err)
@@ -87,7 +88,7 @@ func TestWriteCSV(t *testing.T) {
 
 func TestSummaryGroupsAndSorts(t *testing.T) {
 	cells := Grid(baseCfg(), []int64{8, 16}, []string{"first-fit", "threshold"}, "pf", pfProg)
-	outs := Run(cells, 0)
+	outs := Run(context.Background(), cells, 0)
 	s := Summary(outs)
 	i8, i16 := strings.Index(s, "c=8:"), strings.Index(s, "c=16:")
 	if i8 < 0 || i16 < 0 || i8 > i16 {
@@ -122,7 +123,7 @@ func TestSummaryGroupsAndSorts(t *testing.T) {
 }
 
 func TestRunReportsBadManager(t *testing.T) {
-	outs := Run([]Cell{{
+	outs := Run(context.Background(), []Cell{{
 		Label: "x", Config: baseCfg(), Manager: "nope",
 		Program: func() sim.Program {
 			return workload.NewRandom(workload.Config{Seed: 1, Rounds: 5})
