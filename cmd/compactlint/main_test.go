@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"compaction/internal/lint/driver"
+)
+
+// TestSmokeBadModule runs the full multichecker over the known-bad
+// fixture module and asserts both the exit code and one diagnostic
+// per analyzer — the end-to-end contract `make lint` relies on.
+func TestSmokeBadModule(t *testing.T) {
+	var out, errw strings.Builder
+	code := run([]string{"-dir", "testdata/badmod", "./..."}, &out, &errw)
+	if code != driver.ExitDiags {
+		t.Fatalf("exit code = %d, want %d (stderr: %s)", code, driver.ExitDiags, errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"e.tracer.Emit is not behind a nil guard",
+		"(nilguard)",
+		"formatted with %v flattens the chain",
+		"(wrapcheck)",
+		"time.Now reads the wall clock",
+		"(determinism)",
+		"context.Background in a library package",
+		"(ctxflow)",
+		"make allocates in a noalloc function",
+		"(noalloc)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q\noutput:\n%s", want, got)
+		}
+	}
+	if n := strings.Count(got, "\n"); n != 5 {
+		t.Errorf("expected exactly 5 diagnostics, got %d:\n%s", n, got)
+	}
+}
+
+// TestRepoIsClean pins the acceptance criterion that the tree itself
+// is clean under the whole suite: the static pin on every invariant,
+// enforced by `go test` as well as `make lint`.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-type-checks the whole module; skipped with -short")
+	}
+	var out, errw strings.Builder
+	code := run([]string{"-dir", "../..", "./..."}, &out, &errw)
+	if code != driver.ExitClean {
+		t.Fatalf("compactlint over the repo: exit %d, want %d\n%s%s",
+			code, driver.ExitClean, out.String(), errw.String())
+	}
+}
+
+// TestListFlag keeps the -list inventory in sync with the suite.
+func TestListFlag(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"-list"}, &out, &errw); code != driver.ExitClean {
+		t.Fatalf("-list exit code = %d", code)
+	}
+	for _, name := range []string{"ctxflow", "determinism", "nilguard", "noalloc", "wrapcheck"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestLoadFailure pins the distinct exit code for driver errors, so
+// CI cannot mistake "could not load" for "clean".
+func TestLoadFailure(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"./no/such/dir/..."}, &out, &errw); code != driver.ExitError {
+		t.Fatalf("exit code = %d, want %d", code, driver.ExitError)
+	}
+}

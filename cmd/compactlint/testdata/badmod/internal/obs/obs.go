@@ -1,0 +1,7 @@
+// Package obs is the smoke-test stand-in for the observability
+// package; the analyzers match Tracer by import-path suffix.
+package obs
+
+type Event struct{ Kind int }
+
+type Tracer interface{ Emit(Event) }

@@ -1,0 +1,45 @@
+// Package sim is the compactlint smoke-test fixture: one deliberate
+// violation per analyzer, in a module of its own so the multichecker
+// is exercised end to end — go list, export-data type-checking,
+// suppression, rendering, and the exit code.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"badmod/internal/obs"
+)
+
+type engine struct {
+	tracer obs.Tracer
+	buf    []int
+}
+
+// unguarded violates nilguard.
+func (e *engine) unguarded() {
+	e.tracer.Emit(obs.Event{Kind: 1})
+}
+
+// flatten violates wrapcheck.
+func flatten(err error) error {
+	return fmt.Errorf("round failed: %v", err)
+}
+
+// clock violates determinism.
+func clock() int64 {
+	return time.Now().UnixNano()
+}
+
+// detached violates ctxflow.
+func detached() context.Context {
+	return context.Background()
+}
+
+// hot violates noalloc.
+//
+//compactlint:noalloc
+func hot(e *engine) {
+	e.buf = make([]int, 8)
+}

@@ -1,0 +1,51 @@
+// Package analysis is a self-contained reimplementation of the core
+// golang.org/x/tools/go/analysis API surface (Analyzer, Pass,
+// Diagnostic) on top of the standard library's go/ast and go/types.
+//
+// The build environment for this repository is hermetic: the module
+// has no external dependencies and the toolchain cannot reach a
+// module proxy. Rather than vendor x/tools wholesale, compactlint
+// keeps the same analyzer shape — a named, documented Run(*Pass)
+// function reporting position-anchored diagnostics — so each analyzer
+// under internal/lint reads exactly like an upstream go/analysis pass
+// and could be ported to one by swapping this import.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Name appears in diagnostics and
+// in //compactlint:allow suppressions; Doc is the one-paragraph
+// contract shown by `compactlint -list`.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) (any, error)
+}
+
+// Pass is the unit of work handed to an analyzer: one type-checked
+// package. The analyzer inspects Files/TypesInfo and calls Report (or
+// Reportf) for each violation.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,171 @@
+// Package analysistest runs a compactlint analyzer over GOPATH-style
+// fixture packages and checks its diagnostics against `// want`
+// expectations, mirroring the contract of
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	x := tracer.Emit // want `must be guarded`
+//
+// Each `// want` comment carries one or more backquoted or quoted
+// regular expressions; every diagnostic on that line must match one,
+// and every expectation must be consumed by exactly one diagnostic.
+// //compactlint:allow suppressions are applied before matching, so
+// fixtures can (and do) test the escape hatch itself.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"compaction/internal/lint/analysis"
+	"compaction/internal/lint/lintutil"
+	"compaction/internal/lint/loader"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	p, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Run loads each fixture package under dir/src and applies the
+// analyzer, failing t on any mismatch between diagnostics and the
+// fixtures' // want expectations.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	l := loader.NewFixtureLoader(filepath.Join(dir, "src"))
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", path, err)
+			continue
+		}
+		checkPackage(t, a, pkg)
+	}
+}
+
+type expectation struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+func checkPackage(t *testing.T, a *analysis.Analyzer, pkg *loader.Package) {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Pkg,
+		TypesInfo: pkg.TypesInfo,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Errorf("%s: analyzer failed: %v", pkg.ImportPath, err)
+		return
+	}
+	sup := lintutil.NewSuppressor(pkg.Fset, pkg.Files)
+	// wants maps file:line to pending expectations.
+	wants := make(map[string][]*expectation)
+	for _, f := range pkg.Files {
+		collectWants(t, pkg.Fset, f, wants)
+	}
+	for _, d := range diags {
+		if sup.Allows(d.Pos, a.Name) {
+			continue
+		}
+		p := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+		matched := false
+		for _, e := range wants[key] {
+			if !e.matched && e.rx.MatchString(d.Message) {
+				e.matched, matched = true, true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", p, d.Message)
+		}
+	}
+	keys := make([]string, 0, len(wants))
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, e := range wants[k] {
+			if !e.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, e.rx)
+			}
+		}
+	}
+}
+
+// collectWants parses `// want "rx" `rx`...` comments, anchoring each
+// to the line the comment starts on.
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File, wants map[string][]*expectation) {
+	t.Helper()
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				continue
+			}
+			p := fset.Position(c.Pos())
+			key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+			for _, pat := range splitPatterns(text) {
+				rx, err := regexp.Compile(pat)
+				if err != nil {
+					t.Errorf("%s: bad want pattern %q: %v", p, pat, err)
+					continue
+				}
+				wants[key] = append(wants[key], &expectation{rx: rx})
+			}
+		}
+	}
+}
+
+// splitPatterns extracts the quoted ("...") and backquoted (`...`)
+// segments of a want comment.
+func splitPatterns(s string) []string {
+	var pats []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return pats
+		}
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+				end++
+			}
+			if end >= len(s) {
+				return pats
+			}
+			if unq, err := strconv.Unquote(s[:end+1]); err == nil {
+				pats = append(pats, unq)
+			}
+			s = s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return pats
+			}
+			pats = append(pats, s[1:1+end])
+			s = s[end+2:]
+		default:
+			return pats
+		}
+	}
+}

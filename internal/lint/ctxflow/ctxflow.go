@@ -1,0 +1,54 @@
+// Package ctxflow implements the compactlint analyzer for the
+// cancellation design PR 4 introduced: library packages must not
+// manufacture contexts with context.Background() or context.TODO().
+// A context minted inside a library is invisible to the caller, so
+// SIGINT handling, sweep cell timeouts and fault-injection deadlines
+// all silently stop propagating past that point. Contexts flow down
+// from main (or the test), never appear out of thin air.
+//
+// The rule applies to every package under an internal/ directory
+// whose package name is not main; binaries under cmd/ are exactly
+// where Background belongs. A deliberate compatibility wrapper (such
+// as sim.Engine.Run delegating to RunCtx) documents itself with
+// //compactlint:allow ctxflow and a reason.
+package ctxflow
+
+import (
+	"go/ast"
+	"strings"
+
+	"compaction/internal/lint/analysis"
+	"compaction/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "library packages must accept contexts from callers, not " +
+		"call context.Background or context.TODO",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	path := pass.Pkg.Path()
+	if pass.Pkg.Name() == "main" ||
+		!(strings.Contains(path, "/internal/") || strings.HasPrefix(path, "internal/")) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, name := range [...]string{"Background", "TODO"} {
+				if lintutil.IsPkgFunc(pass.TypesInfo, call, "context", name) {
+					pass.Reportf(call.Pos(),
+						"context.%s in a library package hides cancellation from callers; accept a ctx parameter",
+						name)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

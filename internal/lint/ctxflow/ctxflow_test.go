@@ -1,0 +1,15 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"compaction/internal/lint/analysistest"
+	"compaction/internal/lint/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxflow.Analyzer,
+		"compaction/internal/libpkg", // findings + escape hatch
+		"compaction/cmd/tool",        // package main: exempt
+	)
+}

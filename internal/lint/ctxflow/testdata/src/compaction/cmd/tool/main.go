@@ -1,0 +1,10 @@
+// Command tool is a ctxflow fixture: binaries are where contexts are
+// born, so nothing here is flagged.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

@@ -1,0 +1,31 @@
+// Package libpkg is a ctxflow fixture: a library package that must
+// receive its contexts from callers.
+package libpkg
+
+import "context"
+
+// Bad: libraries must not mint their own contexts.
+func Detached() error {
+	ctx := context.Background() // want `context.Background in a library package`
+	return Work(ctx)
+}
+
+func Todo() error {
+	return Work(context.TODO()) // want `context.TODO in a library package`
+}
+
+// Good: the context flows in from the caller.
+func Work(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// Good: a documented compatibility wrapper uses the escape hatch.
+func Compat() error {
+	//compactlint:allow ctxflow compatibility wrapper; callers who care use Work
+	return Work(context.Background())
+}

@@ -1,0 +1,15 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"compaction/internal/lint/analysistest"
+	"compaction/internal/lint/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), determinism.Analyzer,
+		"compaction/internal/mm",      // in scope: findings + escape hatch
+		"compaction/internal/figures", // out of scope: same code, clean
+	)
+}

@@ -1,0 +1,7 @@
+// Package figures is a determinism fixture for an out-of-scope
+// package: plotting and reporting code may read clocks freely.
+package figures
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,102 @@
+// Package mm is a determinism fixture standing in for a
+// deterministic-core package: wall clocks, global rand and
+// order-leaking map iteration are all violations here.
+package mm
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clocks() int64 {
+	t := time.Now() // want `time.Now reads the wall clock`
+	defer func() {
+		_ = time.Since(t) // want `time.Since reads the wall clock`
+	}()
+	return t.UnixNano()
+}
+
+func clockEscapeHatch() time.Time {
+	return time.Now() //compactlint:allow determinism fixture demonstrates the reviewed exception
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global rand.Intn is unseeded process state`
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // constructors are fine
+	return r.Intn(10)                   // methods on a seeded *rand.Rand are fine
+}
+
+// orderLeaks appends map contents without sorting: the output order
+// changes run to run.
+func orderLeaks(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v) // want `append to out inside map iteration`
+	}
+	return out
+}
+
+// collectThenSort is the sanctioned idiom: nondeterministic collection
+// followed by a sort before anything observes the order.
+func collectThenSort(m map[string]int) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// earlyReturn surfaces whichever entry iteration happens to visit
+// first — a different error text every run.
+func earlyReturn(m map[int]int) int {
+	for k, v := range m {
+		if v < 0 {
+			return k // want `return inside map iteration`
+		}
+	}
+	return -1
+}
+
+// returnNil inside a map loop carries no order-dependent value.
+func returnNil(m map[int]int) []int {
+	for _, v := range m {
+		if v < 0 {
+			return nil
+		}
+	}
+	return []int{1}
+}
+
+// sends leak order through a channel.
+func sends(m map[int]int, ch chan int) {
+	for k := range m {
+		ch <- k // want `channel send inside map iteration`
+	}
+}
+
+// accumulate is order-insensitive: counting and summing over a map is
+// fine without sorting.
+func accumulate(m map[int]int) (n, sum int) {
+	for _, v := range m {
+		n++
+		sum += v
+	}
+	return n, sum
+}
+
+// loopLocal collects into a slice scoped to the loop body; nothing
+// outside can observe its order.
+func loopLocal(m map[int][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}

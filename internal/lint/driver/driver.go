@@ -1,0 +1,88 @@
+// Package driver is the multichecker engine behind cmd/compactlint:
+// it loads packages, runs every analyzer over every package, applies
+// //compactlint:allow suppressions, and renders diagnostics in the
+// conventional file:line:col format.
+package driver
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"compaction/internal/lint/analysis"
+	"compaction/internal/lint/lintutil"
+	"compaction/internal/lint/loader"
+)
+
+// Exit codes, mirroring go vet's convention.
+const (
+	ExitClean = 0 // no findings
+	ExitDiags = 1 // at least one diagnostic survived suppression
+	ExitError = 2 // the driver itself failed (load or analyzer error)
+)
+
+// finding pairs a diagnostic with its origin for sorting and display.
+type finding struct {
+	file      string
+	line, col int
+	message   string
+	analyzer  string
+}
+
+// Run applies every analyzer to every package matched by patterns
+// (resolved relative to dir), writing diagnostics to out and driver
+// errors to errw, and returns the process exit code.
+func Run(analyzers []*analysis.Analyzer, dir string, patterns []string, out, errw io.Writer) int {
+	pkgs, err := loader.Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(errw, "compactlint: %v\n", err)
+		return ExitError
+	}
+	var findings []finding
+	for _, pkg := range pkgs {
+		sup := lintutil.NewSuppressor(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				if sup.Allows(d.Pos, a.Name) {
+					return
+				}
+				p := pkg.Fset.Position(d.Pos)
+				findings = append(findings, finding{
+					file: p.Filename, line: p.Line, col: p.Column,
+					message: d.Message, analyzer: a.Name,
+				})
+			}
+			if _, err := a.Run(pass); err != nil {
+				fmt.Fprintf(errw, "compactlint: %s on %s: %v\n", a.Name, pkg.ImportPath, err)
+				return ExitError
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		return a.analyzer < b.analyzer
+	})
+	for _, f := range findings {
+		fmt.Fprintf(out, "%s:%d:%d: %s (%s)\n", f.file, f.line, f.col, f.message, f.analyzer)
+	}
+	if len(findings) > 0 {
+		return ExitDiags
+	}
+	return ExitClean
+}

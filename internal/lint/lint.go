@@ -1,0 +1,27 @@
+// Package lint assembles the compactlint analyzer suite: the static
+// counterparts of the repository's dynamic invariants. Each analyzer
+// proves at `make lint` time, on every file, a rule that was
+// previously enforced only by a test that had to exercise the
+// violating path. See DESIGN.md §11 for the analyzer → dynamic-test
+// correspondence table.
+package lint
+
+import (
+	"compaction/internal/lint/analysis"
+	"compaction/internal/lint/ctxflow"
+	"compaction/internal/lint/determinism"
+	"compaction/internal/lint/nilguard"
+	"compaction/internal/lint/noalloc"
+	"compaction/internal/lint/wrapcheck"
+)
+
+// Analyzers returns the full compactlint suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxflow.Analyzer,
+		determinism.Analyzer,
+		nilguard.Analyzer,
+		noalloc.Analyzer,
+		wrapcheck.Analyzer,
+	}
+}

@@ -1,0 +1,203 @@
+// Package lintutil holds the helpers shared by the compactlint
+// analyzers: directive and suppression parsing, package-path scoping,
+// type matching by import-path suffix, and an AST walk that exposes
+// the ancestor stack.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Directive prefix for all compactlint source annotations.
+const prefix = "//compactlint:"
+
+// HasDirective reports whether the function's doc comment carries
+// //compactlint:<name> (for example //compactlint:noalloc).
+func HasDirective(fn *ast.FuncDecl, name string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if text, ok := strings.CutPrefix(c.Text, prefix); ok {
+			if d, _, _ := strings.Cut(text, " "); d == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Suppressor answers whether a diagnostic at a given position is
+// waived by a //compactlint:allow <analyzer> [reason] comment on the
+// same line or the line directly above.
+type Suppressor struct {
+	fset *token.FileSet
+	// allowed maps filename -> line -> analyzer names allowed there.
+	allowed map[string]map[int][]string
+}
+
+// NewSuppressor indexes every //compactlint:allow comment in files.
+func NewSuppressor(fset *token.FileSet, files []*ast.File) *Suppressor {
+	s := &Suppressor{fset: fset, allowed: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, prefix+"allow ")
+				if !ok {
+					continue
+				}
+				name, _, _ := strings.Cut(strings.TrimSpace(text), " ")
+				if name == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := s.allowed[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					s.allowed[pos.Filename] = lines
+				}
+				// The comment waives its own line and the next one, so
+				// both trailing and preceding-line placement work.
+				lines[pos.Line] = append(lines[pos.Line], name)
+				lines[pos.Line+1] = append(lines[pos.Line+1], name)
+			}
+		}
+	}
+	return s
+}
+
+// Allows reports whether a diagnostic from analyzer at pos is waived.
+func (s *Suppressor) Allows(pos token.Pos, analyzer string) bool {
+	p := s.fset.Position(pos)
+	for _, name := range s.allowed[p.Filename][p.Line] {
+		if name == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// PathMatches reports whether a package import path falls under any of
+// the given path suffixes: "internal/sim" matches both
+// "compaction/internal/sim" and a fixture's "badmod/internal/sim",
+// but not "x/notinternal/sim".
+func PathMatches(path string, suffixes ...string) bool {
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsNamed reports whether t is the named type name whose defining
+// package path ends in pathSuffix (matching PathMatches semantics).
+// Matching by suffix rather than exact path lets analysistest fixtures
+// and the smoke-test module declare stand-in types.
+func IsNamed(t types.Type, pathSuffix, name string) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	return PathMatches(obj.Pkg().Path(), pathSuffix)
+}
+
+// IsErrorType reports whether t implements the built-in error
+// interface.
+func IsErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, types.Universe.Lookup("error").Type().Underlying().(*types.Interface))
+}
+
+// CalleeFunc resolves a call expression to the *types.Func it
+// statically invokes (package function or method), or nil for builtin
+// calls, conversions, and calls of function-typed values.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether the call statically invokes the function
+// pkgPath.name (pkgPath compared with PathMatches semantics for the
+// repo's own packages, exactly for the standard library).
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := CalleeFunc(info, call)
+	return fn != nil && fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
+}
+
+// IsBuiltin reports whether the call invokes the named builtin
+// (make, new, append, panic, ...).
+func IsBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// WalkStack traverses the subtree rooted at n in depth-first order,
+// calling visit with each node and the stack of its ancestors
+// (outermost first, not including the node itself). If visit returns
+// false the node's children are skipped.
+func WalkStack(n ast.Node, visit func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(n, func(node ast.Node) bool {
+		if node == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := visit(node, stack)
+		if descend {
+			stack = append(stack, node)
+		}
+		return descend
+	})
+}
+
+// ExprEqual reports whether two expressions are structurally identical
+// references: the same identifier chain (a, a.b, a.b.c) resolving to
+// the same objects where resolution is available. It is the identity
+// test the nilguard analyzer uses to match a guard's operand to an
+// emission receiver.
+func ExprEqual(info *types.Info, a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	switch ae := a.(type) {
+	case *ast.Ident:
+		be, ok := b.(*ast.Ident)
+		if !ok || ae.Name != be.Name {
+			return false
+		}
+		ao, bo := useOrDef(info, ae), useOrDef(info, be)
+		return ao == nil || bo == nil || ao == bo
+	case *ast.SelectorExpr:
+		be, ok := b.(*ast.SelectorExpr)
+		return ok && ae.Sel.Name == be.Sel.Name && ExprEqual(info, ae.X, be.X)
+	}
+	return false
+}
+
+func useOrDef(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}

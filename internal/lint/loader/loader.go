@@ -1,0 +1,299 @@
+// Package loader type-checks Go packages for the compactlint driver
+// without golang.org/x/tools/go/packages, which the hermetic build
+// environment cannot fetch. It shells out to `go list -export` for
+// package metadata and compiled export data (both work fully offline
+// against the local build cache), parses the matched packages from
+// source, and resolves their imports through the standard library's
+// gc importer pointed at the export files.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+const listFields = "-json=Dir,ImportPath,Name,Export,Standard,DepOnly,GoFiles,Error"
+
+// goList runs `go list -deps -export` in dir and decodes the stream.
+func goList(dir string, patterns []string) ([]listPkg, error) {
+	args := append([]string{"list", "-deps", "-export", listFields}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("loader: go list %s: %w\n%s",
+			strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			return pkgs, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("loader: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+}
+
+// exportImporter resolves imports from compiled export data files, the
+// way the compiler itself would. A single instance must be shared by
+// every type-check that needs consistent type identity.
+type exportImporter struct {
+	imp     types.ImporterFrom
+	exports map[string]string // import path -> export data file
+}
+
+func newExportImporter(fset *token.FileSet) *exportImporter {
+	e := &exportImporter{exports: make(map[string]string)}
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := e.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("loader: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	e.imp = importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	return e
+}
+
+func (e *exportImporter) add(pkgs []listPkg) {
+	for _, p := range pkgs {
+		if p.Export != "" {
+			e.exports[p.ImportPath] = p.Export
+		}
+	}
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	return e.imp.Import(path)
+}
+
+func (e *exportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return e.imp.ImportFrom(path, dir, mode)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+func parseDirFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Load lists the packages matched by patterns in dir (a module root or
+// any directory inside one) and type-checks each from source, with
+// imports — standard library and intra-module alike — resolved from
+// export data. Test files are not loaded: the invariants compactlint
+// proves are properties of the shipped code.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset)
+	imp.add(pkgs)
+	conf := types.Config{Importer: imp}
+	var out []*Package
+	for _, p := range pkgs {
+		if p.Standard || p.DepOnly {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("loader: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		files, err := parseDirFiles(fset, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		info := newInfo()
+		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("loader: type-checking %s: %w", p.ImportPath, err)
+		}
+		out = append(out, &Package{
+			ImportPath: p.ImportPath,
+			Dir:        p.Dir,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        tpkg,
+			TypesInfo:  info,
+		})
+	}
+	return out, nil
+}
+
+// FixtureLoader type-checks GOPATH-style fixture trees
+// (testdata/src/<import/path>/*.go), the layout x/tools analysistest
+// uses. Fixture imports resolve first against the fixture tree itself
+// — so a fixture can declare a stand-in for, say, the obs.Tracer
+// interface — and then against the real standard library via export
+// data.
+type FixtureLoader struct {
+	srcdir  string
+	fset    *token.FileSet
+	imp     *exportImporter
+	conf    types.Config
+	checked map[string]*Package
+	loading map[string]bool
+}
+
+// NewFixtureLoader returns a loader rooted at srcdir (the testdata/src
+// directory).
+func NewFixtureLoader(srcdir string) *FixtureLoader {
+	fset := token.NewFileSet()
+	l := &FixtureLoader{
+		srcdir:  srcdir,
+		fset:    fset,
+		imp:     newExportImporter(fset),
+		checked: make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	l.conf = types.Config{Importer: (*fixtureImporter)(l)}
+	return l
+}
+
+// Load type-checks the fixture package at srcdir/<path>.
+func (l *FixtureLoader) Load(path string) (*Package, error) {
+	if p, ok := l.checked[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("loader: fixture import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := filepath.Join(l.srcdir, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("loader: fixture %q: %w", path, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("loader: fixture %q has no Go files", path)
+	}
+	files, err := parseDirFiles(l.fset, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.ensureStdExports(files); err != nil {
+		return nil, err
+	}
+	info := newInfo()
+	tpkg, err := l.conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-checking fixture %s: %w", path, err)
+	}
+	p := &Package{
+		ImportPath: path,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		Pkg:        tpkg,
+		TypesInfo:  info,
+	}
+	l.checked[path] = p
+	return p, nil
+}
+
+// ensureStdExports fetches export data for any imports of files that
+// do not resolve inside the fixture tree (i.e. standard library
+// packages), one `go list` per novel set.
+func (l *FixtureLoader) ensureStdExports(files []*ast.File) error {
+	var need []string
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			if _, err := os.Stat(filepath.Join(l.srcdir, filepath.FromSlash(path))); err == nil {
+				continue // fixture-tree import
+			}
+			if _, ok := l.imp.exports[path]; !ok {
+				need = append(need, path)
+			}
+		}
+	}
+	if len(need) == 0 {
+		return nil
+	}
+	pkgs, err := goList(l.srcdir, need)
+	if err != nil {
+		return err
+	}
+	l.imp.add(pkgs)
+	return nil
+}
+
+// fixtureImporter resolves fixture-tree imports by recursive Load and
+// everything else from export data.
+type fixtureImporter FixtureLoader
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	l := (*FixtureLoader)(fi)
+	if _, err := os.Stat(filepath.Join(l.srcdir, filepath.FromSlash(path))); err == nil {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	return l.imp.Import(path)
+}

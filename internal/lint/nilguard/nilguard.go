@@ -1,0 +1,154 @@
+// Package nilguard implements the compactlint analyzer enforcing the
+// observability layer's zero-cost-when-off contract: in the engine
+// (internal/sim), the managers (internal/mm) and the referee
+// (internal/check), every call of Emit on an obs.Tracer-typed value
+// must be dominated by a nil check of that same value, because a nil
+// tracer is the production fast path and an unguarded emission site
+// would either panic or force callers to install a no-op tracer (an
+// interface call per event, no longer free).
+//
+// Recognized guard shapes, matching the ones the tree actually uses:
+//
+//	if x != nil { x.Emit(ev) }
+//	if t := expr; t != nil { t.Emit(ev) }
+//	if x == nil { return }; x.Emit(ev)   // early-return guard
+//	if x == nil { ... } else { x.Emit(ev) }
+package nilguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"compaction/internal/lint/analysis"
+	"compaction/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nilguard",
+	Doc: "obs.Tracer Emit sites in sim/mm/check must sit behind a nil " +
+		"guard so tracing-off stays zero-cost",
+	Run: run,
+}
+
+// scope is the set of packages whose emission sites are load-bearing
+// for the zero-cost contract.
+var scope = []string{"internal/sim", "internal/mm", "internal/check"}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lintutil.PathMatches(pass.Pkg.Path(), scope...) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		lintutil.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Emit" {
+				return true
+			}
+			recv := sel.X
+			t := pass.TypesInfo.Types[recv].Type
+			if !lintutil.IsNamed(t, "internal/obs", "Tracer") {
+				return true
+			}
+			if !guarded(pass, recv, stack) {
+				pass.Reportf(call.Pos(),
+					"%s.Emit is not behind a nil guard; a nil tracer is the zero-cost default",
+					types.ExprString(recv))
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// guarded walks the ancestor stack looking for a dominating nil check
+// of recv.
+func guarded(pass *analysis.Pass, recv ast.Expr, stack []ast.Node) bool {
+	info := pass.TypesInfo
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch a := stack[i].(type) {
+		case *ast.IfStmt:
+			inBody := i+1 < len(stack) && stack[i+1] == a.Body
+			inElse := i+1 < len(stack) && stack[i+1] == a.Else
+			if inBody && condChecks(info, a.Cond, recv, token.NEQ) {
+				return true
+			}
+			if inElse && condChecks(info, a.Cond, recv, token.EQL) {
+				return true
+			}
+		case *ast.BlockStmt:
+			// Early-return guard: a preceding `if recv == nil { return }`
+			// in the same block dominates the call.
+			if i+1 < len(stack) && earlyReturnGuard(info, a, stack[i+1], recv) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// condChecks reports whether cond contains the comparison `recv op
+// nil`, searching through parenthesization and && / || arms. For the
+// init-statement guard form `if t := expr; t != nil`, recv inside the
+// body is the ident t, so the comparison matches directly.
+func condChecks(info *types.Info, cond, recv ast.Expr, op token.Token) bool {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND, token.LOR:
+			return condChecks(info, c.X, recv, op) || condChecks(info, c.Y, recv, op)
+		case op:
+			return (isNilIdent(c.Y) && lintutil.ExprEqual(info, c.X, recv)) ||
+				(isNilIdent(c.X) && lintutil.ExprEqual(info, c.Y, recv))
+		}
+	}
+	return false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// earlyReturnGuard reports whether block contains, before the
+// statement `at` (the stack element directly inside the block), an
+// `if recv == nil` whose body unconditionally leaves the function.
+func earlyReturnGuard(info *types.Info, block *ast.BlockStmt, at ast.Node, recv ast.Expr) bool {
+	for _, stmt := range block.List {
+		if stmt == at {
+			return false
+		}
+		ifs, ok := stmt.(*ast.IfStmt)
+		if !ok || !condChecks(info, ifs.Cond, recv, token.EQL) {
+			continue
+		}
+		if terminates(ifs.Body) {
+			return true
+		}
+	}
+	return false
+}
+
+// terminates reports whether the block's last statement leaves the
+// enclosing function (return or panic).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}

@@ -1,0 +1,15 @@
+package nilguard_test
+
+import (
+	"testing"
+
+	"compaction/internal/lint/analysistest"
+	"compaction/internal/lint/nilguard"
+)
+
+func TestNilguard(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), nilguard.Analyzer,
+		"compaction/internal/sim",     // in scope: every guard shape + findings
+		"compaction/internal/figures", // out of scope: unguarded but clean
+	)
+}

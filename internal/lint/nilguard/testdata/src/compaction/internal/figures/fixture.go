@@ -1,0 +1,11 @@
+// Package figures is a nilguard fixture for an out-of-scope package:
+// consumers own their tracers and may assume non-nil.
+package figures
+
+import "compaction/internal/obs"
+
+func Replay(t obs.Tracer, evs []obs.Event) {
+	for _, ev := range evs {
+		t.Emit(ev)
+	}
+}

@@ -1,0 +1,16 @@
+// Package obs is a fixture stand-in for the real observability
+// package: the nilguard analyzer matches the Tracer interface by its
+// import-path suffix, so this stub exercises it exactly like the real
+// one.
+package obs
+
+// Event mirrors the real flat event record.
+type Event struct {
+	Kind int
+	Size int64
+}
+
+// Tracer mirrors the real tracing interface.
+type Tracer interface {
+	Emit(Event)
+}

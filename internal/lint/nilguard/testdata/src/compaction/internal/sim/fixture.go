@@ -1,0 +1,82 @@
+// Package sim is a nilguard fixture standing in for the engine: every
+// Emit on an obs.Tracer value must be dominated by a nil check.
+package sim
+
+import "compaction/internal/obs"
+
+type engine struct {
+	tracer obs.Tracer
+	rounds int
+}
+
+// Unguarded emission: the production fast path is a nil tracer, so
+// this either panics or forces a no-op tracer on every caller.
+func (e *engine) bad() {
+	e.tracer.Emit(obs.Event{Kind: 1}) // want `e\.tracer\.Emit is not behind a nil guard`
+}
+
+// A guard on the wrong value does not count.
+func (e *engine) wrongGuard(other obs.Tracer) {
+	if other != nil {
+		e.tracer.Emit(obs.Event{Kind: 1}) // want `e\.tracer\.Emit is not behind a nil guard`
+	}
+}
+
+// The else branch of a != guard is the nil side.
+func (e *engine) elseOfNeq() {
+	if e.tracer != nil {
+		e.rounds++
+	} else {
+		e.tracer.Emit(obs.Event{Kind: 1}) // want `e\.tracer\.Emit is not behind a nil guard`
+	}
+}
+
+// Direct if-guard, the engine's own idiom.
+func (e *engine) guarded() {
+	if e.tracer != nil {
+		e.tracer.Emit(obs.Event{Kind: 1})
+	}
+}
+
+// Compound condition still guards.
+func (e *engine) compound() {
+	if e.rounds > 0 && e.tracer != nil {
+		e.tracer.Emit(obs.Event{Kind: 2})
+	}
+}
+
+// Init-statement guard, check.RunSampled's idiom.
+func (e *engine) initStmt(extra obs.Tracer) {
+	if t := pick(e.tracer, extra); t != nil {
+		t.Emit(obs.Event{Kind: 3})
+	}
+}
+
+// Early-return guard.
+func (e *engine) earlyReturn() {
+	if e.tracer == nil {
+		return
+	}
+	e.tracer.Emit(obs.Event{Kind: 4})
+}
+
+// Else branch of an == nil check is the non-nil side.
+func (e *engine) eqElse() {
+	if e.tracer == nil {
+		e.rounds++
+	} else {
+		e.tracer.Emit(obs.Event{Kind: 5})
+	}
+}
+
+// The escape hatch waives a reviewed site.
+func (e *engine) waived() {
+	e.tracer.Emit(obs.Event{Kind: 6}) //compactlint:allow nilguard fixture demonstrates the escape hatch
+}
+
+func pick(a, b obs.Tracer) obs.Tracer {
+	if a != nil {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,283 @@
+// Package noalloc implements the compactlint analyzer that statically
+// backs up the runtime allocation pin on the engine round loop
+// (sim.TestEngineRoundIsAllocFree): a function annotated
+//
+//	//compactlint:noalloc
+//
+// must contain no allocating construct on its warm paths. The checks
+// are conservative and syntactic-plus-type-based, not an escape
+// analysis; they target the constructs that allocate unconditionally
+// or box values:
+//
+//   - make/new calls and append (growth may allocate)
+//   - function literals and method values (closure allocation)
+//   - go statements (goroutine + closure)
+//   - string concatenation and string<->[]byte/[]rune conversions
+//   - slice and map composite literals, and &T{...} literals
+//   - implicit conversion of a concrete value to an interface type
+//     (call arguments, assignments, explicit conversions)
+//
+// Two escapes keep the rule honest rather than performative. First,
+// allocations inside a return statement or a panic argument are
+// exempt: they sit on terminating error paths the round loop takes at
+// most once per run, exactly like fmt.Errorf in the engine's
+// validation branches. Second, a //compactlint:allow noalloc comment
+// waives a deliberate per-run (not per-round) allocation, such as the
+// view constructed once before the loop.
+//
+// Calls from an annotated function to an unannotated function in the
+// same package are reported too, so the annotation spreads to every
+// helper the hot path leans on. Cross-package and dynamic (interface
+// or func-valued) calls are the documented boundary of the static
+// check; the dynamic test still covers them.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"compaction/internal/lint/analysis"
+	"compaction/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc: "functions annotated //compactlint:noalloc must not allocate " +
+		"outside terminating return/panic paths",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// First pass: collect every annotated function in the package so
+	// calls between them can be validated.
+	annotated := make(map[*types.Func]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !lintutil.HasDirective(fn, "noalloc") {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+				annotated[obj] = true
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !lintutil.HasDirective(fn, "noalloc") {
+				continue
+			}
+			checkFunc(pass, fn, annotated)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, annotated map[*types.Func]bool) {
+	info := pass.TypesInfo
+	lintutil.WalkStack(fn.Body, func(n ast.Node, stack []ast.Node) bool {
+		if coldPath(info, stack) {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n, annotated)
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "function literal allocates a closure in noalloc function %s", fn.Name.Name)
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement allocates in noalloc function %s", fn.Name.Name)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(info, n) {
+				pass.Reportf(n.Pos(), "string concatenation allocates in noalloc function %s", fn.Name.Name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(info, n.Lhs[0]) {
+				pass.Reportf(n.Pos(), "string concatenation allocates in noalloc function %s", fn.Name.Name)
+			}
+			checkAssignBoxing(pass, n, fn.Name.Name)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal escapes to the heap in noalloc function %s", fn.Name.Name)
+				}
+			}
+		case *ast.CompositeLit:
+			switch info.Types[n].Type.Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal allocates in noalloc function %s", fn.Name.Name)
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal allocates in noalloc function %s", fn.Name.Name)
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[n]; ok && sel.Kind() == types.MethodVal && !calledDirectly(n, stack) {
+				pass.Reportf(n.Pos(), "method value allocates a closure in noalloc function %s", fn.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// coldPath reports whether the innermost statement context is a
+// terminating construct: a return statement or a panic argument.
+func coldPath(info *types.Info, stack []ast.Node) bool {
+	for _, a := range stack {
+		switch a := a.(type) {
+		case *ast.ReturnStmt:
+			return true
+		case *ast.CallExpr:
+			if lintutil.IsBuiltin(info, a, "panic") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func calledDirectly(sel *ast.SelectorExpr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	call, ok := stack[len(stack)-1].(*ast.CallExpr)
+	return ok && ast.Unparen(call.Fun) == sel
+}
+
+func isString(info *types.Info, e ast.Expr) bool {
+	t := info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isInterface(t types.Type) bool {
+	return t != nil && types.IsInterface(t)
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, annotated map[*types.Func]bool) {
+	info := pass.TypesInfo
+	// Builtins: make/new/append allocate; the rest (len, cap, copy,
+	// panic, ...) do not, and none participate in the interface-boxing
+	// check below — go/types records a synthetic signature for panic
+	// and print whose interface{} parameter is not a real boxing site.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new", "append":
+				pass.Reportf(call.Pos(), "%s allocates in a noalloc function", b.Name())
+			}
+			return
+		}
+	}
+	// Conversions: string <-> byte/rune slice, and boxing conversions.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		dst := tv.Type
+		if len(call.Args) != 1 {
+			return
+		}
+		src := info.Types[call.Args[0]].Type
+		if src == nil {
+			return
+		}
+		_, dstSlice := dst.Underlying().(*types.Slice)
+		_, srcSlice := src.Underlying().(*types.Slice)
+		switch {
+		case isStringType(dst) && srcSlice, dstSlice && isStringType(src):
+			pass.Reportf(call.Pos(), "string/slice conversion allocates in a noalloc function")
+		case boxes(dst, src):
+			pass.Reportf(call.Pos(), "conversion to interface %s boxes the value in a noalloc function", dst)
+		}
+		return
+	}
+	// Ordinary calls: implicit interface conversions at the call
+	// boundary, and same-package callees missing the annotation.
+	sig, _ := info.Types[call.Fun].Type.(*types.Signature)
+	if sig == nil {
+		return
+	}
+	checkArgsBoxing(pass, call, sig)
+	if callee := lintutil.CalleeFunc(info, call); callee != nil &&
+		callee.Pkg() == pass.Pkg && !annotated[callee] && !isInterfaceMethod(callee) {
+		pass.Reportf(call.Pos(), "noalloc function calls %s, which is not annotated //compactlint:noalloc", callee.Name())
+	}
+}
+
+func isInterfaceMethod(fn *types.Func) bool {
+	recv := fn.Type().(*types.Signature).Recv()
+	return recv != nil && types.IsInterface(recv.Type())
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// pointerShaped reports whether values of t fit directly in an
+// interface's data word: converting them to an interface does not
+// allocate. This is what lets the engine hand &e.mv to a Manager as a
+// Mover every round for free.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// boxes reports whether passing a value of type at where an interface
+// of type pt is expected performs an allocating conversion.
+func boxes(pt, at types.Type) bool {
+	return isInterface(pt) && at != nil && !isInterface(at) &&
+		!isUntypedNil(at) && !pointerShaped(at)
+}
+
+// checkArgsBoxing flags concrete values passed where the callee takes
+// an interface — each such argument is boxed, which may allocate.
+func checkArgsBoxing(pass *analysis.Pass, call *ast.CallExpr, sig *types.Signature) {
+	info := pass.TypesInfo
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // s... passes the slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if at := info.Types[arg].Type; boxes(pt, at) {
+			pass.Reportf(arg.Pos(), "argument boxes %s into %s in a noalloc function", at, pt)
+		}
+	}
+}
+
+// checkAssignBoxing flags assignments of concrete values to
+// interface-typed destinations.
+func checkAssignBoxing(pass *analysis.Pass, n *ast.AssignStmt, fname string) {
+	info := pass.TypesInfo
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, lhs := range n.Lhs {
+		lt := info.Types[lhs].Type
+		if n.Tok == token.DEFINE {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := info.Defs[id]; obj != nil {
+					lt = obj.Type()
+				}
+			}
+		}
+		if rt := info.Types[n.Rhs[i]].Type; boxes(lt, rt) {
+			pass.Reportf(n.Rhs[i].Pos(), "assignment boxes %s into %s in noalloc function %s", rt, lt, fname)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"compaction/internal/lint/analysistest"
+	"compaction/internal/lint/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), noalloc.Analyzer,
+		"compaction/internal/hot")
+}

@@ -1,0 +1,175 @@
+// Package hot is a noalloc fixture: functions annotated
+// //compactlint:noalloc must not allocate outside terminating
+// return/panic paths.
+package hot
+
+import "fmt"
+
+type sink interface{ Consume(int) }
+
+type state struct {
+	buf   []int
+	out   sink
+	label string
+	n     int
+}
+
+//compactlint:noalloc
+func makes(s *state) {
+	s.buf = make([]int, 8) // want `make allocates`
+}
+
+//compactlint:noalloc
+func news(s *state) {
+	p := new(state) // want `new allocates`
+	_ = p
+}
+
+//compactlint:noalloc
+func appends(s *state) {
+	s.buf = append(s.buf, 1) // want `append allocates`
+}
+
+//compactlint:noalloc
+func closure(s *state) {
+	f := func() { s.n++ } // want `function literal allocates a closure`
+	f()
+}
+
+//compactlint:noalloc
+func spawns(s *state) {
+	go step(s) // want `go statement allocates`
+}
+
+//compactlint:noalloc
+func concat(s *state) {
+	s.label = s.label + "!" // want `string concatenation allocates`
+}
+
+//compactlint:noalloc
+func concatAssign(s *state) {
+	s.label += "!" // want `string concatenation allocates`
+}
+
+//compactlint:noalloc
+func escapingLit(s *state) *state {
+	p := &state{n: 1} // want `&composite literal escapes to the heap`
+	return p
+}
+
+//compactlint:noalloc
+func sliceLit(s *state) {
+	s.buf = []int{1, 2, 3} // want `slice literal allocates`
+}
+
+//compactlint:noalloc
+func mapLit(s *state) {
+	m := map[int]int{1: 2} // want `map literal allocates`
+	_ = m
+}
+
+//compactlint:noalloc
+func stringConv(s *state, b []byte) {
+	s.label = string(b) // want `string/slice conversion allocates`
+}
+
+//compactlint:noalloc
+func ifaceConv(s *state) {
+	v := any(s.n) // want `conversion to interface any boxes the value`
+	_ = v
+}
+
+//compactlint:noalloc
+func boxedArg(s *state) {
+	takesAny(s.n) // want `argument boxes int into any` `calls takesAny, which is not annotated`
+}
+
+//compactlint:noalloc
+func boxedAssign(s *state) {
+	var v any
+	v = s.n // want `assignment boxes int into any`
+	_ = v
+}
+
+//compactlint:noalloc
+func methodValue(s *state) func() {
+	f := s.step2 // want `method value allocates a closure`
+	return f
+}
+
+// unannotatedHelper is deliberately missing the directive.
+func unannotatedHelper(s *state) { s.n++ }
+
+//compactlint:noalloc
+func callsUnannotated(s *state) {
+	unannotatedHelper(s) // want `calls unannotatedHelper, which is not annotated`
+}
+
+//compactlint:noalloc
+func step(s *state) { s.n++ }
+
+//compactlint:noalloc
+func callsAnnotated(s *state) {
+	step(s) // annotated callee: fine
+}
+
+//compactlint:noalloc
+func dynamicCalls(s *state) {
+	s.out.Consume(s.n) // interface method: the documented static boundary
+}
+
+//compactlint:noalloc
+func pointerIntoIface(s *state) {
+	// Pointer-shaped values live directly in the interface word:
+	// handing *state to an interface parameter does not allocate.
+	consume(s)
+}
+
+//compactlint:noalloc
+func consume(v any) { _ = v }
+
+//compactlint:noalloc
+func coldReturn(s *state) error {
+	if s.n < 0 {
+		// Terminating error path: allocation here runs at most once
+		// per run, exactly like the engine's validation branches.
+		return fmt.Errorf("hot: negative count %d", s.n)
+	}
+	return nil
+}
+
+//compactlint:noalloc
+func coldPanic(s *state) {
+	if s.buf == nil {
+		panic(fmt.Sprintf("hot: nil buffer on %s", s.label))
+	}
+}
+
+//compactlint:noalloc
+func waived(s *state) {
+	s.buf = make([]int, 8) //compactlint:allow noalloc per-run setup, measured by the fixed budget
+}
+
+//compactlint:noalloc
+func warm(s *state) {
+	// None of this allocates: arithmetic, indexing, value struct
+	// literals, slicing within capacity, field writes.
+	s.n++
+	s.buf = s.buf[:0]
+	v := state{n: s.n}
+	s.n = v.n + len(s.buf) + cap(s.buf)
+	if s.n > 0 {
+		s.buf = s.buf[:1]
+		s.buf[0] = s.n
+	}
+}
+
+func (s *state) step2() {}
+
+// notAnnotated may allocate freely.
+func notAnnotated(s *state) {
+	s.buf = make([]int, 64)
+	s.label += "!"
+}
+
+func takesAny(v any) { _ = v }

@@ -1,0 +1,14 @@
+// Package check is a wrapcheck fixture for an out-of-scope package:
+// the referee reports violations as text and never rewraps sentinels,
+// so %v on an error is fine here.
+package check
+
+import "fmt"
+
+func Describe(err error) string {
+	return fmt.Sprintf("violation: %v", err)
+}
+
+func Wrap(err error) error {
+	return fmt.Errorf("report: %v", err)
+}

@@ -1,0 +1,69 @@
+// Package sweep is a wrapcheck fixture standing in for the packages
+// whose error chains carry sentinels downstream: folding an error in
+// with anything but %w severs errors.Is.
+package sweep
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sweep: sentinel")
+
+func flattenV(err error) error {
+	return fmt.Errorf("cell failed: %v", err) // want `formatted with %v flattens the chain`
+}
+
+func flattenS(err error) error {
+	return fmt.Errorf("cell failed: %s", err) // want `formatted with %s flattens the chain`
+}
+
+func flattenQ(err error) error {
+	return fmt.Errorf("cell failed: %q", err) // want `formatted with %q flattens the chain`
+}
+
+func flattenedString(err error) error {
+	return fmt.Errorf("cell failed: %s", err.Error()) // want `err\.Error\(\) flattens the chain`
+}
+
+// Mixed wrap: the first error rides %w correctly, the second is
+// flattened and flagged.
+func mixed(err error) error {
+	return fmt.Errorf("%w: inner %v", errSentinel, err) // want `formatted with %v flattens the chain`
+}
+
+// Explicit argument indexes are tracked.
+func indexed(err error) error {
+	return fmt.Errorf("round %[2]d: %[1]v", err, 7) // want `formatted with %v flattens the chain`
+}
+
+// Star width consumes an operand; the error after it is still mapped
+// to the right verb.
+func starWidth(err error) error {
+	return fmt.Errorf("%*d cells: %v", 8, 11, err) // want `formatted with %v flattens the chain`
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("cell failed: %w", err) // correct
+}
+
+func doubleWrapped(err error) error {
+	return fmt.Errorf("%w: %w", errSentinel, err) // correct: both stay matchable
+}
+
+func leaf(n int) error {
+	return fmt.Errorf("cell %d has no constructor", n) // no error args: leaf errors are fine
+}
+
+func stringVerbOnString(name string) error {
+	return fmt.Errorf("unknown manager %q", name) // %q on a string is fine
+}
+
+func nonConstantFormat(format string, err error) error {
+	return fmt.Errorf(format, err) // dynamic format: not analyzable, not flagged
+}
+
+func waived(err error) error {
+	//compactlint:allow wrapcheck fixture demonstrates the escape hatch
+	return fmt.Errorf("terminal: %v", err)
+}

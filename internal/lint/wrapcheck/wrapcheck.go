@@ -1,0 +1,173 @@
+// Package wrapcheck implements the compactlint analyzer for the
+// error-chain contract PR 4 established: in internal/sim,
+// internal/sweep and internal/resume, an error value folded into a
+// new error must travel through %w, never %v/%s/%q, so sentinels such
+// as sim.ErrCanceled, sim.ErrManager or resume.ErrMismatch stay
+// matchable with errors.Is after any number of rewraps. A %v wrap
+// flattens the chain to text — precisely the class of bug that made
+// injected allocator faults invisible to retry classification until
+// it was fixed by hand.
+//
+// The analyzer inspects every fmt.Errorf call with a constant format
+// string, maps verbs to arguments (including explicit [n] indexes and
+// * width/precision), and reports error-typed arguments formatted
+// with a flattening verb, as well as err.Error() calls used as
+// arguments where the error itself should be wrapped.
+package wrapcheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"strconv"
+
+	"compaction/internal/lint/analysis"
+	"compaction/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wrapcheck",
+	Doc: "fmt.Errorf in sim/sweep/resume must wrap error arguments " +
+		"with %w so sentinel errors remain matchable with errors.Is",
+	Run: run,
+}
+
+var scope = []string{"internal/sim", "internal/sweep", "internal/resume"}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lintutil.PathMatches(pass.Pkg.Path(), scope...) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !lintutil.IsPkgFunc(pass.TypesInfo, call, "fmt", "Errorf") {
+				return true
+			}
+			checkErrorf(pass, call)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	args := call.Args[1:]
+	for _, v := range parseVerbs(format) {
+		if v.arg < 0 || v.arg >= len(args) {
+			continue
+		}
+		arg := args[v.arg]
+		at := pass.TypesInfo.Types[arg].Type
+		switch v.verb {
+		case 'w':
+			continue
+		case 'v', 's', 'q':
+			if lintutil.IsErrorType(at) {
+				pass.Reportf(arg.Pos(),
+					"error argument formatted with %%%c flattens the chain; use %%w so errors.Is still matches",
+					v.verb)
+			} else if isErrorCall(pass, arg) {
+				pass.Reportf(arg.Pos(),
+					"err.Error() flattens the chain; pass the error itself with %%w")
+			}
+		}
+	}
+}
+
+// isErrorCall reports whether arg is a call of the Error() method of
+// an error value.
+func isErrorCall(pass *analysis.Pass, arg ast.Expr) bool {
+	call, ok := ast.Unparen(arg).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	return lintutil.IsErrorType(pass.TypesInfo.Types[sel.X].Type)
+}
+
+// verb is one conversion in a format string, with the index of the
+// operand it consumes.
+type verb struct {
+	verb byte
+	arg  int
+}
+
+// parseVerbs walks a fmt format string and pairs each verb with its
+// operand index, handling %%, flags, * width/precision operands, and
+// explicit [n] argument indexes.
+func parseVerbs(format string) []verb {
+	var verbs []verb
+	arg := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		// Flags.
+		for i < len(format) && isFlag(format[i]) {
+			i++
+		}
+		// Width (possibly *, which consumes an operand).
+		i, arg = number(format, i, arg)
+		// Precision.
+		if i < len(format) && format[i] == '.' {
+			i++
+			i, arg = number(format, i, arg)
+		}
+		// Explicit argument index [n] (1-based).
+		if i < len(format) && format[i] == '[' {
+			end := i + 1
+			for end < len(format) && format[end] != ']' {
+				end++
+			}
+			if end < len(format) {
+				if n, err := strconv.Atoi(format[i+1 : end]); err == nil {
+					arg = n - 1
+				}
+				i = end + 1
+			}
+		}
+		if i < len(format) {
+			verbs = append(verbs, verb{verb: format[i], arg: arg})
+			arg++
+		}
+	}
+	return verbs
+}
+
+func isFlag(c byte) bool {
+	switch c {
+	case '#', '0', '-', '+', ' ':
+		return true
+	}
+	return false
+}
+
+// number consumes a run of digits or a * (which itself takes an
+// operand) and returns the updated positions.
+func number(format string, i, arg int) (int, int) {
+	if i < len(format) && format[i] == '*' {
+		return i + 1, arg + 1
+	}
+	for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+		i++
+	}
+	return i, arg
+}

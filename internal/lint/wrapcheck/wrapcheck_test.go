@@ -1,0 +1,15 @@
+package wrapcheck_test
+
+import (
+	"testing"
+
+	"compaction/internal/lint/analysistest"
+	"compaction/internal/lint/wrapcheck"
+)
+
+func TestWrapcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), wrapcheck.Analyzer,
+		"compaction/internal/sweep", // in scope: flattened wraps flagged
+		"compaction/internal/check", // out of scope: %v on errors allowed
+	)
+}
