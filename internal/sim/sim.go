@@ -342,7 +342,7 @@ func (e *Engine) doFrees(frees []heap.ObjectID) error {
 	for _, id := range frees {
 		s, err := e.occ.Remove(id)
 		if err != nil {
-			return fmt.Errorf("%w: free of non-live object %d (round %d): %v",
+			return fmt.Errorf("%w: free of non-live object %d (round %d): %w",
 				ErrProgram, id, e.rounds, err)
 		}
 		e.frees++
@@ -386,7 +386,7 @@ func (e *Engine) doAllocs(allocs []word.Size) error {
 				ErrManager, s, e.cfg.Capacity, e.rounds)
 		}
 		if err := e.occ.Place(id, s); err != nil {
-			return fmt.Errorf("%w: invalid placement by %s (round %d): %v",
+			return fmt.Errorf("%w: invalid placement by %s (round %d): %w",
 				ErrManager, e.mgr.Name(), e.rounds, err)
 		}
 		e.allocs++
@@ -444,11 +444,11 @@ func (m *mover) Move(id heap.ObjectID, to word.Addr) (bool, error) {
 			ErrManager, id, to, e.cfg.Capacity)
 	}
 	if err := e.ledger.Move(s.Size); err != nil {
-		return false, fmt.Errorf("%w: %v", ErrManager, err)
+		return false, fmt.Errorf("%w: %w", ErrManager, err)
 	}
 	old, err := e.occ.Move(id, to)
 	if err != nil {
-		return false, fmt.Errorf("%w: %v", ErrManager, err)
+		return false, fmt.Errorf("%w: %w", ErrManager, err)
 	}
 	e.moves++
 	if e.Tracer != nil {
