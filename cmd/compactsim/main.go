@@ -140,7 +140,7 @@ func main() {
 	defer stop()
 	var err error
 	if *seeds > 1 {
-		err = runSeeds(*adv, *manager, mFlag.Size(), nFlag.Size(), *cFlag, *seeds, *rounds, *ell)
+		err = runSeeds(ctx, *adv, *manager, mFlag.Size(), nFlag.Size(), *cFlag, *seeds, *rounds, *ell)
 	} else if *sweepCs != "" {
 		err = runSweep(ctx, sweepOpts{
 			adv: *adv, manager: *manager,
@@ -436,7 +436,7 @@ func newProgram(adv string, seed int64, rounds, ell int) (func() sim.Program, bo
 
 // runSeeds repeats a seed-driven workload across seeds 1..n per
 // manager and prints aggregate fragmentation statistics.
-func runSeeds(adv, manager string, m, n, c int64, seeds, rounds, ell int) error {
+func runSeeds(ctx context.Context, adv, manager string, m, n, c int64, seeds, rounds, ell int) error {
 	cfg := sim.Config{M: m, N: n, C: c}
 	// Resolve pow2 from the adversary kind via a probe construction.
 	_, pow2, err := newProgram(adv, 1, rounds, ell)
@@ -458,7 +458,7 @@ func runSeeds(adv, manager string, m, n, c int64, seeds, rounds, ell int) error 
 	fmt.Printf("adversary=%s M=%s n=%s c=%d seeds=%d\n", adv, word.Format(m), word.Format(n), c, seeds)
 	fmt.Printf("%-20s %10s %10s %10s %10s %s\n", "manager", "mean", "min", "max", "sd", "failures")
 	for _, name := range managers {
-		agg, _ := sweep.RepeatSeeds(cfg, name, seedList, func(seed int64) sim.Program {
+		agg, _ := sweep.RepeatSeeds(ctx, cfg, name, seedList, func(seed int64) sim.Program {
 			mk, _, err := newProgram(adv, seed, rounds, ell)
 			if err != nil {
 				panic(err) // validated above
@@ -467,6 +467,11 @@ func runSeeds(adv, manager string, m, n, c int64, seeds, rounds, ell int) error 
 		}, 0)
 		fmt.Printf("%-20s %9.3fx %9.3fx %9.3fx %10.4f %d\n",
 			name, agg.Mean, agg.Min, agg.Max, agg.StdDev, agg.Failures)
+		// An interrupted sweep must exit 3, not report the remaining
+		// managers as rows of canceled cells and exit 0.
+		if ctx.Err() != nil {
+			return fmt.Errorf("seeds sweep interrupted: %w", context.Cause(ctx))
+		}
 	}
 	return nil
 }

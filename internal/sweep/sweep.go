@@ -540,8 +540,9 @@ type Aggregate struct {
 // RepeatSeeds runs the same (config, manager) cell once per seed with
 // programs built by mk, in parallel, and aggregates the waste factors.
 // Randomized workloads use this to report mean±sd fragmentation
-// instead of a single draw.
-func RepeatSeeds(cfg sim.Config, manager string, seeds []int64, mk func(seed int64) sim.Program, parallelism int) (Aggregate, []Outcome) {
+// instead of a single draw. Cancelling ctx stops the remaining cells,
+// exactly as in Run.
+func RepeatSeeds(ctx context.Context, cfg sim.Config, manager string, seeds []int64, mk func(seed int64) sim.Program, parallelism int) (Aggregate, []Outcome) {
 	cells := make([]Cell, len(seeds))
 	for i, seed := range seeds {
 		seed := seed
@@ -552,7 +553,7 @@ func RepeatSeeds(cfg sim.Config, manager string, seeds []int64, mk func(seed int
 			Program: func() sim.Program { return mk(seed) },
 		}
 	}
-	outs := Run(context.Background(), cells, parallelism)
+	outs := Run(ctx, cells, parallelism)
 	agg := Aggregate{Manager: manager, Runs: len(outs)}
 	var wastes []float64
 	for _, o := range outs {

@@ -143,7 +143,7 @@ func TestRunReportsBadManager(t *testing.T) {
 
 func TestRepeatSeeds(t *testing.T) {
 	cfg := sim.Config{M: 1 << 12, N: 1 << 5, C: -1, Pow2Only: true}
-	agg, outs := RepeatSeeds(cfg, "first-fit", []int64{1, 2, 3, 4, 5},
+	agg, outs := RepeatSeeds(context.Background(), cfg, "first-fit", []int64{1, 2, 3, 4, 5},
 		func(seed int64) sim.Program {
 			return workload.NewRandom(workload.Config{Seed: seed, Rounds: 40})
 		}, 0)
@@ -168,7 +168,7 @@ func TestRepeatSeeds(t *testing.T) {
 
 func TestRepeatSeedsCountsFailures(t *testing.T) {
 	cfg := sim.Config{M: 1 << 12, N: 1 << 5, C: -1, Pow2Only: true}
-	agg, _ := RepeatSeeds(cfg, "no-such-manager", []int64{1, 2}, func(seed int64) sim.Program {
+	agg, _ := RepeatSeeds(context.Background(), cfg, "no-such-manager", []int64{1, 2}, func(seed int64) sim.Program {
 		return workload.NewRandom(workload.Config{Seed: seed, Rounds: 5})
 	}, 1)
 	if agg.Failures != 2 {
