@@ -57,6 +57,8 @@ func (l *Ledger) Moved() word.Size { return l.moved }
 // Quota returns the maximum number of words that may have been moved
 // at this point, i.e. s/c (or an effectively unlimited value for
 // unlimited ledgers, 0 for non-moving ones).
+//
+//compactlint:noalloc
 func (l *Ledger) Quota() word.Size {
 	switch l.c {
 	case 0:
@@ -69,6 +71,8 @@ func (l *Ledger) Quota() word.Size {
 }
 
 // Remaining returns the number of words that may still be moved now.
+//
+//compactlint:noalloc
 func (l *Ledger) Remaining() word.Size {
 	q := l.Quota()
 	if l.moved >= q {
@@ -80,6 +84,8 @@ func (l *Ledger) Remaining() word.Size {
 // RecordAlloc credits the ledger with an allocation of size words.
 // The total saturates at the maximum representable size instead of
 // wrapping negative, which would silently zero the quota.
+//
+//compactlint:noalloc
 func (l *Ledger) RecordAlloc(size word.Size) {
 	if size <= 0 {
 		panic(fmt.Sprintf("budget.RecordAlloc: non-positive size %d", size))
@@ -93,6 +99,8 @@ func (l *Ledger) RecordAlloc(size word.Size) {
 
 // Move debits size words of compaction. It fails (and records nothing)
 // if the quota would be exceeded.
+//
+//compactlint:noalloc
 func (l *Ledger) Move(size word.Size) error {
 	if size <= 0 {
 		return fmt.Errorf("budget.Move: non-positive size %d", size)
@@ -112,6 +120,8 @@ func (l *Ledger) Move(size word.Size) error {
 
 // CanMove reports whether size words could be moved now without
 // exceeding the quota.
+//
+//compactlint:noalloc
 func (l *Ledger) CanMove(size word.Size) bool {
 	if size <= 0 || l.c == NoCompaction {
 		return false
@@ -121,6 +131,8 @@ func (l *Ledger) CanMove(size word.Size) bool {
 }
 
 // Snapshot returns (s, q) for reporting.
+//
+//compactlint:noalloc
 func (l *Ledger) Snapshot() (allocated, moved word.Size) {
 	return l.allocated, l.moved
 }

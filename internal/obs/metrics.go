@@ -18,9 +18,13 @@ type Counter struct {
 }
 
 // Add increments the counter by n.
+//
+//compactlint:noalloc
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Inc increments the counter by one.
+//
+//compactlint:noalloc
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Value returns the current count.
@@ -32,9 +36,13 @@ type Gauge struct {
 }
 
 // Set replaces the gauge value.
+//
+//compactlint:noalloc
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
 // Add adjusts the gauge by n.
+//
+//compactlint:noalloc
 func (g *Gauge) Add(n int64) { g.v.Add(n) }
 
 // Value returns the current value.
@@ -57,6 +65,8 @@ type Histogram struct {
 }
 
 // bucketOf returns the bucket index for an observation.
+//
+//compactlint:noalloc
 func bucketOf(v int64) int {
 	if v <= 0 {
 		return 0
@@ -77,6 +87,8 @@ func bucketUpper(i int) int64 {
 }
 
 // Observe records one value.
+//
+//compactlint:noalloc
 func (h *Histogram) Observe(v int64) {
 	h.buckets[bucketOf(v)].Add(1)
 	h.count.Add(1)

@@ -140,6 +140,7 @@ type TracerSetter interface {
 // multi fans one event out to several tracers.
 type multi []Tracer
 
+//compactlint:noalloc
 func (m multi) Emit(ev Event) {
 	for _, t := range m {
 		t.Emit(ev)
@@ -183,6 +184,8 @@ func NewRing(n int) *Ring {
 }
 
 // Emit implements Tracer.
+//
+//compactlint:noalloc
 func (r *Ring) Emit(ev Event) {
 	r.buf[r.total%uint64(len(r.buf))] = ev
 	r.total++

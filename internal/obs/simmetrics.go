@@ -49,6 +49,8 @@ func NewSimMetrics(r *Registry) *SimMetrics {
 }
 
 // Emit implements Tracer.
+//
+//compactlint:noalloc
 func (m *SimMetrics) Emit(ev Event) {
 	switch ev.Kind {
 	case EvAlloc:

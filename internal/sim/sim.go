@@ -271,7 +271,10 @@ func (e *Engine) Reset(cfg Config, prog Program, mgr Manager) error {
 }
 
 // Run executes the interaction to completion and returns the result.
+// It is the non-cancellable convenience form of RunCtx; callers that
+// need deadlines or SIGINT handling pass their own context there.
 func (e *Engine) Run() (Result, error) {
+	//compactlint:allow ctxflow deliberate convenience wrapper; RunCtx is the context-aware API
 	return e.RunCtx(context.Background())
 }
 
@@ -282,8 +285,17 @@ func (e *Engine) Run() (Result, error) {
 // inside a single Step is not preempted — which keeps the round loop
 // allocation-free: a background context costs one nil check per
 // round, a real one a non-blocking channel poll.
+//
+// The noalloc annotation is the static half of the zero-allocs-per-
+// round pin; the dynamic half is TestEngineRoundIsAllocFree in
+// allocs_test.go, which measures the same property with
+// testing.AllocsPerRun. Each names the other so neither can be
+// weakened unnoticed.
+//
+//compactlint:noalloc
 func (e *Engine) RunCtx(ctx context.Context) (Result, error) {
 	e.mgr.Reset(e.cfg)
+	//compactlint:allow noalloc per-run setup before the loop, charged to runFixedAllocBudget
 	view := &View{Config: e.cfg, occ: e.occ}
 	done := ctx.Done()
 	var roundStart time.Time
@@ -296,7 +308,10 @@ func (e *Engine) RunCtx(ctx context.Context) (Result, error) {
 			}
 		}
 		if e.Tracer != nil {
-			roundStart = time.Now()
+			// The round timestamp feeds the trace's Nanos field only;
+			// no simulation decision ever reads it, so determinism of
+			// results is preserved.
+			roundStart = time.Now() //compactlint:allow determinism tracing timestamp, never read by the model
 		}
 		view.Round = round
 		view.Live = e.occ.Live()
@@ -324,7 +339,7 @@ func (e *Engine) RunCtx(ctx context.Context) (Result, error) {
 				Moved:     q,
 				HighWater: e.occ.HighWater(),
 				Budget:    e.ledger.Remaining(),
-				Nanos:     time.Since(roundStart).Nanoseconds(),
+				Nanos:     time.Since(roundStart).Nanoseconds(), //compactlint:allow determinism tracing timestamp, never read by the model
 			})
 		}
 		if e.RoundHook != nil &&
@@ -338,6 +353,7 @@ func (e *Engine) RunCtx(ctx context.Context) (Result, error) {
 	return e.result(), fmt.Errorf("%w: run exceeded %d rounds", ErrMaxRounds, e.cfg.MaxRounds)
 }
 
+//compactlint:noalloc
 func (e *Engine) doFrees(frees []heap.ObjectID) error {
 	for _, id := range frees {
 		s, err := e.occ.Remove(id)
@@ -354,6 +370,7 @@ func (e *Engine) doFrees(frees []heap.ObjectID) error {
 	return nil
 }
 
+//compactlint:noalloc
 func (e *Engine) doAllocs(allocs []word.Size) error {
 	for _, size := range allocs {
 		if size <= 0 || size > e.cfg.N {
@@ -412,6 +429,7 @@ func (e *Engine) Objects() []heap.Object {
 // Extent returns the end address of the highest currently-live word.
 func (e *Engine) Extent() word.Addr { return e.occ.Extent() }
 
+//compactlint:noalloc
 func (e *Engine) result() Result {
 	s, q := e.ledger.Snapshot()
 	return Result{
@@ -433,6 +451,7 @@ func (e *Engine) result() Result {
 // ground truth.
 type mover struct{ e *Engine }
 
+//compactlint:noalloc
 func (m *mover) Move(id heap.ObjectID, to word.Addr) (bool, error) {
 	e := m.e
 	s, ok := e.occ.Lookup(id)
@@ -468,8 +487,10 @@ func (m *mover) Move(id heap.ObjectID, to word.Addr) (bool, error) {
 	return false, nil
 }
 
+//compactlint:noalloc
 func (m *mover) Remaining() word.Size { return m.e.ledger.Remaining() }
 
+//compactlint:noalloc
 func (m *mover) Lookup(id heap.ObjectID) (heap.Span, bool) {
 	return m.e.occ.Lookup(id)
 }
