@@ -8,7 +8,7 @@ FUZZ_TARGETS := FuzzManagerTrace FuzzFreeIndex FuzzBoundsMonotone FuzzTraceRound
 BENCH_PATTERN := BenchmarkSim1PF|BenchmarkAllocatorThroughput|BenchmarkObsOverhead
 BENCH_OUT := bench.out
 
-.PHONY: all build test vet race fuzz-smoke robustness resume-drill check bench bench-check trace clean
+.PHONY: all build test vet lint race fuzz-smoke robustness resume-drill check bench bench-check trace clean
 
 all: build
 
@@ -22,13 +22,20 @@ test: build
 vet:
 	$(GO) vet ./...
 
+# Domain lint: the compactlint analyzers prove the repo's invariants
+# (nil-guarded tracing, %w wrapping, determinism, noalloc hot path,
+# context flow) at compile time. Exit 0 = clean, 1 = findings,
+# 2 = driver error; CI treats anything non-zero as a failure.
+lint: build
+	$(GO) run ./cmd/compactlint ./...
+
 # The concurrency-sensitive packages under the race detector: the
 # engine, the parallel sweep, and the verification harness (whose
 # stress test drives sweep.Run past GOMAXPROCS with a shared-state
 # canary manager).
 race:
 	$(GO) test -race ./internal/sim ./internal/sweep ./internal/check ./internal/obs \
-		./internal/resume ./internal/faultinject
+		./internal/resume ./internal/faultinject ./internal/lint/... ./cmd/compactlint
 
 # The fault-tolerance suite under the race detector: every injected
 # fault class (panic, deadline, alloc failure, transient, sink write
@@ -53,7 +60,7 @@ fuzz-smoke:
 		$(GO) test ./internal/check -run='^$$' -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) || exit 1; \
 	done
 
-check: test vet race fuzz-smoke
+check: test vet lint race fuzz-smoke
 
 # Run the gated benchmarks once and refresh the committed baseline.
 # Commit the updated BENCH_sim.json together with the change that
