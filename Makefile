@@ -5,7 +5,7 @@ GO ?= go
 FUZZTIME ?= 10s
 FUZZ_TARGETS := FuzzManagerTrace FuzzFreeIndex FuzzBoundsMonotone FuzzTraceRoundtrip
 
-BENCH_PATTERN := BenchmarkSim1PF|BenchmarkAllocatorThroughput|BenchmarkObsOverhead
+BENCH_PATTERN := BenchmarkSim1PF|BenchmarkAllocatorThroughput|BenchmarkObsOverhead|BenchmarkShardedScaling
 BENCH_OUT := bench.out
 
 .PHONY: all build test vet lint race fuzz-smoke robustness resume-drill check bench bench-check trace clean
@@ -30,12 +30,13 @@ lint: build
 	$(GO) run ./cmd/compactlint ./...
 
 # The concurrency-sensitive packages under the race detector: the
-# engine, the parallel sweep, and the verification harness (whose
-# stress test drives sweep.Run past GOMAXPROCS with a shared-state
-# canary manager).
+# engine, the parallel sweep, the verification harness (whose stress
+# test drives sweep.Run past GOMAXPROCS with a shared-state canary
+# manager), and the sharded concurrent allocator facade.
 race:
 	$(GO) test -race ./internal/sim ./internal/sweep ./internal/check ./internal/obs \
-		./internal/resume ./internal/faultinject ./internal/lint/... ./cmd/compactlint
+		./internal/resume ./internal/faultinject ./internal/lint/... ./cmd/compactlint \
+		./internal/heap/sharded
 
 # The fault-tolerance suite under the race detector: every injected
 # fault class (panic, deadline, alloc failure, transient, sink write

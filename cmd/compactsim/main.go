@@ -7,6 +7,7 @@
 //	compactsim -adversary profile:server           # canned app profile
 //	compactsim -adversary profile:my.json          # profile from a file
 //	compactsim -adversary pf -sweep 8,16,32,64     # parallel c sweep
+//	compactsim -adversary random -shards 4         # sharded heap, any manager
 //	compactsim -adversary random -check            # referee every invariant
 //	compactsim -replay min.bin -manager best-fit   # replay a saved trace
 //	compactsim -adversary pf -manager first-fit -trace-out run.json
@@ -62,6 +63,7 @@ import (
 	"compaction/internal/budget"
 	"compaction/internal/check"
 	"compaction/internal/core"
+	"compaction/internal/heap/sharded"
 	"compaction/internal/mm"
 	"compaction/internal/obs"
 	"compaction/internal/profile"
@@ -93,6 +95,8 @@ func main() {
 		mFlag      = word.NewFlagSize(flag.CommandLine, "M", 1<<16, "live-space bound M in words (e.g. 64Ki, 256Mi)")
 		nFlag      = word.NewFlagSize(flag.CommandLine, "n", 1<<8, "largest object size in words (e.g. 256, 1Mi)")
 		cFlag      = flag.Int64("c", 16, "compaction bound (0 = unlimited, -1 = none)")
+		shards     = flag.Int("shards", 0, "partition the heap into this many shards (0/1 = unsharded); "+
+			"single runs wrap the manager in the sharded adapter, sweeps thread the count to the sharded-* managers")
 		seed       = flag.Int64("seed", 1, "seed for random workloads")
 		rounds     = flag.Int("rounds", 100, "rounds for random workloads")
 		ell        = flag.Int("ell", 0, "fix P_F's density exponent ℓ (0 = optimal)")
@@ -140,11 +144,11 @@ func main() {
 	defer stop()
 	var err error
 	if *seeds > 1 {
-		err = runSeeds(ctx, *adv, *manager, mFlag.Size(), nFlag.Size(), *cFlag, *seeds, *rounds, *ell)
+		err = runSeeds(ctx, *adv, *manager, mFlag.Size(), nFlag.Size(), *cFlag, *shards, *seeds, *rounds, *ell)
 	} else if *sweepCs != "" {
 		err = runSweep(ctx, sweepOpts{
 			adv: *adv, manager: *manager,
-			m: mFlag.Size(), n: nFlag.Size(),
+			m: mFlag.Size(), n: nFlag.Size(), shards: *shards,
 			sweepCs: *sweepCs, csvOut: *csvOut,
 			seed: *seed, rounds: *rounds, ell: *ell,
 			obs: oo, ft: ft,
@@ -152,7 +156,7 @@ func main() {
 	} else {
 		err = run(ctx, runOpts{
 			adv: *adv, manager: *manager,
-			m: mFlag.Size(), n: nFlag.Size(), c: *cFlag,
+			m: mFlag.Size(), n: nFlag.Size(), c: *cFlag, shards: *shards,
 			seed: *seed, rounds: *rounds, ell: *ell,
 			showMap: *showMap, check: *checkRun, checkEvery: *checkEvery, replay: *replay,
 			obs: oo,
@@ -291,11 +295,42 @@ func startProgress(label string, sm *obs.SimMetrics) (stop func()) {
 type sweepOpts struct {
 	adv, manager    string
 	m, n            int64
+	shards          int
 	sweepCs, csvOut string
 	seed            int64
 	rounds, ell     int
 	obs             obsOpts
 	ft              ftOpts
+}
+
+// newManager constructs the named manager, wrapped in the sharded
+// adapter when -shards asks for more than one shard. Managers that are
+// already sharded read Config.Shards themselves.
+func newManager(name string, shards int) (sim.Manager, error) {
+	if shards > 1 && !strings.HasPrefix(name, "sharded-") {
+		return sharded.Wrap(name)
+	}
+	return mm.New(name)
+}
+
+// managerList resolves -manager for a single run. With -shards > 1 and
+// "all", the registry's own sharded-* entries are dropped: wrapping the
+// plain portfolio already produces each of them exactly once.
+func managerList(manager string, shards int) []string {
+	if manager != "all" {
+		return []string{manager}
+	}
+	names := mm.Names()
+	if shards <= 1 {
+		return names
+	}
+	kept := names[:0:0]
+	for _, name := range names {
+		if !strings.HasPrefix(name, "sharded-") {
+			kept = append(kept, name)
+		}
+	}
+	return kept
 }
 
 // journalParams encodes the program identity a checkpoint journal is
@@ -324,7 +359,7 @@ func runSweep(ctx context.Context, o sweepOpts) error {
 	if o.manager == "all" {
 		managers = mm.Names()
 	}
-	base := sim.Config{M: o.m, N: o.n, Pow2Only: pow2}
+	base := sim.Config{M: o.m, N: o.n, Pow2Only: pow2, Shards: o.shards}
 	cells := sweep.Grid(base, cs, managers, o.adv, makeProg)
 	opts := sweep.Options{
 		CellTimeout: o.ft.cellTimeout,
@@ -436,8 +471,8 @@ func newProgram(adv string, seed int64, rounds, ell int) (func() sim.Program, bo
 
 // runSeeds repeats a seed-driven workload across seeds 1..n per
 // manager and prints aggregate fragmentation statistics.
-func runSeeds(ctx context.Context, adv, manager string, m, n, c int64, seeds, rounds, ell int) error {
-	cfg := sim.Config{M: m, N: n, C: c}
+func runSeeds(ctx context.Context, adv, manager string, m, n, c int64, shards, seeds, rounds, ell int) error {
+	cfg := sim.Config{M: m, N: n, C: c, Shards: shards}
 	// Resolve pow2 from the adversary kind via a probe construction.
 	_, pow2, err := newProgram(adv, 1, rounds, ell)
 	if err != nil {
@@ -492,6 +527,7 @@ func loadProfile(name string) (*profile.Profile, error) {
 type runOpts struct {
 	adv, manager string
 	m, n, c      int64
+	shards       int
 	seed         int64
 	rounds, ell  int
 	showMap      bool
@@ -503,15 +539,16 @@ type runOpts struct {
 
 func run(ctx context.Context, o runOpts) (err error) {
 	var makeProg func() sim.Program
-	cfg := sim.Config{M: o.m, N: o.n, C: o.c}
+	cfg := sim.Config{M: o.m, N: o.n, C: o.c, Shards: o.shards}
 	if o.replay != "" {
 		tr, err := check.ReadArtifact(o.replay)
 		if err != nil {
 			return err
 		}
 		// The recorded parameters define the model the trace is legal
-		// under; command-line M/n/c do not apply.
-		cfg = sim.Config{M: tr.M, N: tr.N, C: tr.C}
+		// under; command-line M/n/c do not apply. -shards is a
+		// manager-side knob, not part of the model, so it still does.
+		cfg = sim.Config{M: tr.M, N: tr.N, C: tr.C, Shards: o.shards}
 		o.adv = "replay:" + tr.Program
 		makeProg = func() sim.Program { return trace.NewReplayer(tr) }
 	} else {
@@ -598,17 +635,15 @@ func run(ctx context.Context, o runOpts) (err error) {
 		}
 	}()
 	tracer := obs.Tee(tracers...)
-	names := []string{o.manager}
-	if o.manager == "all" {
-		names = mm.Names()
-	}
+	names := managerList(o.manager, o.shards)
 	var rows []stats.RunRow
 	violations := 0
 	for _, name := range names {
-		mgr, err := mm.New(name)
+		mgr, err := newManager(name, o.shards)
 		if err != nil {
 			return err
 		}
+		name = mgr.Name() // the sharded wrapper renames, e.g. first-fit → sharded-first-fit
 		var ref *check.Referee
 		if o.check {
 			ref = check.NewReferee(mgr)

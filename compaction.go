@@ -38,6 +38,7 @@ import (
 
 	// Register every memory manager with the registry so Managers()
 	// and NewManager() see the full portfolio.
+	_ "compaction/internal/heap/sharded"
 	_ "compaction/internal/mm/bitmapff"
 	_ "compaction/internal/mm/bpcompact"
 	_ "compaction/internal/mm/buddy"

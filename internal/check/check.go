@@ -359,6 +359,12 @@ func (r *Referee) verifyShadow() {
 // HighWater returns the shadow high-water mark.
 func (r *Referee) HighWater() word.Addr { return r.highWater }
 
+// Live returns the words the shadow currently considers live.
+func (r *Referee) Live() word.Size { return r.live }
+
+// Objects returns the number of objects the shadow considers live.
+func (r *Referee) Objects() int { return len(r.byID) }
+
 // spyMover interposes on the engine mover to shadow successful moves.
 type spyMover struct {
 	r  *Referee

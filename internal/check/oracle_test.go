@@ -12,6 +12,7 @@ import (
 	"compaction/internal/workload"
 
 	// The oracle quantifies over every registered manager.
+	_ "compaction/internal/heap/sharded"
 	_ "compaction/internal/mm/bitmapff"
 	_ "compaction/internal/mm/bpcompact"
 	_ "compaction/internal/mm/buddy"

@@ -1,0 +1,717 @@
+package sharded
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"compaction/internal/budget"
+	"compaction/internal/heap"
+	"compaction/internal/obs"
+	"compaction/internal/sim"
+	"compaction/internal/word"
+)
+
+// shardIDBits is the width of the shard index encoded in the low bits
+// of every object ID the Allocator hands out; it bounds the shard
+// count at sim.MaxShards. The rest of the ID is a shard-local
+// sequence, so IDs are unique without any cross-shard coordination.
+const shardIDBits = 8
+
+// ErrHeapFull reports that no shard could place an allocation, even
+// through the cross-shard fallback path.
+var ErrHeapFull = errors.New("sharded: heap full")
+
+// OpKind tags an entry of a shard's operation log.
+type OpKind uint8
+
+const (
+	// OpAlloc records a successful allocation.
+	OpAlloc OpKind = iota + 1
+	// OpFree records a free.
+	OpFree
+	// OpMove records a shard-local compaction move.
+	OpMove
+)
+
+// Op is one logged operation. Seq is the shard-local sequence number:
+// within a shard, ops are totally ordered by Seq; across shards they
+// act on disjoint address ranges and commute, so any interleaving
+// that preserves per-shard order is a linearization of the concurrent
+// history. Addresses are global.
+type Op struct {
+	Kind  OpKind
+	Shard int
+	Seq   uint64
+	ID    heap.ObjectID // global object ID
+	Addr  word.Addr     // placement (alloc, free) or destination (move)
+	From  word.Addr     // move source
+	Size  word.Size
+}
+
+// Handle names a live allocation: its global object ID (shard index
+// in the low byte) and its global span.
+type Handle struct {
+	ID   heap.ObjectID
+	Span heap.Span
+}
+
+// Options tune the Allocator beyond the sim.Config it is built from.
+type Options struct {
+	// VerifyEvery > 0 enables sampled self-verification: every k-th
+	// operation on a shard re-checks, under that shard's lock, that
+	// the lock-free counters agree with the occupancy ground truth and
+	// that no two live spans of the shard overlap. This is the
+	// referee-style sampling the scaling benchmark runs with; its cost
+	// is O(objects in the shard), so sharding cuts total verification
+	// work by the shard count.
+	VerifyEvery int
+	// RecordOps keeps a per-shard operation log for the differential
+	// oracle replay. Off on production paths.
+	RecordOps bool
+	// CacheCap bounds each striped size-class free list (a per-shard
+	// magazine of recently freed power-of-two blocks, reused without
+	// touching the sub-manager). 0 selects the default; negative
+	// disables the magazines. Magazines are force-disabled when the
+	// policy compacts, so a moving sub-manager can never invalidate a
+	// cached address.
+	CacheCap int
+	// Metrics, when set, receives per-shard gauge and counter updates.
+	Metrics *obs.ShardMetrics
+}
+
+// DefaultCacheCap is the default per-class magazine capacity.
+const DefaultCacheCap = 64
+
+// magEntry is one cached free block: the sub-manager still considers
+// sub the live owner of span, so a cache hit rebinds the block to a
+// new facade object without any sub-manager work.
+type magEntry struct {
+	sub  heap.ObjectID
+	span heap.Span // shard-local
+}
+
+// ashard is one shard of the Allocator. All mutable state is guarded
+// by mu except the atomic counters, which exist precisely so readers
+// (gauges, tests, the fallback heuristics of callers) never take the
+// lock.
+type ashard struct {
+	mu sync.Mutex
+
+	idx  int
+	base word.Addr
+	cap  word.Size
+
+	sub sim.Manager
+	rc  sim.RoundCompactor // non-nil when sub compacts; disables magazines
+	occ *heap.Occupancy    // ground truth: live objects, shard-local spans, keyed by local ID
+	led *budget.Ledger     // shard-local compaction budget
+
+	// Local object IDs are dense and reused LIFO, so the occupancy
+	// table and the subOf binding stay small and allocation-free in
+	// steady state. subOf maps a local ID to the sub-manager ID that
+	// owns its words (they differ only after a magazine hit).
+	nextID   heap.ObjectID
+	freeIDs  []heap.ObjectID
+	nextSub  heap.ObjectID
+	freeSubs []heap.ObjectID
+	subOf    []heap.ObjectID
+
+	mags   [][]magEntry // striped size-class free lists, indexed by log2(size)
+	magCap int
+	cached int // blocks currently parked across all magazines
+
+	seq       uint64
+	recordOps bool
+	ops       []Op
+
+	verifyEvery int
+	sinceVerify int
+	scratch     []heap.Span
+
+	mover  compactMover
+	refuse refuseMover
+
+	met *obs.ShardMetrics
+
+	// Lock-free per-shard occupancy counters.
+	live    atomic.Int64 // words live
+	objects atomic.Int64
+	allocs  atomic.Int64
+	frees   atomic.Int64
+	moves   atomic.Int64
+}
+
+// Allocator is the concurrent facade over a sharded heap. Every
+// operation takes exactly one shard mutex; cross-shard fallback
+// releases the failed shard's lock before trying the next, so there
+// is no lock ordering to get wrong and no deadlock surface.
+type Allocator struct {
+	cfg      sim.Config
+	shardCap word.Size
+	shards   []ashard
+
+	next      atomic.Uint64 // round-robin home selector for Alloc
+	fallbacks atomic.Int64
+}
+
+// NewAllocator builds an Allocator over Config.Shards shards (at
+// least one), constructing one sub-manager per shard with factory.
+func NewAllocator(cfg sim.Config, factory func() sim.Manager, opts Options) (*Allocator, error) {
+	if cfg.Capacity == 0 {
+		cfg.Capacity = cfg.M * sim.DefaultCapacityFactor
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := cfg.Shards
+	if s < 1 {
+		s = 1
+	}
+	if cfg.Capacity%word.Size(s) != 0 {
+		return nil, fmt.Errorf("sharded: capacity %d does not divide into %d shards", cfg.Capacity, s)
+	}
+	if opts.Metrics != nil && opts.Metrics.Shards() < s {
+		return nil, fmt.Errorf("sharded: metrics cover %d shards, need %d", opts.Metrics.Shards(), s)
+	}
+	a := &Allocator{cfg: cfg, shardCap: cfg.Capacity / word.Size(s), shards: make([]ashard, s)}
+	sub := cfg
+	sub.Capacity = a.shardCap
+	sub.Shards = 0
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.idx = i
+		sh.base = word.Addr(i) * word.Addr(a.shardCap)
+		sh.cap = a.shardCap
+		sh.sub = factory()
+		sh.sub.Reset(sub)
+		sh.rc, _ = sh.sub.(sim.RoundCompactor)
+		sh.occ = heap.NewOccupancy()
+		sh.led = budget.NewLedger(cfg.C)
+		sh.nextID, sh.nextSub = 1, 1
+		sh.recordOps = opts.RecordOps
+		sh.verifyEvery = opts.VerifyEvery
+		sh.met = opts.Metrics
+		sh.mover.s = sh
+		sh.refuse.s = sh
+		switch {
+		case opts.CacheCap < 0 || sh.rc != nil:
+			sh.magCap = 0
+		case opts.CacheCap == 0:
+			sh.magCap = DefaultCacheCap
+		default:
+			sh.magCap = opts.CacheCap
+		}
+		if sh.magCap > 0 {
+			classes := word.CeilLog2(a.shardCap) + 1
+			sh.mags = make([][]magEntry, classes)
+			for c := range sh.mags {
+				sh.mags[c] = make([]magEntry, 0, sh.magCap)
+			}
+		}
+	}
+	return a, nil
+}
+
+// Shards returns the shard count.
+func (a *Allocator) Shards() int { return len(a.shards) }
+
+// Config returns the configuration the Allocator was built from, with
+// defaults applied.
+func (a *Allocator) Config() sim.Config { return a.cfg }
+
+// Alloc places size words on a round-robin home shard, falling back
+// across shards when the home shard is full.
+//
+//compactlint:noalloc
+func (a *Allocator) Alloc(size word.Size) (Handle, error) {
+	hint := int(a.next.Add(1)-1) % len(a.shards)
+	return a.AllocShard(hint, size)
+}
+
+// AllocShard places size words, preferring the hinted shard. Threads
+// that pass a stable hint (e.g. their worker index) keep their
+// allocations shard-local and contention-free; the fallback path
+// scans the remaining shards in deterministic order when the hint is
+// full.
+//
+//compactlint:noalloc
+func (a *Allocator) AllocShard(hint int, size word.Size) (Handle, error) {
+	if size <= 0 || size > a.cfg.N {
+		return Handle{}, fmt.Errorf("sharded: allocation size %d outside [1, %d]", size, a.cfg.N)
+	}
+	n := len(a.shards)
+	if hint < 0 || hint >= n {
+		hint = 0
+	}
+	for k := 0; k < n; k++ {
+		sh := &a.shards[(hint+k)%n]
+		if h, ok := sh.tryAlloc(a, size); ok {
+			if k > 0 {
+				a.fallbacks.Add(1)
+				if sh.met != nil {
+					sh.met.Fallbacks.Inc()
+				}
+			}
+			return h, nil
+		}
+	}
+	return Handle{}, fmt.Errorf("%w: no shard of %d can place %d words", ErrHeapFull, n, size)
+}
+
+// Free returns a handle's words to its owning shard. The handle must
+// be live and match the placement exactly.
+//
+//compactlint:noalloc
+func (a *Allocator) Free(h Handle) error {
+	idx := int(h.ID) & (1<<shardIDBits - 1)
+	if idx < 0 || idx >= len(a.shards) {
+		return fmt.Errorf("sharded: free of handle %d outside the heap", h.ID)
+	}
+	return a.shards[idx].free(h)
+}
+
+// Lookup returns the current placement of a live object; after a
+// Compact the address may differ from the one in the original handle.
+func (a *Allocator) Lookup(id heap.ObjectID) (Handle, bool) {
+	idx := int(id) & (1<<shardIDBits - 1)
+	if idx < 0 || idx >= len(a.shards) {
+		return Handle{}, false
+	}
+	s := &a.shards[idx]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sp, ok := s.occ.Lookup(id >> shardIDBits)
+	if !ok {
+		return Handle{}, false
+	}
+	return Handle{ID: id, Span: heap.Span{Addr: s.base + sp.Addr, Size: sp.Size}}, true
+}
+
+// Compact runs one shard-local compaction pass over every shard, in
+// shard order, taking one shard lock at a time. Shards whose policy
+// does not compact are skipped. Moves are bounded by each shard's own
+// c-partial ledger; the sum of per-shard quotas never exceeds the
+// global quota, so the facade as a whole stays c-partial.
+func (a *Allocator) Compact() {
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		if sh.rc != nil {
+			sh.rc.StartRound(&sh.mover)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// FlushCaches returns every cached magazine block to its sub-manager,
+// so the sub-managers' free-space indexes reflect the facade's notion
+// of free exactly. Tests and fragmentation measurements call it
+// before inspecting sub-manager state.
+func (a *Allocator) FlushCaches() {
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		sh.flushLocked()
+		sh.mu.Unlock()
+	}
+}
+
+// Live returns the total live words, summed lock-free from the
+// per-shard atomic counters.
+func (a *Allocator) Live() word.Size {
+	var sum int64
+	for i := range a.shards {
+		sum += a.shards[i].live.Load()
+	}
+	return word.Size(sum)
+}
+
+// Objects returns the total live object count, summed lock-free.
+func (a *Allocator) Objects() int {
+	var sum int64
+	for i := range a.shards {
+		sum += a.shards[i].objects.Load()
+	}
+	return int(sum)
+}
+
+// ShardLive returns shard i's live words without taking its lock.
+func (a *Allocator) ShardLive(i int) word.Size { return word.Size(a.shards[i].live.Load()) }
+
+// ShardObjects returns shard i's live object count without taking its
+// lock.
+func (a *Allocator) ShardObjects(i int) int { return int(a.shards[i].objects.Load()) }
+
+// Fallbacks returns how many allocations left their hinted shard.
+func (a *Allocator) Fallbacks() int64 { return a.fallbacks.Load() }
+
+// Moves returns the total shard-local compaction moves.
+func (a *Allocator) Moves() int64 {
+	var sum int64
+	for i := range a.shards {
+		sum += a.shards[i].moves.Load()
+	}
+	return sum
+}
+
+// GlobalHighWater returns the global heap high-water mark: the
+// highest end address any placement ever reached, across all shards.
+func (a *Allocator) GlobalHighWater() word.Addr {
+	var hw word.Addr
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		if local := sh.occ.HighWater(); local > 0 && sh.base+local > hw {
+			hw = sh.base + local
+		}
+		sh.mu.Unlock()
+	}
+	return hw
+}
+
+// Sub returns shard i's sub-manager, for invariant checks in tests.
+// Callers must not mutate it while the Allocator is in use.
+func (a *Allocator) Sub(i int) sim.Manager { return a.shards[i].sub }
+
+// OpLog snapshots the per-shard operation logs (RecordOps mode). The
+// inner slices are ordered by shard-local sequence number.
+func (a *Allocator) OpLog() [][]Op {
+	out := make([][]Op, len(a.shards))
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		out[i] = slices.Clone(sh.ops)
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// globalID encodes a shard-local object ID and the shard index into
+// the facade's object ID space.
+//
+//compactlint:noalloc
+func globalID(idx int, lid heap.ObjectID) heap.ObjectID {
+	return lid<<shardIDBits | heap.ObjectID(idx)
+}
+
+// takeID pops a reusable local ID or mints a fresh one, growing the
+// subOf binding to cover it.
+//
+//compactlint:noalloc
+func (s *ashard) takeID() heap.ObjectID {
+	var lid heap.ObjectID
+	if n := len(s.freeIDs); n > 0 {
+		lid = s.freeIDs[n-1]
+		s.freeIDs = s.freeIDs[:n-1]
+	} else {
+		lid = s.nextID
+		s.nextID++
+	}
+	for int(lid) >= len(s.subOf) {
+		s.subOf = append(s.subOf, 0) //compactlint:allow noalloc amortized warm-up growth; steady-state churn reuses IDs (TestShardedAllocFree)
+	}
+	return lid
+}
+
+//compactlint:noalloc
+func (s *ashard) putID(lid heap.ObjectID) {
+	if n := len(s.freeIDs); cap(s.freeIDs) > n {
+		s.freeIDs = s.freeIDs[:n+1]
+		s.freeIDs[n] = lid
+		return
+	}
+	s.freeIDs = append(s.freeIDs, lid) //compactlint:allow noalloc amortized warm-up growth; steady-state churn reuses IDs (TestShardedAllocFree)
+}
+
+// takeSub mints the sub-manager ID for a fresh block. Without
+// magazines the sub ID is the local ID itself (a single-level
+// scheme), so a compacting sub-manager's move requests name the
+// occupancy record directly. With magazines the two spaces diverge —
+// a cache hit rebinds a block to a new local ID — so sub IDs come
+// from their own counter and free list.
+//
+//compactlint:noalloc
+func (s *ashard) takeSub(lid heap.ObjectID) heap.ObjectID {
+	if s.magCap == 0 {
+		return lid
+	}
+	if n := len(s.freeSubs); n > 0 {
+		sid := s.freeSubs[n-1]
+		s.freeSubs = s.freeSubs[:n-1]
+		return sid
+	}
+	sid := s.nextSub
+	s.nextSub++
+	return sid
+}
+
+//compactlint:noalloc
+func (s *ashard) putSub(sid heap.ObjectID) {
+	if s.magCap == 0 {
+		return
+	}
+	if n := len(s.freeSubs); cap(s.freeSubs) > n {
+		s.freeSubs = s.freeSubs[:n+1]
+		s.freeSubs[n] = sid
+		return
+	}
+	s.freeSubs = append(s.freeSubs, sid) //compactlint:allow noalloc amortized warm-up growth; steady-state churn reuses IDs (TestShardedAllocFree)
+}
+
+// logOp appends to the shard's operation log. Recording is an
+// oracle-test mode, off on production paths.
+//
+//compactlint:noalloc
+func (s *ashard) logOp(kind OpKind, id heap.ObjectID, addr, from word.Addr, size word.Size) {
+	seq := s.seq
+	s.seq++
+	if !s.recordOps {
+		return
+	}
+	s.ops = append(s.ops, Op{ //compactlint:allow noalloc op recording is an oracle-test mode, off on production paths
+		Kind: kind, Shard: s.idx, Seq: seq, ID: id, Addr: addr, From: from, Size: size,
+	})
+}
+
+// tryAlloc attempts a placement on this shard: first a magazine hit
+// (pop a cached block of the exact class and rebind it), then the
+// sub-manager. It reports false when the shard cannot place the size,
+// so the caller can fall back to another shard.
+//
+//compactlint:noalloc
+func (s *ashard) tryAlloc(a *Allocator, size word.Size) (Handle, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lid := s.takeID()
+	var sid heap.ObjectID
+	var span heap.Span
+	if s.magCap > 0 && word.IsPow2(size) {
+		c := word.Log2(size)
+		if m := s.mags[c]; len(m) > 0 {
+			e := m[len(m)-1]
+			s.mags[c] = m[:len(m)-1]
+			s.cached--
+			sid, span = e.sub, e.span
+		}
+	}
+	if span.Empty() {
+		sid = s.takeSub(lid)
+		// Compacting policies get the real shard-local mover (they may
+		// move to make room while serving the allocation);
+		// non-compacting ones a refusing mover, so a policy that moves
+		// without declaring sim.RoundCompactor fails loudly instead of
+		// corrupting the magazine binding. Both movers run under the
+		// shard lock the caller already holds.
+		var mv sim.Mover = &s.refuse
+		if s.rc != nil {
+			mv = &s.mover
+		}
+		addr, err := s.sub.Allocate(sid, size, mv)
+		if err != nil && s.cached > 0 {
+			// Memory pressure: blocks parked in the magazines are free
+			// words the sub-manager cannot see. Reclaim them and retry
+			// once before falling back to another shard.
+			//compactlint:allow noalloc pressure path, taken only when the shard is otherwise full
+			s.flushLocked()
+			addr, err = s.sub.Allocate(sid, size, mv)
+		}
+		if err != nil {
+			s.putSub(sid)
+			s.putID(lid)
+			return Handle{}, false
+		}
+		if addr < 0 || addr+size > s.cap {
+			panic(fmt.Sprintf("sharded: shard %d sub-manager placed %d words at local %d outside [0, %d)",
+				s.idx, size, addr, s.cap))
+		}
+		span = heap.Span{Addr: addr, Size: size}
+	}
+	s.led.RecordAlloc(size)
+	if err := s.occ.Place(lid, span); err != nil {
+		panic(fmt.Sprintf("sharded: shard %d placement of %v: %v", s.idx, span, err))
+	}
+	s.subOf[lid] = sid
+	s.live.Add(int64(size))
+	s.objects.Add(1)
+	s.allocs.Add(1)
+	gid := globalID(s.idx, lid)
+	global := heap.Span{Addr: s.base + span.Addr, Size: size}
+	s.logOp(OpAlloc, gid, global.Addr, 0, size)
+	s.updateMetrics()
+	s.maybeVerify()
+	return Handle{ID: gid, Span: global}, true
+}
+
+// free returns a handle's words: to the magazine when there is room
+// (the sub-manager keeps considering the block live under its sub
+// ID), otherwise to the sub-manager.
+//
+//compactlint:noalloc
+func (s *ashard) free(h Handle) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lid := h.ID >> shardIDBits
+	cur, ok := s.occ.Lookup(lid)
+	if !ok {
+		return fmt.Errorf("sharded: free of dead or unknown handle %d", h.ID)
+	}
+	global := heap.Span{Addr: s.base + cur.Addr, Size: cur.Size}
+	if cur.Size != h.Span.Size {
+		return fmt.Errorf("sharded: free of handle %d size %d, shard has %v", h.ID, h.Span.Size, global)
+	}
+	// A compacting policy may have moved the block since the handle
+	// was issued, so the address is only validated when it is stable.
+	if s.rc == nil && global != h.Span {
+		return fmt.Errorf("sharded: free of handle %d span %v, shard has %v", h.ID, h.Span, global)
+	}
+	if _, err := s.occ.Remove(lid); err != nil {
+		panic(fmt.Sprintf("sharded: shard %d removing %d: %v", s.idx, lid, err))
+	}
+	sid := s.subOf[lid]
+	cached := false
+	if s.magCap > 0 && word.IsPow2(cur.Size) {
+		c := word.Log2(cur.Size)
+		if m := s.mags[c]; len(m) < s.magCap {
+			s.mags[c] = m[:len(m)+1]
+			s.mags[c][len(m)] = magEntry{sub: sid, span: cur}
+			s.cached++
+			cached = true
+		}
+	}
+	if !cached {
+		s.sub.Free(sid, cur)
+		s.putSub(sid)
+	}
+	s.putID(lid)
+	s.live.Add(-int64(cur.Size))
+	s.objects.Add(-1)
+	s.frees.Add(1)
+	s.logOp(OpFree, h.ID, global.Addr, 0, cur.Size)
+	s.updateMetrics()
+	s.maybeVerify()
+	return nil
+}
+
+// flushLocked drains every magazine back into the sub-manager.
+func (s *ashard) flushLocked() {
+	for c := range s.mags {
+		for _, e := range s.mags[c] {
+			s.sub.Free(e.sub, e.span)
+			s.putSub(e.sub)
+		}
+		s.mags[c] = s.mags[c][:0]
+	}
+	s.cached = 0
+}
+
+//compactlint:noalloc
+func (s *ashard) updateMetrics() {
+	if s.met == nil {
+		return
+	}
+	s.met.Live[s.idx].Set(s.live.Load())
+	s.met.Objects[s.idx].Set(s.objects.Load())
+	s.met.Allocs[s.idx].Set(s.allocs.Load())
+	s.met.Frees[s.idx].Set(s.frees.Load())
+	s.met.Moves[s.idx].Set(s.moves.Load())
+}
+
+// maybeVerify runs the sampled self-check every verifyEvery ops.
+//
+//compactlint:noalloc
+func (s *ashard) maybeVerify() {
+	if s.verifyEvery <= 0 {
+		return
+	}
+	s.sinceVerify++
+	if s.sinceVerify < s.verifyEvery {
+		return
+	}
+	s.sinceVerify = 0
+	s.verifyLocked() //compactlint:allow noalloc sampled self-verification, enabled only by Options.VerifyEvery
+}
+
+// verifyLocked is the referee-style shard self-check: the lock-free
+// counters must agree with the occupancy ground truth, every live
+// span must lie inside the shard, and no two live spans may overlap.
+// Cost is O(objects in the shard · log), which is what makes sampled
+// verification scale with the shard count: the same op budget between
+// checks buys an S-times cheaper sweep per shard.
+func (s *ashard) verifyLocked() {
+	if got, want := word.Size(s.live.Load()), s.occ.Live(); got != want {
+		panic(fmt.Sprintf("sharded: shard %d live counter %d, occupancy %d", s.idx, got, want))
+	}
+	if got, want := int(s.objects.Load()), s.occ.Objects(); got != want {
+		panic(fmt.Sprintf("sharded: shard %d object counter %d, occupancy %d", s.idx, got, want))
+	}
+	s.scratch = s.scratch[:0]
+	s.occ.Each(func(o heap.Object) bool {
+		s.scratch = append(s.scratch, o.Span)
+		return true
+	})
+	slices.SortFunc(s.scratch, func(x, y heap.Span) int {
+		if x.Addr < y.Addr {
+			return -1
+		}
+		return 1
+	})
+	var prevEnd word.Addr
+	for _, sp := range s.scratch {
+		if sp.Addr < 0 || sp.End() > s.cap {
+			panic(fmt.Sprintf("sharded: shard %d span %v outside [0, %d)", s.idx, sp, s.cap))
+		}
+		if sp.Addr < prevEnd {
+			panic(fmt.Sprintf("sharded: shard %d overlapping live spans at %v", s.idx, sp))
+		}
+		prevEnd = sp.End()
+	}
+}
+
+// compactMover is the Mover a compacting sub-manager drives during
+// Compact and Allocate: moves are validated against the shard's
+// occupancy and charged to the shard-local c-partial ledger. The
+// facade has no program to notify, so a move never frees.
+type compactMover struct{ s *ashard }
+
+func (m *compactMover) Move(id heap.ObjectID, to word.Addr) (bool, error) {
+	s := m.s
+	sp, ok := s.occ.Lookup(id)
+	if !ok {
+		return false, fmt.Errorf("sharded: move of non-live object %d", id)
+	}
+	if to < 0 || to+sp.Size > s.cap {
+		return false, fmt.Errorf("sharded: move of object %d to %d leaves shard %d", id, to, s.idx)
+	}
+	if err := s.led.Move(sp.Size); err != nil {
+		return false, err
+	}
+	old, err := s.occ.Move(id, to)
+	if err != nil {
+		return false, err
+	}
+	s.moves.Add(1)
+	s.logOp(OpMove, globalID(s.idx, id), s.base+to, s.base+old.Addr, sp.Size)
+	return false, nil
+}
+
+func (m *compactMover) Remaining() word.Size { return m.s.led.Remaining() }
+
+func (m *compactMover) Lookup(id heap.ObjectID) (heap.Span, bool) {
+	return m.s.occ.Lookup(id)
+}
+
+// refuseMover rejects every move: it is handed to non-compacting
+// sub-managers, whose magazine bindings a silent move would corrupt.
+type refuseMover struct{ s *ashard }
+
+func (m *refuseMover) Move(id heap.ObjectID, _ word.Addr) (bool, error) {
+	return false, fmt.Errorf("sharded: shard %d policy %s moved object %d without declaring sim.RoundCompactor",
+		m.s.idx, m.s.sub.Name(), id)
+}
+
+func (m *refuseMover) Remaining() word.Size { return 0 }
+
+func (m *refuseMover) Lookup(heap.ObjectID) (heap.Span, bool) { return heap.Span{}, false }

@@ -1,0 +1,235 @@
+package sharded_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"compaction/internal/heap"
+	"compaction/internal/heap/sharded"
+	"compaction/internal/mm"
+	"compaction/internal/mm/fits"
+	"compaction/internal/obs"
+	"compaction/internal/sim"
+	"compaction/internal/word"
+	"compaction/internal/workload"
+)
+
+// identityCases pairs each ported policy with its unsharded original.
+var identityCases = []struct{ plain, sharded string }{
+	{"first-fit", "sharded-first-fit"},
+	{"segregated", "sharded-segregated"},
+	{"tlsf", "sharded-tlsf"},
+}
+
+// runSeries runs a fresh seeded churn program against a manager and
+// returns the result plus the per-round series as CSV bytes.
+func runSeries(t *testing.T, cfg sim.Config, manager string) (sim.Result, []byte) {
+	t.Helper()
+	mgr, err := mm.New(manager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := workload.NewRandom(workload.Config{Seed: 42, Rounds: 80})
+	e, err := sim.NewEngine(cfg, prog, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &obs.SeriesRecorder{}
+	e.Tracer = rec
+	res, err := e.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", manager, err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteCSV(&buf, cfg.M); err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.Bytes()
+}
+
+// TestShardsOneByteIdentical is the compatibility gate of the
+// tentpole: with a single shard, every ported policy must reproduce
+// the unsharded engine output exactly — the same result counters and
+// a byte-identical per-round series — on the canned churn workload
+// under both shard spellings of the config (Shards=0 and Shards=1).
+func TestShardsOneByteIdentical(t *testing.T) {
+	for _, tc := range identityCases {
+		for _, shards := range []int{0, 1} {
+			cfg := sim.Config{M: 1 << 12, N: 1 << 6, C: 16, Shards: shards}
+			want, wantCSV := runSeries(t, cfg, tc.plain)
+			got, gotCSV := runSeries(t, cfg, tc.sharded)
+			// The manager name is the only legitimate difference.
+			want.Manager, got.Manager = "", ""
+			if want != got {
+				t.Errorf("shards=%d %s: result diverged from %s:\n got %+v\nwant %+v",
+					shards, tc.sharded, tc.plain, got, want)
+			}
+			if !bytes.Equal(wantCSV, gotCSV) {
+				t.Errorf("shards=%d %s: per-round series CSV diverged from %s (%d vs %d bytes)",
+					shards, tc.sharded, tc.plain, len(gotCSV), len(wantCSV))
+			}
+		}
+	}
+}
+
+// facadeChurn drives an Allocator through a seeded single-threaded
+// churn of count operations and returns the live handles.
+func facadeChurn(t *testing.T, a *sharded.Allocator, seed int64, count int) []sharded.Handle {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cfg := a.Config()
+	var handles []sharded.Handle
+	var live word.Size
+	for i := 0; i < count; i++ {
+		if len(handles) > 0 && (rng.Intn(3) == 0 || live > cfg.M*3/4) {
+			k := rng.Intn(len(handles))
+			h := handles[k]
+			handles[k] = handles[len(handles)-1]
+			handles = handles[:len(handles)-1]
+			if err := a.Free(h); err != nil {
+				t.Fatal(err)
+			}
+			live -= h.Span.Size
+			continue
+		}
+		size := word.Pow2(rng.Intn(word.Log2(cfg.N) + 1))
+		h, err := a.AllocShard(rng.Intn(a.Shards()), size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+		live += size
+	}
+	return handles
+}
+
+// TestShardCensusSums: the lock-free per-shard occupancy counters and
+// the per-shard free-space censuses must sum to the global figures at
+// any quiescent point.
+func TestShardCensusSums(t *testing.T) {
+	cfg := sim.Config{M: 1 << 12, N: 1 << 6, C: 16, Capacity: 1 << 14, Shards: 4}
+	a, err := sharded.NewAllocator(cfg, func() sim.Manager { return fits.New(fits.FirstFit) },
+		sharded.Options{VerifyEvery: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handles := facadeChurn(t, a, 99, 4000)
+
+	var wantLive word.Size
+	for _, h := range handles {
+		wantLive += h.Span.Size
+	}
+	var sumLive word.Size
+	var sumObjects int
+	for i := 0; i < a.Shards(); i++ {
+		sumLive += a.ShardLive(i)
+		sumObjects += a.ShardObjects(i)
+	}
+	if sumLive != wantLive || a.Live() != wantLive {
+		t.Errorf("live: shards sum to %d, global %d, handles say %d", sumLive, a.Live(), wantLive)
+	}
+	if sumObjects != len(handles) || a.Objects() != len(handles) {
+		t.Errorf("objects: shards sum to %d, global %d, handles say %d", sumObjects, a.Objects(), len(handles))
+	}
+
+	// After flushing the magazines, each sub-manager's free space plus
+	// the shard's live words must account for exactly the shard
+	// capacity, and the sub-managers' own live accounting must agree
+	// with the facade's.
+	a.FlushCaches()
+	shardCap := cfg.Capacity / word.Size(a.Shards())
+	var sumFree word.Size
+	for i := 0; i < a.Shards(); i++ {
+		fm, ok := a.Sub(i).(*fits.Manager)
+		if !ok {
+			t.Fatalf("shard %d sub-manager is %T, want *fits.Manager", i, a.Sub(i))
+		}
+		if err := fm.FS.Validate(); err != nil {
+			t.Fatalf("shard %d free-space index: %v", i, err)
+		}
+		free := fm.FS.FreeWords()
+		sumFree += free
+		if got := shardCap - free; got != a.ShardLive(i) {
+			t.Errorf("shard %d: sub-manager live %d, facade counter %d", i, got, a.ShardLive(i))
+		}
+	}
+	if sumFree+wantLive != cfg.Capacity {
+		t.Errorf("free %d + live %d != capacity %d", sumFree, wantLive, cfg.Capacity)
+	}
+
+	// Drain everything: the counters must return to zero.
+	for _, h := range handles {
+		if err := a.Free(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Live() != 0 || a.Objects() != 0 {
+		t.Errorf("after draining: live %d, objects %d", a.Live(), a.Objects())
+	}
+}
+
+// TestNoFreeIntervalSpansShardBoundary: every free interval of every
+// shard lies strictly inside that shard's address range — the
+// structural guarantee that sharding never merges free space across a
+// boundary.
+func TestNoFreeIntervalSpansShardBoundary(t *testing.T) {
+	cfg := sim.Config{M: 1 << 12, N: 1 << 6, C: 16, Capacity: 1 << 14, Shards: 8}
+	a, err := sharded.NewAllocator(cfg, func() sim.Manager { return fits.New(fits.FirstFit) }, sharded.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	facadeChurn(t, a, 7, 3000)
+	a.FlushCaches()
+	shardCap := cfg.Capacity / word.Size(a.Shards())
+	for i := 0; i < a.Shards(); i++ {
+		fm := a.Sub(i).(*fits.Manager)
+		gaps := 0
+		fm.FS.Gaps(func(g heap.Span) bool {
+			gaps++
+			if g.Addr < 0 || g.End() > shardCap {
+				t.Errorf("shard %d free interval %v crosses the shard boundary [0, %d)", i, g, shardCap)
+			}
+			return true
+		})
+		if gaps == 0 && fm.FS.FreeWords() > 0 {
+			t.Errorf("shard %d reports %d free words but no gaps", i, fm.FS.FreeWords())
+		}
+	}
+}
+
+// TestShardedGauges: the optional obs bundle tracks the per-shard
+// counters exactly.
+func TestShardedGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	met := obs.NewShardMetrics(reg, 2)
+	cfg := sim.Config{M: 1 << 10, N: 1 << 5, C: 16, Capacity: 1 << 12, Shards: 2}
+	a, err := sharded.NewAllocator(cfg, func() sim.Manager { return fits.New(fits.FirstFit) },
+		sharded.Options{Metrics: met})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handles := facadeChurn(t, a, 13, 500)
+	for i := 0; i < a.Shards(); i++ {
+		if got, want := met.Live[i].Value(), int64(a.ShardLive(i)); got != want {
+			t.Errorf("shard %d live gauge %d, counter %d", i, got, want)
+		}
+		if got, want := met.Objects[i].Value(), int64(a.ShardObjects(i)); got != want {
+			t.Errorf("shard %d objects gauge %d, counter %d", i, got, want)
+		}
+	}
+	var allocs, frees int64
+	for i := 0; i < a.Shards(); i++ {
+		allocs += met.Allocs[i].Value()
+		frees += met.Frees[i].Value()
+	}
+	if int(allocs-frees) != len(handles) {
+		t.Errorf("gauges say %d allocs - %d frees, but %d handles live", allocs, frees, len(handles))
+	}
+	if met.Fallbacks.Value() != a.Fallbacks() {
+		t.Errorf("fallback counter %d, gauge %d", a.Fallbacks(), met.Fallbacks.Value())
+	}
+	if met.Shards() != 2 {
+		t.Errorf("Shards() = %d, want 2", met.Shards())
+	}
+}

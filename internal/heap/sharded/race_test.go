@@ -1,0 +1,165 @@
+package sharded_test
+
+import (
+	"math/rand"
+	"os"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"compaction/internal/heap/sharded"
+	"compaction/internal/mm/fits"
+	"compaction/internal/mm/markcompact"
+	"compaction/internal/sim"
+	"compaction/internal/word"
+)
+
+// stressShards reads the shard count for the stress suite from the
+// environment (the CI race job pins it to 4), defaulting to 4.
+func stressShards(t *testing.T) int {
+	t.Helper()
+	v := os.Getenv("SHARDED_STRESS_SHARDS")
+	if v == "" {
+		return 4
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 || n > sim.MaxShards {
+		t.Fatalf("SHARDED_STRESS_SHARDS=%q is not a valid shard count", v)
+	}
+	return n
+}
+
+func stressOps(t *testing.T) int {
+	if testing.Short() {
+		return 2000
+	}
+	return 10000
+}
+
+// TestShardedStress hammers the facade with free-running concurrent
+// alloc/free (and, for the compacting variant, mark-compact) from
+// twice as many goroutines as shards, so shard locks are genuinely
+// contended. Run under -race this is the data-race gate of the
+// tentpole; the sampled self-verifier adds shard-consistency checks
+// while the hammering is in flight.
+func TestShardedStress(t *testing.T) {
+	shards := stressShards(t)
+	cfg := sim.Config{
+		M: 1 << 14, N: 1 << 6, C: 16, Pow2Only: true,
+		Capacity: word.Size(shards) * (1 << 12), Shards: shards,
+	}
+	cases := []struct {
+		name    string
+		factory func() sim.Manager
+		compact bool
+	}{
+		{"first-fit", func() sim.Manager { return fits.New(fits.FirstFit) }, false},
+		{"mark-compact", func() sim.Manager { return markcompact.New() }, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, err := sharded.NewAllocator(cfg, tc.factory, sharded.Options{VerifyEvery: 128})
+			if err != nil {
+				t.Fatal(err)
+			}
+			concurrentWorkload(t, a, 2*shards, stressOps(t), tc.compact)
+			if tc.compact && a.Moves() == 0 {
+				t.Error("compacting stress run never moved")
+			}
+		})
+	}
+}
+
+// tokenRing coordinates g goroutines into one fully deterministic
+// interleaving: goroutine w executes step i of its script exactly
+// when the ring token has made i laps and reached w. The schedule
+// still crosses goroutines (every handoff is a channel send observed
+// by -race), but it is reproducible run to run.
+func tokenRing(g, steps int, run func(w, i int)) {
+	chans := make([]chan struct{}, g)
+	for i := range chans {
+		chans[i] = make(chan struct{}, 1)
+	}
+	done := make(chan struct{})
+	for w := 0; w < g; w++ {
+		go func(w int) {
+			for i := 0; i < steps; i++ {
+				<-chans[w]
+				run(w, i)
+				chans[(w+1)%g] <- struct{}{}
+			}
+			if w == g-1 {
+				close(done)
+			}
+		}(w)
+	}
+	chans[0] <- struct{}{}
+	<-done
+	// Drain the final token so the ring shuts down cleanly.
+	<-chans[0]
+}
+
+// deterministicRun executes the seeded token-ring schedule against a
+// fresh allocator and returns its op log.
+func deterministicRun(t *testing.T, shards, g, steps int) [][]sharded.Op {
+	t.Helper()
+	cfg := sim.Config{
+		M: 1 << 12, N: 1 << 5, C: 16, Pow2Only: true,
+		Capacity: word.Size(shards) * (1 << 10), Shards: shards,
+	}
+	a, err := sharded.NewAllocator(cfg, func() sim.Manager { return fits.New(fits.FirstFit) },
+		sharded.Options{RecordOps: true, VerifyEvery: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-generate each worker's script so the only nondeterminism
+	// left would be the scheduler's — which the token ring removes.
+	scripts := make([][]word.Size, g)
+	for w := range scripts {
+		rng := rand.New(rand.NewSource(int64(w + 1)))
+		scripts[w] = make([]word.Size, steps)
+		for i := range scripts[w] {
+			scripts[w][i] = word.Pow2(rng.Intn(word.Log2(cfg.N) + 1))
+		}
+	}
+	held := make([][]sharded.Handle, g)
+	tokenRing(g, steps, func(w, i int) {
+		// Alternate phases: grow for 8 steps, then shrink for 8, so
+		// both alloc and free paths interleave across the ring.
+		if i%16 < 8 || len(held[w]) == 0 {
+			h, err := a.AllocShard(w%shards, scripts[w][i])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			held[w] = append(held[w], h)
+			return
+		}
+		h := held[w][len(held[w])-1]
+		held[w] = held[w][:len(held[w])-1]
+		if err := a.Free(h); err != nil {
+			t.Error(err)
+		}
+	})
+	return a.OpLog()
+}
+
+// TestShardedDeterministicSchedule is the seeded, reproducible
+// variant of the stress test: two runs of the same token-ring
+// schedule must produce byte-for-byte identical per-shard op logs.
+func TestShardedDeterministicSchedule(t *testing.T) {
+	shards := stressShards(t)
+	g := 2 * shards
+	first := deterministicRun(t, shards, g, 256)
+	second := deterministicRun(t, shards, g, 256)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("two runs of the deterministic schedule diverged")
+	}
+	total := 0
+	for _, l := range first {
+		total += len(l)
+	}
+	if total != g*256 {
+		t.Fatalf("op log has %d entries, want %d", total, g*256)
+	}
+}

@@ -1,0 +1,198 @@
+package sharded_test
+
+import (
+	"errors"
+	"slices"
+	"testing"
+
+	"compaction/internal/heap"
+	"compaction/internal/heap/sharded"
+	"compaction/internal/mm"
+	"compaction/internal/sim"
+	"compaction/internal/word"
+	"compaction/internal/workload"
+
+	// Wrap tests shard managers resolved from the registry.
+	_ "compaction/internal/mm/markcompact"
+)
+
+// scriptProg replays an explicit schedule of rounds and records every
+// placement, so tests can assert exactly where objects land.
+type scriptProg struct {
+	rounds []scriptRound
+	step   int
+	placed map[heap.ObjectID]heap.Span
+}
+
+type scriptRound struct {
+	frees  []heap.ObjectID
+	allocs []word.Size
+}
+
+func newScriptProg(rounds ...scriptRound) *scriptProg {
+	return &scriptProg{rounds: rounds, placed: make(map[heap.ObjectID]heap.Span)}
+}
+
+func (p *scriptProg) Name() string { return "script" }
+
+func (p *scriptProg) Step(*sim.View) ([]heap.ObjectID, []word.Size, bool) {
+	r := p.rounds[p.step]
+	p.step++
+	return r.frees, r.allocs, p.step >= len(p.rounds)
+}
+
+func (p *scriptProg) Placed(id heap.ObjectID, s heap.Span) { p.placed[id] = s }
+
+func (p *scriptProg) Moved(id heap.ObjectID, _, to heap.Span) bool {
+	p.placed[id] = to
+	return false
+}
+
+func TestShardedManagersRegistered(t *testing.T) {
+	names := mm.Names()
+	for _, want := range []string{"sharded-first-fit", "sharded-segregated", "sharded-tlsf"} {
+		if !slices.Contains(names, want) {
+			t.Errorf("registry is missing %q (have %v)", want, names)
+		}
+	}
+}
+
+// TestShardedEngineRuns drives every sharded manager through the
+// deterministic engine at 1, 2 and 4 shards under a seeded churn
+// workload.
+func TestShardedEngineRuns(t *testing.T) {
+	for _, name := range []string{"sharded-first-fit", "sharded-segregated", "sharded-tlsf"} {
+		for _, shards := range []int{1, 2, 4} {
+			cfg := sim.Config{M: 1 << 12, N: 1 << 6, C: 16, Shards: shards}
+			mgr, err := mm.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog := workload.NewRandom(workload.Config{Seed: 11, Rounds: 40})
+			e, err := sim.NewEngine(cfg, prog, mgr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s shards=%d: %v", name, shards, err)
+			}
+			if res.Allocs == 0 || res.HighWater < res.MaxLive {
+				t.Fatalf("%s shards=%d: implausible result %+v", name, shards, res)
+			}
+		}
+	}
+}
+
+// TestShardedEngineFallback pins the deterministic cross-shard
+// fallback path: with two shards of 128 words, filling an object's
+// home shard forces its placement into the other shard.
+func TestShardedEngineFallback(t *testing.T) {
+	cfg := sim.Config{M: 256, N: 64, C: 16, Capacity: 256, Shards: 2}
+	// Round 1: ids 1..3 of 64 words; homes alternate (id%2), so shard
+	// 1 holds ids 1 and 3 (its full 128 words) and shard 0 holds id 2.
+	// Round 2: free id 2, allocate ids 4 and 5. Id 5's home shard (1)
+	// is full, so it must fall back into shard 0.
+	prog := newScriptProg(
+		scriptRound{allocs: []word.Size{64, 64, 64}},
+		scriptRound{frees: []heap.ObjectID{2}, allocs: []word.Size{64, 64}},
+	)
+	mgr, err := mm.New("sharded-first-fit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.NewEngine(cfg, prog, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for id, wantShard := range map[heap.ObjectID]word.Addr{1: 1, 2: 0, 3: 1, 4: 0} {
+		if got := p128shard(prog.placed[id]); got != wantShard {
+			t.Errorf("object %d placed at %v (shard %d), want shard %d", id, prog.placed[id], got, wantShard)
+		}
+	}
+	if got := p128shard(prog.placed[5]); got != 0 {
+		t.Errorf("object 5 placed at %v in its full home shard; fallback did not fire", prog.placed[5])
+	}
+}
+
+func p128shard(s heap.Span) word.Addr { return s.Addr / 128 }
+
+// TestShardedEngineExhaustion: when every shard is full the manager
+// reports failure and the engine surfaces it as a manager error.
+func TestShardedEngineExhaustion(t *testing.T) {
+	cfg := sim.Config{M: 512, N: 64, C: 16, Capacity: 256, Shards: 2}
+	prog := newScriptProg(scriptRound{allocs: []word.Size{64, 64, 64, 64, 64}})
+	mgr, err := mm.New("sharded-first-fit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.NewEngine(cfg, prog, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); !errors.Is(err, sim.ErrManager) {
+		t.Fatalf("overfull sharded heap returned %v, want ErrManager", err)
+	}
+}
+
+// TestWrapShardsAnyRegisteredManager wraps a compacting manager from
+// the registry and runs it sharded, including its round compactions.
+func TestWrapShardsAnyRegisteredManager(t *testing.T) {
+	mgr, err := sharded.Wrap("mark-compact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := mgr.Name(), "sharded-mark-compact"; got != want {
+		t.Fatalf("Wrap name = %q, want %q", got, want)
+	}
+	cfg := sim.Config{M: 1 << 10, N: 1 << 5, C: 4, Pow2Only: true, Shards: 4}
+	prog := workload.NewRandom(workload.Config{Seed: 3, Rounds: 30, Dist: workload.UniformPow2})
+	e, err := sim.NewEngine(cfg, prog, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moves == 0 {
+		t.Error("sharded markcompact never moved; compaction is not reaching the shards")
+	}
+	if _, err := sharded.Wrap("no-such-manager"); err == nil {
+		t.Error("Wrap of unknown manager succeeded")
+	}
+}
+
+// TestConfigShardsValidation pins the Config.Shards rules.
+func TestConfigShardsValidation(t *testing.T) {
+	base := sim.Config{M: 1 << 12, N: 1 << 6, C: 16}
+	cases := []struct {
+		name   string
+		mutate func(*sim.Config)
+		ok     bool
+	}{
+		{"zero", func(c *sim.Config) { c.Shards = 0 }, true},
+		{"one", func(c *sim.Config) { c.Shards = 1 }, true},
+		{"eight", func(c *sim.Config) { c.Shards = 8 }, true},
+		{"negative", func(c *sim.Config) { c.Shards = -1 }, false},
+		{"above-max", func(c *sim.Config) { c.Shards = sim.MaxShards + 1 }, false},
+		{"indivisible", func(c *sim.Config) { c.Shards = 3; c.Capacity = 1 << 10 }, false},
+		{"shard-below-n", func(c *sim.Config) { c.Shards = 64; c.Capacity = 1 << 11 }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("Validate() = %v, want ok", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("Validate() accepted %+v", cfg)
+			}
+		})
+	}
+}

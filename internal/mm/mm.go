@@ -16,6 +16,10 @@
 //	mm/markcompact full sliding mark-compact (LISP-2 order)
 //	mm/threshold   density-threshold chunk evacuator
 //	mm/improved    Theorem-2-style size-classed partial compactor
+//
+// internal/heap/sharded additionally registers sharded-* wrappers that
+// run any of the above over a partitioned address space (one sub-heap
+// per Config.Shards shard) and exports the concurrent Allocator facade.
 package mm
 
 import (

@@ -1,0 +1,43 @@
+package obs
+
+import "fmt"
+
+// ShardMetrics bundles the per-shard gauges of a sharded heap: one
+// gauge per shard for live words, live objects and the cumulative
+// alloc/free/move counts, plus one global counter for cross-shard
+// fallback allocations. The slices are indexed by shard; the facade
+// holds the pointers directly, so its hot path updates are single
+// atomic stores with no registry lookup.
+type ShardMetrics struct {
+	Live    []*Gauge
+	Objects []*Gauge
+	Allocs  []*Gauge
+	Frees   []*Gauge
+	Moves   []*Gauge
+
+	Fallbacks *Counter
+}
+
+// NewShardMetrics registers shard-indexed metrics under
+// "shard.<i>.<name>" (plus "shard.fallbacks") and returns the bundle.
+func NewShardMetrics(r *Registry, shards int) *ShardMetrics {
+	m := &ShardMetrics{
+		Live:      make([]*Gauge, shards),
+		Objects:   make([]*Gauge, shards),
+		Allocs:    make([]*Gauge, shards),
+		Frees:     make([]*Gauge, shards),
+		Moves:     make([]*Gauge, shards),
+		Fallbacks: r.Counter("shard.fallbacks"),
+	}
+	for i := 0; i < shards; i++ {
+		m.Live[i] = r.Gauge(fmt.Sprintf("shard.%d.live", i))
+		m.Objects[i] = r.Gauge(fmt.Sprintf("shard.%d.objects", i))
+		m.Allocs[i] = r.Gauge(fmt.Sprintf("shard.%d.allocs", i))
+		m.Frees[i] = r.Gauge(fmt.Sprintf("shard.%d.frees", i))
+		m.Moves[i] = r.Gauge(fmt.Sprintf("shard.%d.moves", i))
+	}
+	return m
+}
+
+// Shards returns how many shards the bundle covers.
+func (m *ShardMetrics) Shards() int { return len(m.Live) }

@@ -55,7 +55,19 @@ type Config struct {
 	// mm.Base use. The zero value is the default treap; differential
 	// verification runs the same trace under every backend.
 	Index heap.IndexKind
+	// Shards partitions the heap address space into equal shards, each
+	// owned by an independent sub-heap with its own free-space index
+	// and occupancy accounting. 0 and 1 both select the single
+	// sequential heap of the paper; only managers built on
+	// internal/heap/sharded consult the knob, so it is inert for the
+	// classic managers. Values above 1 require Capacity to divide
+	// evenly into shards of at least N words (Validate enforces it).
+	Shards int
 }
+
+// MaxShards bounds Config.Shards: the sharded heap encodes the owning
+// shard index in the low byte of every object ID it hands out.
+const MaxShards = 256
 
 // DefaultCapacityFactor is the default heap capacity in units of M.
 const DefaultCapacityFactor = 64
@@ -86,6 +98,23 @@ func (c Config) Validate() error {
 	}
 	if c.Index != heap.IndexTreap && c.Index != heap.IndexSkipList {
 		return fmt.Errorf("sim: unknown free-space index backend %d", c.Index)
+	}
+	if c.Shards < 0 || c.Shards > MaxShards {
+		return fmt.Errorf("sim: Shards must be in [0, %d], got %d", MaxShards, c.Shards)
+	}
+	if c.Shards > 1 {
+		// Validate against the capacity a run would actually use, so a
+		// zero Capacity (defaulted later) is checked consistently.
+		capacity := c.Capacity
+		if capacity == 0 {
+			capacity = c.M * DefaultCapacityFactor
+		}
+		if capacity%word.Size(c.Shards) != 0 {
+			return fmt.Errorf("sim: capacity %d does not divide into %d shards", capacity, c.Shards)
+		}
+		if per := capacity / word.Size(c.Shards); per < c.N {
+			return fmt.Errorf("sim: shard capacity %d below max object size n=%d", per, c.N)
+		}
 	}
 	return nil
 }
