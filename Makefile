@@ -8,7 +8,7 @@ FUZZ_TARGETS := FuzzManagerTrace FuzzFreeIndex FuzzBoundsMonotone FuzzTraceRound
 BENCH_PATTERN := BenchmarkSim1PF|BenchmarkAllocatorThroughput|BenchmarkObsOverhead|BenchmarkShardedScaling
 BENCH_OUT := bench.out
 
-.PHONY: all build test vet lint race fuzz-smoke robustness resume-drill check bench bench-check trace clean
+.PHONY: all build test vet lint race fuzz-smoke robustness resume-drill serve serve-drill check bench bench-check trace clean
 
 all: build
 
@@ -36,7 +36,7 @@ lint: build
 race:
 	$(GO) test -race ./internal/sim ./internal/sweep ./internal/check ./internal/obs \
 		./internal/resume ./internal/faultinject ./internal/lint/... ./cmd/compactlint \
-		./internal/heap/sharded
+		./internal/heap/sharded ./internal/service ./cmd/compactd
 
 # The fault-tolerance suite under the race detector: every injected
 # fault class (panic, deadline, alloc failure, transient, sink write
@@ -51,6 +51,21 @@ robustness:
 # real grid twice and a half); CI runs it in the robustness job.
 resume-drill:
 	scripts/resume_drill.sh
+
+# Run the resident simulation service locally with a durable data
+# directory: http://localhost:8080 serves the dashboard, the job API,
+# and /metrics. Ctrl-C drains in-flight jobs to their checkpoints; the
+# next `make serve` resumes them.
+SERVE_DATA ?= .compactd
+serve: build
+	$(GO) run ./cmd/compactd -addr :8080 -data $(SERVE_DATA)
+
+# Service-level recovery drill: compactd → submit over HTTP → SIGTERM
+# mid-sweep → restart → the job resumes from its journal and the result
+# CSV is byte-identical to an uninterrupted run. CI runs this in the
+# service job.
+serve-drill:
+	scripts/serve_drill.sh
 
 # A short fuzzing pass over every native fuzz target. Each target runs
 # separately because `go test -fuzz` accepts only one target per

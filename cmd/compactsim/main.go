@@ -57,35 +57,21 @@ import (
 	"syscall"
 	"time"
 
-	"compaction/internal/adversary/pw"
-	"compaction/internal/adversary/robson"
 	"compaction/internal/bounds"
 	"compaction/internal/budget"
+	"compaction/internal/catalog"
 	"compaction/internal/check"
-	"compaction/internal/core"
 	"compaction/internal/heap/sharded"
 	"compaction/internal/mm"
 	"compaction/internal/obs"
-	"compaction/internal/profile"
 	"compaction/internal/resume"
 	"compaction/internal/sim"
 	"compaction/internal/stats"
 	"compaction/internal/sweep"
 	"compaction/internal/trace"
 	"compaction/internal/word"
-	"compaction/internal/workload"
 
-	_ "compaction/internal/mm/bitmapff"
-	_ "compaction/internal/mm/bpcompact"
-	_ "compaction/internal/mm/buddy"
-	_ "compaction/internal/mm/fits"
-	_ "compaction/internal/mm/halffit"
-	_ "compaction/internal/mm/improved"
-	_ "compaction/internal/mm/markcompact"
-	_ "compaction/internal/mm/rounding"
-	_ "compaction/internal/mm/segregated"
-	_ "compaction/internal/mm/threshold"
-	_ "compaction/internal/mm/tlsf"
+	_ "compaction/internal/mm/all"
 )
 
 func main() {
@@ -116,8 +102,15 @@ func main() {
 		checkpoint  = flag.String("checkpoint", "", "durable sweep journal: completed cells survive a crash or signal and are not re-run on resume")
 		cellTimeout = flag.Duration("cell-timeout", 0, "wall-clock deadline per sweep cell (0 = none)")
 		retries     = flag.Int("retries", 0, "re-run a failed sweep cell this many times (with backoff) before declaring a hole")
+		serve       = flag.Bool("serve", false, "removed: the resident simulation service is the compactd binary")
 	)
 	flag.Parse()
+	if *serve {
+		// compactsim stays the one-shot CLI; the resident job API,
+		// streaming and multi-tenant service live in cmd/compactd.
+		fmt.Fprintln(os.Stderr, "compactsim: -serve moved to its own binary; run `compactd -addr :8080 -data <dir>` (see cmd/compactd)")
+		os.Exit(2)
+	}
 	oo := obsOpts{
 		traceOut: *traceOut, traceFormat: *traceFormat, seriesOut: *seriesOut,
 		metricsAddr: *metricsAddr, progress: *progress,
@@ -439,34 +432,10 @@ func runSweep(ctx context.Context, o sweepOpts) error {
 	return nil
 }
 
+// newProgram resolves -adversary through the shared program catalog,
+// the same registry compactd job specs go through.
 func newProgram(adv string, seed int64, rounds, ell int) (func() sim.Program, bool, error) {
-	switch adv {
-	case "pf":
-		return func() sim.Program { return core.NewPF(core.Options{Ell: ell}) }, true, nil
-	case "robson":
-		return func() sim.Program { return robson.New(0) }, true, nil
-	case "pw":
-		return func() sim.Program { return pw.New() }, true, nil
-	case "random":
-		return func() sim.Program {
-			return workload.NewRandom(workload.Config{Seed: seed, Rounds: rounds, Dist: workload.Geometric})
-		}, false, nil
-	case "rampdown":
-		return func() sim.Program { return workload.NewRampDown(seed) }, false, nil
-	case "generational":
-		return func() sim.Program { return workload.NewGenerational(seed, rounds) }, false, nil
-	case "sawtooth":
-		return func() sim.Program { return workload.NewSawtooth(seed, rounds/2) }, false, nil
-	default:
-		if name, ok := strings.CutPrefix(adv, "profile:"); ok {
-			p, err := loadProfile(name)
-			if err != nil {
-				return nil, false, err
-			}
-			return func() sim.Program { return p.Program(seed) }, false, nil
-		}
-		return nil, false, fmt.Errorf("unknown adversary %q", adv)
-	}
+	return catalog.New(adv, catalog.Params{Seed: seed, Rounds: rounds, Ell: ell})
 }
 
 // runSeeds repeats a seed-driven workload across seeds 1..n per
@@ -509,19 +478,6 @@ func runSeeds(ctx context.Context, adv, manager string, m, n, c int64, shards, s
 		}
 	}
 	return nil
-}
-
-// loadProfile resolves a canned profile name or a JSON file path.
-func loadProfile(name string) (*profile.Profile, error) {
-	if p, ok := profile.Canned()[name]; ok {
-		return p, nil
-	}
-	f, err := os.Open(name)
-	if err != nil {
-		return nil, fmt.Errorf("profile %q is not canned and not readable: %w", name, err)
-	}
-	defer f.Close()
-	return profile.Parse(f)
 }
 
 type runOpts struct {

@@ -43,14 +43,14 @@ func TestLoadProfileFromFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	p, err := loadProfile(path)
+	mk, _, err := newProgram("profile:"+path, 1, 20, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p.Name != "filetest" {
-		t.Fatalf("loaded %q", p.Name)
+	if got := mk().Name(); got != "profile:filetest" && got != "filetest" {
+		t.Fatalf("loaded program named %q", got)
 	}
-	if _, err := loadProfile(filepath.Join(dir, "missing.json")); err == nil {
+	if _, _, err := newProgram("profile:"+filepath.Join(dir, "missing.json"), 1, 20, 0); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }

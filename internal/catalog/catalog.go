@@ -1,0 +1,95 @@
+// Package catalog resolves program names to constructors. It is the
+// single registry of the adversaries and workloads a run can be
+// configured with by name — compactsim's -adversary flag and the
+// service's job specs both go through it, so the two frontends can
+// never drift apart on which programs exist or how a name maps to a
+// parameterization.
+//
+// A program name is either a built-in ("pf", "robson", "pw",
+// "random", "rampdown", "generational", "sawtooth") or a profile
+// reference ("profile:<canned-name>" or "profile:<path.json>").
+package catalog
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"compaction/internal/adversary/pw"
+	"compaction/internal/adversary/robson"
+	"compaction/internal/core"
+	"compaction/internal/profile"
+	"compaction/internal/sim"
+	"compaction/internal/workload"
+)
+
+// Params are the knobs a named program can consume. Programs ignore
+// the fields they have no use for (P_F reads Ell, the seeded
+// workloads read Seed and Rounds).
+type Params struct {
+	// Seed drives the random workloads; deterministic adversaries
+	// ignore it.
+	Seed int64
+	// Rounds bounds the round-driven workloads (random, generational,
+	// sawtooth).
+	Rounds int
+	// Ell fixes P_F's density exponent ℓ; 0 selects the optimum.
+	Ell int
+}
+
+// New resolves name to a fresh-program constructor. Programs are
+// single-use, so callers get a factory, not an instance. The second
+// result reports whether the program lives in P2(M, n) — every
+// requested size a power of two — which the engine enforces when set.
+func New(name string, p Params) (mk func() sim.Program, pow2 bool, err error) {
+	switch name {
+	case "pf":
+		return func() sim.Program { return core.NewPF(core.Options{Ell: p.Ell}) }, true, nil
+	case "robson":
+		return func() sim.Program { return robson.New(0) }, true, nil
+	case "pw":
+		return func() sim.Program { return pw.New() }, true, nil
+	case "random":
+		return func() sim.Program {
+			return workload.NewRandom(workload.Config{Seed: p.Seed, Rounds: p.Rounds, Dist: workload.Geometric})
+		}, false, nil
+	case "rampdown":
+		return func() sim.Program { return workload.NewRampDown(p.Seed) }, false, nil
+	case "generational":
+		return func() sim.Program { return workload.NewGenerational(p.Seed, p.Rounds) }, false, nil
+	case "sawtooth":
+		return func() sim.Program { return workload.NewSawtooth(p.Seed, p.Rounds/2) }, false, nil
+	default:
+		if ref, ok := strings.CutPrefix(name, "profile:"); ok {
+			prof, err := loadProfile(ref)
+			if err != nil {
+				return nil, false, err
+			}
+			return func() sim.Program { return prof.Program(p.Seed) }, false, nil
+		}
+		return nil, false, fmt.Errorf("catalog: unknown program %q (have %s)",
+			name, strings.Join(Names(), ", "))
+	}
+}
+
+// Names returns the built-in program names, sorted. Profile references
+// are open-ended and therefore not listed.
+func Names() []string {
+	names := []string{"pf", "robson", "pw", "random", "rampdown", "generational", "sawtooth"}
+	sort.Strings(names)
+	return names
+}
+
+// loadProfile resolves a canned profile name or a JSON file path.
+func loadProfile(name string) (*profile.Profile, error) {
+	if p, ok := profile.Canned()[name]; ok {
+		return p, nil
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: profile %q is not canned and not readable: %w", name, err)
+	}
+	defer f.Close()
+	return profile.Parse(f)
+}

@@ -1,0 +1,68 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEveryBuiltinConstructs(t *testing.T) {
+	for _, name := range Names() {
+		mk, pow2, err := New(name, Params{Seed: 1, Rounds: 10})
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		prog := mk()
+		if prog == nil {
+			t.Fatalf("New(%q): nil program", name)
+		}
+		if got := prog.Name(); got == "" {
+			t.Errorf("New(%q): empty program name", name)
+		}
+		// The paper adversaries are P2 programs; the synthetic
+		// workloads are not. Pin the split so a catalog edit cannot
+		// silently change which runs the engine pow2-checks.
+		wantPow2 := name == "pf" || name == "robson" || name == "pw"
+		if pow2 != wantPow2 {
+			t.Errorf("New(%q): pow2 = %v, want %v", name, pow2, wantPow2)
+		}
+	}
+}
+
+func TestFreshProgramPerCall(t *testing.T) {
+	mk, _, err := New("pf", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mk() == mk() {
+		t.Fatal("constructor returned the same program twice; programs are single-use")
+	}
+}
+
+func TestUnknownNameListsBuiltins(t *testing.T) {
+	_, _, err := New("no-such-program", Params{})
+	if err == nil {
+		t.Fatal("want error for unknown program")
+	}
+	if !strings.Contains(err.Error(), "pf") {
+		t.Errorf("error %q does not list the built-ins", err)
+	}
+}
+
+func TestCannedProfileResolves(t *testing.T) {
+	mk, pow2, err := New("profile:server", Params{Seed: 3})
+	if err != nil {
+		t.Skipf("no canned profile named server: %v", err)
+	}
+	if pow2 {
+		t.Error("profile programs must not claim P2")
+	}
+	if mk() == nil {
+		t.Fatal("nil program from profile")
+	}
+}
+
+func TestMissingProfileFileErrors(t *testing.T) {
+	if _, _, err := New("profile:/does/not/exist.json", Params{}); err == nil {
+		t.Fatal("want error for missing profile file")
+	}
+}

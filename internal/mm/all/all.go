@@ -1,0 +1,23 @@
+// Package all registers the complete manager portfolio — every
+// internal/mm backend plus the sharded-heap wrappers — as a side
+// effect of being imported. Binaries and test packages that resolve
+// managers by registry name (compactsim, compactd, the service's
+// end-to-end suites) blank-import this one package instead of
+// maintaining their own copy of the backend list, so a newly
+// registered manager becomes reachable everywhere at once.
+package all
+
+import (
+	_ "compaction/internal/heap/sharded"
+	_ "compaction/internal/mm/bitmapff"
+	_ "compaction/internal/mm/bpcompact"
+	_ "compaction/internal/mm/buddy"
+	_ "compaction/internal/mm/fits"
+	_ "compaction/internal/mm/halffit"
+	_ "compaction/internal/mm/improved"
+	_ "compaction/internal/mm/markcompact"
+	_ "compaction/internal/mm/rounding"
+	_ "compaction/internal/mm/segregated"
+	_ "compaction/internal/mm/threshold"
+	_ "compaction/internal/mm/tlsf"
+)

@@ -273,10 +273,21 @@ func (r *Registry) Snapshot() map[string]any {
 	return out
 }
 
+// publishMu serializes the expvar existence check against the publish
+// that follows it. expvar.Get and expvar.Publish are individually
+// safe, but the check-then-publish pair is not: two goroutines racing
+// through PublishExpvar (a service starting two listeners, a test
+// hammering Serve) could both observe the name as absent and the
+// second Publish would panic. The obs handler race test pins this.
+var publishMu sync.Mutex
+
 // PublishExpvar publishes the registry under the given top-level
 // expvar name. Republishing the same name is a no-op (expvar itself
-// panics on duplicates), so CLIs can call it unconditionally.
+// panics on duplicates), so CLIs can call it unconditionally, from
+// any number of goroutines.
 func (r *Registry) PublishExpvar(name string) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
 	if expvar.Get(name) != nil {
 		return
 	}

@@ -1,0 +1,19 @@
+package service
+
+import (
+	_ "embed"
+	"net/http"
+)
+
+// dashboardHTML is the single-file live dashboard: vanilla JS over the
+// same public API the CLI clients use (job list polling plus an SSE
+// subscription per selected job), embedded so compactd ships as one
+// binary.
+//
+//go:embed dashboard.html
+var dashboardHTML []byte
+
+func (s *Server) handleDashboard(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(dashboardHTML)
+}

@@ -1,0 +1,272 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"compaction/internal/obs"
+)
+
+// maxSpecBytes bounds a submission body. Specs are small JSON
+// documents; anything larger is a mistake or an attack.
+const maxSpecBytes = 1 << 20
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs              submit a spec (201, 400, 429)
+//	GET    /v1/jobs              list the tenant's jobs
+//	GET    /v1/jobs/{id}         job status
+//	DELETE /v1/jobs/{id}         cancel (202; idempotent on terminal)
+//	GET    /v1/jobs/{id}/events  NDJSON stream (?from=N)
+//	GET    /v1/jobs/{id}/stream  SSE stream (?from=N, Last-Event-ID)
+//	GET    /v1/jobs/{id}/result  terminal outcome CSV (409 until then)
+//	GET    /healthz              liveness
+//	GET    /                     live dashboard
+//	/metrics, /debug/...         obs.Handler over the service registry
+//
+// Authentication is bearer-token (Authorization: Bearer <token>, or
+// ?token= for EventSource clients, which cannot set headers). With no
+// tenants configured the server is open and every caller is "public".
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("POST /v1/jobs", s.auth(s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs", s.auth(s.handleList))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.auth(s.handleStatus))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.auth(s.handleCancel))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.auth(s.handleNDJSON))
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.auth(s.handleSSE))
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.auth(s.handleResult))
+	mux.HandleFunc("GET /{$}", s.handleDashboard)
+	mux.Handle("/metrics", obs.Handler(s.reg))
+	mux.Handle("/debug/", obs.Handler(s.reg))
+	return mux
+}
+
+// httpError is the JSON error body of every non-2xx response.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	data, _ := json.Marshal(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.Write(append(data, '\n'))
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// auth resolves the caller's tenant and rejects unknown tokens.
+func (s *Server) auth(h func(http.ResponseWriter, *http.Request, Tenant)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t, ok := s.tenantFor(r)
+		if !ok {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="compactd"`)
+			httpError(w, http.StatusUnauthorized, "missing or unknown bearer token")
+			return
+		}
+		h(w, r, t)
+	}
+}
+
+func (s *Server) tenantFor(r *http.Request) (Tenant, bool) {
+	if len(s.tenants) == 0 {
+		return s.public, true
+	}
+	tok := r.URL.Query().Get("token")
+	if h := r.Header.Get("Authorization"); h != "" {
+		if b, ok := strings.CutPrefix(h, "Bearer "); ok {
+			tok = b
+		}
+	}
+	t, ok := s.tenants[tok]
+	return t, ok
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, t Tenant) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	sp, err := ParseSpec(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, err := s.Submit(t, sp)
+	if err != nil {
+		var qe quotaError
+		if errors.As(err, &qe) {
+			// Tell the client when to come back: quota is freed by job
+			// completion, so a short fixed backoff is the honest hint.
+			w.Header().Set("Retry-After", "5")
+			httpError(w, http.StatusTooManyRequests, "%v", err)
+			return
+		}
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.ID())
+	writeJSON(w, http.StatusCreated, j.Status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request, t Tenant) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.list(t)})
+}
+
+func (s *Server) findJob(w http.ResponseWriter, r *http.Request, t Tenant) (*Job, bool) {
+	j, ok := s.job(t, r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request, t Tenant) {
+	if j, ok := s.findJob(w, r, t); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request, t Tenant) {
+	j, ok := s.findJob(w, r, t)
+	if !ok {
+		return
+	}
+	if st := j.Status(); st.State.Terminal() {
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request, t Tenant) {
+	j, ok := s.findJob(w, r, t)
+	if !ok {
+		return
+	}
+	st := j.Status()
+	if !st.State.Terminal() {
+		httpError(w, http.StatusConflict, "job %s is %s; the result exists once it is terminal", j.ID(), st.State)
+		return
+	}
+	csv, ok := j.result()
+	if !ok {
+		httpError(w, http.StatusNotFound, "job %s ended %s without a result", j.ID(), st.State)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	w.Write(csv)
+}
+
+// streamStart parses the resume offset: ?from=N, or for SSE clients
+// the standard Last-Event-ID reconnect header (the id of the last line
+// seen, so the stream resumes at id+1).
+func streamStart(r *http.Request) (int, error) {
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("from=%q is not a non-negative integer", v)
+		}
+		return n, nil
+	}
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("Last-Event-ID %q is not a non-negative integer", v)
+		}
+		return n + 1, nil
+	}
+	return 0, nil
+}
+
+// handleNDJSON streams the job's event log as NDJSON: each retained
+// line verbatim, then live lines as they land, until the job ends or
+// the client leaves. The bytes are exactly the log's lines, so two
+// reads of the same finished job are byte-identical — the stream
+// golden tests depend on it.
+func (s *Server) handleNDJSON(w http.ResponseWriter, r *http.Request, t Tenant) {
+	j, ok := s.findJob(w, r, t)
+	if !ok {
+		return
+	}
+	from, err := streamStart(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	for {
+		lines, ok, err := j.log.next(r.Context(), from)
+		if err != nil || !ok {
+			return
+		}
+		for _, ln := range lines {
+			if _, err := w.Write(ln.data); err != nil {
+				return
+			}
+		}
+		from += len(lines)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// handleSSE streams the job's event log as Server-Sent Events. The
+// event id is the line's sequence number, the event name is the line
+// family (round, state, checkpoint, ...), and the data is the same
+// JSON the NDJSON endpoint serves.
+func (s *Server) handleSSE(w http.ResponseWriter, r *http.Request, t Tenant) {
+	j, ok := s.findJob(w, r, t)
+	if !ok {
+		return
+	}
+	from, err := streamStart(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	var buf []byte
+	for {
+		lines, ok, err := j.log.next(r.Context(), from)
+		if err != nil || !ok {
+			return
+		}
+		for i, ln := range lines {
+			buf = buf[:0]
+			buf = append(buf, "id: "...)
+			buf = strconv.AppendInt(buf, int64(from+i), 10)
+			buf = append(buf, "\nevent: "...)
+			buf = append(buf, ln.event...)
+			buf = append(buf, "\ndata: "...)
+			buf = append(buf, ln.data[:len(ln.data)-1]...) // strip the NDJSON '\n'
+			buf = append(buf, "\n\n"...)
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+		}
+		from += len(lines)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"compaction/internal/sweep"
+)
+
+// State is a job's lifecycle position. Transitions are one-way:
+// queued → running → one of the terminal states (done, failed,
+// canceled). A job interrupted by a server shutdown is not a
+// transition at all — nothing terminal is persisted, so the job comes
+// back queued on the next boot and resumes from its journal.
+type State string
+
+// The job states.
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	// StateDone: the sweep ran to the end. Individual cells may still
+	// have failed — Status.Failed counts the holes, and the result CSV
+	// carries them in its error column.
+	StateDone State = "done"
+	// StateFailed: the job could not run or the sweep infrastructure
+	// failed (bad grid expansion, unusable checkpoint journal).
+	StateFailed State = "failed"
+	// StateCanceled: the tenant canceled the job.
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// errCanceledByUser is the cancellation cause of a DELETE — it is what
+// distinguishes a tenant's cancel (terminal, persisted) from a server
+// shutdown (not terminal; the job resumes on the next boot).
+var errCanceledByUser = errors.New("service: job canceled by request")
+
+// Status is the wire form of GET /v1/jobs/{id}. Progress fields come
+// from the job's sweep monitor while it runs and are frozen into the
+// persisted terminal record when it ends.
+type Status struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant"`
+	State  State  `json:"state"`
+	Cells  int    `json:"cells"`
+	Done   int64  `json:"done"`
+	Failed int64  `json:"failed"`
+	// Restored counts cells satisfied from the checkpoint journal
+	// instead of a fresh run — nonzero exactly when the job resumed.
+	Restored    int64  `json:"restored"`
+	Skipped     int64  `json:"skipped,omitempty"`
+	Retries     int64  `json:"retries,omitempty"`
+	Checkpoints int64  `json:"checkpoints,omitempty"`
+	ETAMillis   int64  `json:"eta_ms,omitempty"`
+	Error       string `json:"error,omitempty"`
+	Spec        Spec   `json:"spec"`
+}
+
+// Job is one admitted submission: its spec, stream log, monitor, and
+// the cancelable context its sweep runs under.
+type Job struct {
+	id     string
+	tenant string
+	spec   Spec
+	cells  int
+
+	log    *eventLog
+	mon    *sweep.Monitor
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	mu        sync.Mutex
+	state     State
+	errMsg    string
+	resultCSV []byte  // set at terminal when outcomes exist
+	final     *Status // frozen terminal status (also recovered from disk)
+}
+
+// Cancel requests cooperative cancellation on behalf of the tenant.
+// It is idempotent and a no-op on terminal jobs.
+func (j *Job) Cancel() { j.cancel(errCanceledByUser) }
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Status snapshots the job for serving. Live jobs read the monitor's
+// gauges; terminal jobs return the frozen record.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.final != nil {
+		return *j.final
+	}
+	st := Status{
+		ID: j.id, Tenant: j.tenant, State: j.state,
+		Cells: j.cells, Spec: j.spec,
+	}
+	p := j.mon.Snapshot()
+	st.Done, st.Failed, st.Restored = p.Done, p.Failed, p.Restored
+	st.Skipped, st.Retries, st.Checkpoints = p.Skipped, p.Retries, p.Checkpoints
+	st.ETAMillis = p.ETA.Milliseconds()
+	st.Error = j.errMsg
+	return st
+}
+
+// setRunning transitions queued → running and streams the state line.
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.mu.Unlock()
+	j.log.appendState(stateLine{Ev: "state", State: StateRunning, Cells: j.cells})
+}
+
+// finish freezes the job in a terminal state, streams the terminal
+// state line and closes the stream. It returns the frozen status for
+// persisting.
+func (j *Job) finish(state State, errMsg string, resultCSV []byte) Status {
+	j.mu.Lock()
+	j.state = state
+	j.errMsg = errMsg
+	j.resultCSV = resultCSV
+	p := j.mon.Snapshot()
+	st := Status{
+		ID: j.id, Tenant: j.tenant, State: state,
+		Cells: j.cells, Spec: j.spec,
+		Done: p.Done, Failed: p.Failed, Restored: p.Restored,
+		Skipped: p.Skipped, Retries: p.Retries, Checkpoints: p.Checkpoints,
+		Error: errMsg,
+	}
+	j.final = &st
+	j.mu.Unlock()
+	j.log.appendState(stateLine{
+		Ev: "state", State: state, Cells: j.cells,
+		Done: st.Done, Failed: st.Failed, Restored: st.Restored,
+		Error: errMsg,
+	})
+	j.log.close()
+	return st
+}
+
+// result returns the terminal CSV, if the job has one.
+func (j *Job) result() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.resultCSV, j.resultCSV != nil
+}

@@ -1,0 +1,109 @@
+package service
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Default per-tenant quotas, applied when a tenant is configured
+// without explicit limits (and to the open-mode public tenant).
+const (
+	DefaultMaxJobs  = 4
+	DefaultMaxCells = 4096
+)
+
+// Tenant is one admitted client of the service: a bearer token bound
+// to a name and a pair of admission quotas. Quotas are charged on
+// admission and released when a job reaches a terminal state, so they
+// bound a tenant's *concurrent* footprint (queued + running), not its
+// lifetime usage.
+type Tenant struct {
+	// Name labels the tenant in job records and listings.
+	Name string `json:"name"`
+	// Token is the bearer token that authenticates the tenant.
+	Token string `json:"token"`
+	// MaxJobs bounds the tenant's queued + running jobs.
+	MaxJobs int `json:"max_jobs"`
+	// MaxCells bounds the total grid cells across the tenant's queued
+	// and running jobs — the quota that makes one giant sweep and many
+	// small ones cost the same currency.
+	MaxCells int `json:"max_cells"`
+}
+
+func (t Tenant) withDefaults() Tenant {
+	if t.MaxJobs <= 0 {
+		t.MaxJobs = DefaultMaxJobs
+	}
+	if t.MaxCells <= 0 {
+		t.MaxCells = DefaultMaxCells
+	}
+	return t
+}
+
+// ParseTenants parses the compactd -tenants flag syntax:
+//
+//	token=name[:maxjobs[:maxcells]][,token=name...]
+//
+// Example: "s3cret=alice:2:512,t0ken=bob" gives alice 2 concurrent
+// jobs and 512 cells, bob the defaults.
+func ParseTenants(s string) ([]Tenant, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []Tenant
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		token, rest, ok := strings.Cut(part, "=")
+		if !ok || token == "" || rest == "" {
+			return nil, fmt.Errorf("tenants: %q is not token=name[:maxjobs[:maxcells]]", part)
+		}
+		fields := strings.Split(rest, ":")
+		t := Tenant{Token: token, Name: fields[0]}
+		if t.Name == "" {
+			return nil, fmt.Errorf("tenants: %q has an empty name", part)
+		}
+		if len(fields) > 3 {
+			return nil, fmt.Errorf("tenants: %q has too many fields", part)
+		}
+		var err error
+		if len(fields) > 1 {
+			if t.MaxJobs, err = strconv.Atoi(fields[1]); err != nil {
+				return nil, fmt.Errorf("tenants: %q: bad maxjobs: %w", part, err)
+			}
+		}
+		if len(fields) > 2 {
+			if t.MaxCells, err = strconv.Atoi(fields[2]); err != nil {
+				return nil, fmt.Errorf("tenants: %q: bad maxcells: %w", part, err)
+			}
+		}
+		if seen[token] {
+			return nil, fmt.Errorf("tenants: duplicate token %q", token)
+		}
+		seen[token] = true
+		out = append(out, t.withDefaults())
+	}
+	return out, nil
+}
+
+// usage is a tenant's live admission footprint.
+type usage struct {
+	jobs  int
+	cells int
+}
+
+// admit charges a new job against the tenant's quotas. It reports
+// whether the job fits; the caller holds the server mutex, so the
+// check-then-charge pair is atomic.
+func admit(t Tenant, u usage, cells int) error {
+	if u.jobs+1 > t.MaxJobs {
+		return fmt.Errorf("tenant %q at its job quota (%d of %d concurrent jobs)",
+			t.Name, u.jobs, t.MaxJobs)
+	}
+	if u.cells+cells > t.MaxCells {
+		return fmt.Errorf("tenant %q would exceed its cell quota (%d live + %d requested > %d)",
+			t.Name, u.cells, cells, t.MaxCells)
+	}
+	return nil
+}

@@ -24,8 +24,15 @@ type Monitor struct {
 	restored    *obs.Gauge
 	skipped     *obs.Gauge
 	checkpoints *obs.Gauge
-	workers     []*obs.Gauge
-	start       time.Time
+
+	// mu guards the non-atomic fields below, which begin() rewrites at
+	// the start of every run while external readers (HTTP status
+	// handlers, tickers) may be mid-Snapshot. Workers never take it:
+	// begin() happens-before the worker goroutines exist, and they
+	// only touch the atomic gauges.
+	mu      sync.Mutex
+	workers []*obs.Gauge
+	start   time.Time
 }
 
 // NewMonitor returns a monitor registering its gauges in reg. A nil
@@ -64,6 +71,7 @@ func (m *Monitor) begin(total, workers int) {
 	m.restored.Set(0)
 	m.skipped.Set(0)
 	m.checkpoints.Set(0)
+	m.mu.Lock()
 	m.workers = m.workers[:0]
 	for w := 0; w < workers; w++ {
 		g := reg.Gauge(fmt.Sprintf("sweep.worker%02d.cells_done", w))
@@ -71,6 +79,7 @@ func (m *Monitor) begin(total, workers int) {
 		m.workers = append(m.workers, g)
 	}
 	m.start = time.Now()
+	m.mu.Unlock()
 }
 
 // cellDone records one finished cell for a worker.
@@ -145,15 +154,23 @@ func (m *Monitor) Snapshot() Progress {
 		Skipped:     m.skipped.Value(),
 		Checkpoints: m.checkpoints.Value(),
 	}
+	m.mu.Lock()
 	for _, w := range m.workers {
 		p.PerWorker = append(p.PerWorker, w.Value())
 	}
-	if !m.start.IsZero() {
-		p.Elapsed = time.Since(m.start)
+	start := m.start
+	m.mu.Unlock()
+	if !start.IsZero() {
+		p.Elapsed = time.Since(start)
 	}
-	if p.Done > 0 && p.Done < p.Total {
+	// Skipped cells are finished business: a canceled sweep abandons
+	// them permanently, so they must not be extrapolated as pending
+	// work. Without the Skipped term a canceled sweep's gauges froze
+	// with Done < Total and the ETA stayed a positive lie forever —
+	// which compactd would then serve as live job status.
+	if p.Done > 0 && p.Done+p.Skipped < p.Total {
 		perCell := p.Elapsed / time.Duration(p.Done)
-		p.ETA = perCell * time.Duration(p.Total-p.Done)
+		p.ETA = perCell * time.Duration(p.Total-p.Done-p.Skipped)
 	}
 	return p
 }

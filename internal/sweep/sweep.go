@@ -171,6 +171,16 @@ type Options struct {
 	// Tracer, if non-nil, receives retry, checkpoint and degraded
 	// events. The sweep serializes emissions, so any tracer works.
 	Tracer obs.Tracer
+	// EngineTracer, if non-nil, is consulted once per attempt for the
+	// tracer to attach to the cell's engine (nil leaves that cell
+	// untraced). Unlike Tracer, emissions are NOT serialized by the
+	// sweep: cells run on concurrent workers, so a tracer shared
+	// across cells must be safe for concurrent use — compactd's
+	// job-stream broadcaster is; the plain file sinks are not. The
+	// engine emits round (and, with managers that trace, alloc, free
+	// and move) events; the cell index is passed so the caller can
+	// stamp events with their grid position.
+	EngineTracer func(cell int) obs.Tracer
 }
 
 func (o Options) withDefaults(cells int) Options {
@@ -352,7 +362,11 @@ func (s *scheduler) runCell(ctx context.Context, i int, e *sim.Engine) (Outcome,
 		if s.o.CellTimeout > 0 {
 			actx, cancel = context.WithTimeout(ctx, s.o.CellTimeout)
 		}
-		o, next := runCellAttempt(actx, c, e)
+		var tracer obs.Tracer
+		if s.o.EngineTracer != nil {
+			tracer = s.o.EngineTracer(i)
+		}
+		o, next := runCellAttempt(actx, c, e, tracer)
 		cancel()
 		e = next
 		if o.Err == nil {
@@ -435,8 +449,11 @@ func classify(parent context.Context, err error) FailKind {
 // runCellAttempt runs one attempt of one cell, reusing the worker's
 // engine when one is handed in. It returns the engine for the next
 // cell, or nil when the engine's state can no longer be trusted (a
-// panic mid-run).
-func runCellAttempt(ctx context.Context, c Cell, e *sim.Engine) (o Outcome, next *sim.Engine) {
+// panic mid-run). The tracer (possibly nil) is installed on the
+// engine for exactly this attempt: engines are reused across cells,
+// so it must be set unconditionally or a traced cell would leak its
+// tracer into the next cell the worker picks up.
+func runCellAttempt(ctx context.Context, c Cell, e *sim.Engine, tracer obs.Tracer) (o Outcome, next *sim.Engine) {
 	o = Outcome{Cell: c}
 	next = e
 	// A panicking program or manager must fail its own cell, not tear
@@ -466,6 +483,10 @@ func runCellAttempt(ctx context.Context, c Cell, e *sim.Engine) (o Outcome, next
 	} else if err := e.Reset(c.Config, c.Program(), mgr); err != nil {
 		o.Err = err
 		return o, next
+	}
+	e.Tracer = tracer
+	if ts, ok := mgr.(obs.TracerSetter); ok {
+		ts.SetTracer(tracer)
 	}
 	res, err := e.RunCtx(ctx)
 	o.Result, o.Err = res, err
