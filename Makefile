@@ -8,7 +8,7 @@ FUZZ_TARGETS := FuzzManagerTrace FuzzFreeIndex FuzzBoundsMonotone FuzzTraceRound
 BENCH_PATTERN := BenchmarkSim1PF|BenchmarkAllocatorThroughput|BenchmarkObsOverhead|BenchmarkShardedScaling
 BENCH_OUT := bench.out
 
-.PHONY: all build test vet lint race fuzz-smoke robustness resume-drill serve serve-drill check bench bench-check trace clean
+.PHONY: all build test vet lint race fuzz-smoke robustness resume-drill serve serve-drill check bench bench-check trace heatmap clean
 
 all: build
 
@@ -99,6 +99,17 @@ bench-check: build
 trace: build
 	$(GO) run ./cmd/compactsim -adversary pf -M 16Ki -n 64 -c 8 -manager first-fit \
 		-trace-out trace_pf.json -series-out series_pf.csv
+
+# Produce sample heap-introspection artifacts from the same seeded
+# adversarial run against two managers: heapscope heatmap JSON
+# (free-interval histograms, largest free extent, occupancy heatmap,
+# multi-resolution over rounds) for first-fit and TLSF, the pair the
+# EXPERIMENTS fragmentation note reads side by side.
+heatmap: build
+	$(GO) run ./cmd/compactsim -adversary pf -M 16Ki -n 64 -c 8 -manager first-fit \
+		-heatmap-out heatmap_pf_first-fit.json -heatmap-every 1
+	$(GO) run ./cmd/compactsim -adversary pf -M 16Ki -n 64 -c 8 -manager tlsf \
+		-heatmap-out heatmap_pf_tlsf.json -heatmap-every 1
 
 clean:
 	$(GO) clean ./...

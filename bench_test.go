@@ -28,6 +28,7 @@ import (
 	"compaction/internal/mm"
 	"compaction/internal/mm/fits"
 	"compaction/internal/obs"
+	"compaction/internal/obs/heapscope"
 	"compaction/internal/profile"
 	"compaction/internal/sim"
 	"compaction/internal/word"
@@ -281,20 +282,30 @@ func BenchmarkProfiles(b *testing.B) {
 
 // BenchmarkObsOverhead measures what the observability layer adds to
 // a full adversarial run: the nil-tracer fast path against a ring
-// sink, the atomic metrics bundle, and both tee'd together. The "off"
-// case is the shipping default, so its allocs/op are part of the
-// gated baseline.
+// sink, the atomic metrics bundle, both tee'd together, and a
+// heapscope heap sampler on the HeapHook at its default stride. The
+// "off" case is the shipping default, so its allocs/op are part of
+// the gated baseline; the heapscope case gates the introspection
+// overhead that compactd jobs pay with heatmaps on.
 func BenchmarkObsOverhead(b *testing.B) {
 	cfg := sim.Config{M: 1 << 14, N: 1 << 6, C: 16, Pow2Only: true}
 	modes := []struct {
 		name string
 		mk   func() obs.Tracer
+		hook func(b *testing.B) (sim.HeapHook, int)
 	}{
-		{"off", func() obs.Tracer { return nil }},
-		{"ring", func() obs.Tracer { return obs.NewRing(1 << 12) }},
-		{"metrics", func() obs.Tracer { return obs.NewSimMetrics(obs.NewRegistry()) }},
+		{"off", func() obs.Tracer { return nil }, nil},
+		{"ring", func() obs.Tracer { return obs.NewRing(1 << 12) }, nil},
+		{"metrics", func() obs.Tracer { return obs.NewSimMetrics(obs.NewRegistry()) }, nil},
 		{"ring+metrics", func() obs.Tracer {
 			return obs.Tee(obs.NewRing(1<<12), obs.NewSimMetrics(obs.NewRegistry()))
+		}, nil},
+		{"heapscope", func() obs.Tracer { return nil }, func(b *testing.B) (sim.HeapHook, int) {
+			s, err := heapscope.New(heapscope.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return s.Sample, heapscope.DefaultEvery
 		}},
 	}
 	for _, m := range modes {
@@ -302,6 +313,11 @@ func BenchmarkObsOverhead(b *testing.B) {
 		b.Run(m.name, func(b *testing.B) {
 			b.ReportAllocs()
 			tracer := m.mk()
+			var hook sim.HeapHook
+			every := 0
+			if m.hook != nil {
+				hook, every = m.hook(b)
+			}
 			for i := 0; i < b.N; i++ {
 				mgr, err := mm.New("first-fit")
 				if err != nil {
@@ -312,6 +328,8 @@ func BenchmarkObsOverhead(b *testing.B) {
 					b.Fatal(err)
 				}
 				e.Tracer = tracer
+				e.HeapHook = hook
+				e.RoundHookEvery = every
 				if _, err := e.Run(); err != nil {
 					b.Fatal(err)
 				}

@@ -12,6 +12,7 @@
 //	compactsim -replay min.bin -manager best-fit   # replay a saved trace
 //	compactsim -adversary pf -manager first-fit -trace-out run.json
 //	compactsim -adversary pf -manager first-fit -series-out hs.csv
+//	compactsim -adversary pf -manager first-fit -heatmap-out heat.json
 //	compactsim -adversary pf -sweep 8,16,32 -progress -metrics-addr :6060
 //
 // The engine enforces the model (live bound M, compaction budget s/c,
@@ -27,10 +28,14 @@
 // Observability (internal/obs): -trace-out records the run's event
 // stream (NDJSON for .ndjson paths, Chrome trace_event JSON otherwise
 // — load the latter in Perfetto/chrome://tracing), -series-out writes
-// the per-round HS/live/moved series as CSV, -metrics-addr serves live
-// metrics, expvar and pprof over HTTP, and -progress prints a stderr
-// ticker. Tracing applies to single runs against a single manager;
-// -progress and -metrics-addr also cover -sweep via the sweep monitor.
+// the per-round HS/live/moved series as CSV, -heatmap-out writes a
+// heapscope fragmentation heatmap artifact (free-interval histograms,
+// largest free extent and an occupancy heatmap, multi-resolution over
+// rounds — the same JSON compactd serves per job), -metrics-addr
+// serves live metrics, expvar and pprof over HTTP, and -progress
+// prints a stderr ticker. Tracing applies to single runs against a
+// single manager; -progress and -metrics-addr also cover -sweep via
+// the sweep monitor.
 //
 // Fault tolerance: SIGINT/SIGTERM cancel the run cooperatively — the
 // simulation stops at the next round boundary, trace and series sinks
@@ -64,6 +69,7 @@ import (
 	"compaction/internal/heap/sharded"
 	"compaction/internal/mm"
 	"compaction/internal/obs"
+	"compaction/internal/obs/heapscope"
 	"compaction/internal/resume"
 	"compaction/internal/sim"
 	"compaction/internal/stats"
@@ -76,12 +82,12 @@ import (
 
 func main() {
 	var (
-		adv        = flag.String("adversary", "pf", "program: pf, robson, pw, random, rampdown")
-		manager    = flag.String("manager", "all", `manager name or "all"`)
-		mFlag      = word.NewFlagSize(flag.CommandLine, "M", 1<<16, "live-space bound M in words (e.g. 64Ki, 256Mi)")
-		nFlag      = word.NewFlagSize(flag.CommandLine, "n", 1<<8, "largest object size in words (e.g. 256, 1Mi)")
-		cFlag      = flag.Int64("c", 16, "compaction bound (0 = unlimited, -1 = none)")
-		shards     = flag.Int("shards", 0, "partition the heap into this many shards (0/1 = unsharded); "+
+		adv     = flag.String("adversary", "pf", "program: pf, robson, pw, random, rampdown")
+		manager = flag.String("manager", "all", `manager name or "all"`)
+		mFlag   = word.NewFlagSize(flag.CommandLine, "M", 1<<16, "live-space bound M in words (e.g. 64Ki, 256Mi)")
+		nFlag   = word.NewFlagSize(flag.CommandLine, "n", 1<<8, "largest object size in words (e.g. 256, 1Mi)")
+		cFlag   = flag.Int64("c", 16, "compaction bound (0 = unlimited, -1 = none)")
+		shards  = flag.Int("shards", 0, "partition the heap into this many shards (0/1 = unsharded); "+
 			"single runs wrap the manager in the sharded adapter, sweeps thread the count to the sharded-* managers")
 		seed       = flag.Int64("seed", 1, "seed for random workloads")
 		rounds     = flag.Int("rounds", 100, "rounds for random workloads")
@@ -93,16 +99,18 @@ func main() {
 		checkRun   = flag.Bool("check", false, "referee the run: re-verify every model invariant independently")
 		checkEvery = flag.Int("checkevery", 1, "sample the referee's full-heap sweep every k rounds; ignored without -check "+
 			"(k > 1 keeps refereed paper-scale runs affordable; per-op bookkeeping stays exact)")
-		replay      = flag.String("replay", "", "replay a recorded trace artifact instead of an adversary")
-		traceOut    = flag.String("trace-out", "", "write the run's event trace to this file (.ndjson → NDJSON, otherwise Chrome trace_event JSON)")
-		traceFormat = flag.String("trace-format", "auto", "trace file format: auto, ndjson or chrome")
-		seriesOut   = flag.String("series-out", "", "write the per-round series (hs, waste, live, moved, budget) as CSV to this file")
-		metricsAddr = flag.String("metrics-addr", "", "serve live metrics, expvar and pprof on this HTTP address (e.g. localhost:6060)")
-		progress    = flag.Bool("progress", false, "print a progress ticker to stderr while the run executes")
-		checkpoint  = flag.String("checkpoint", "", "durable sweep journal: completed cells survive a crash or signal and are not re-run on resume")
-		cellTimeout = flag.Duration("cell-timeout", 0, "wall-clock deadline per sweep cell (0 = none)")
-		retries     = flag.Int("retries", 0, "re-run a failed sweep cell this many times (with backoff) before declaring a hole")
-		serve       = flag.Bool("serve", false, "removed: the resident simulation service is the compactd binary")
+		replay       = flag.String("replay", "", "replay a recorded trace artifact instead of an adversary")
+		traceOut     = flag.String("trace-out", "", "write the run's event trace to this file (.ndjson → NDJSON, otherwise Chrome trace_event JSON)")
+		traceFormat  = flag.String("trace-format", "auto", "trace file format: auto, ndjson or chrome")
+		seriesOut    = flag.String("series-out", "", "write the per-round series (hs, waste, live, moved, budget) as CSV to this file")
+		heatmapOut   = flag.String("heatmap-out", "", "write a heapscope heatmap artifact (free-interval histograms + occupancy heatmap, JSON) to this file")
+		heatmapEvery = flag.Int("heatmap-every", 0, "heap sampling stride in rounds for -heatmap-out (0 = the heapscope default; ignored with -check, whose -checkevery wins)")
+		metricsAddr  = flag.String("metrics-addr", "", "serve live metrics, expvar and pprof on this HTTP address (e.g. localhost:6060)")
+		progress     = flag.Bool("progress", false, "print a progress ticker to stderr while the run executes")
+		checkpoint   = flag.String("checkpoint", "", "durable sweep journal: completed cells survive a crash or signal and are not re-run on resume")
+		cellTimeout  = flag.Duration("cell-timeout", 0, "wall-clock deadline per sweep cell (0 = none)")
+		retries      = flag.Int("retries", 0, "re-run a failed sweep cell this many times (with backoff) before declaring a hole")
+		serve        = flag.Bool("serve", false, "removed: the resident simulation service is the compactd binary")
 	)
 	flag.Parse()
 	if *serve {
@@ -113,6 +121,7 @@ func main() {
 	}
 	oo := obsOpts{
 		traceOut: *traceOut, traceFormat: *traceFormat, seriesOut: *seriesOut,
+		heatmapOut: *heatmapOut, heatmapEvery: *heatmapEvery,
 		metricsAddr: *metricsAddr, progress: *progress,
 	}
 	ft := ftOpts{checkpoint: *checkpoint, cellTimeout: *cellTimeout, retries: *retries}
@@ -205,6 +214,8 @@ func (f ftOpts) validate(sweeping bool) string {
 type obsOpts struct {
 	traceOut, traceFormat string
 	seriesOut             string
+	heatmapOut            string
+	heatmapEvery          int
 	metricsAddr           string
 	progress              bool
 }
@@ -212,16 +223,16 @@ type obsOpts struct {
 // validate rejects flag combinations the sinks cannot honor. It
 // returns a usage message, or "" when the combination is fine.
 func (o obsOpts) validate(manager string, sweeping bool, seeds int) string {
-	tracing := o.traceOut != "" || o.seriesOut != ""
+	tracing := o.traceOut != "" || o.seriesOut != "" || o.heatmapOut != ""
 	switch {
 	case o.traceFormat != "auto" && o.traceFormat != "ndjson" && o.traceFormat != "chrome":
 		return fmt.Sprintf("unknown -trace-format %q (want auto, ndjson or chrome)", o.traceFormat)
 	case o.traceFormat != "auto" && o.traceOut == "":
 		return "-trace-format is meaningless without -trace-out"
 	case tracing && (sweeping || seeds > 1):
-		return "-trace-out and -series-out record a single run, not -sweep or -seeds"
+		return "-trace-out, -series-out and -heatmap-out record a single run, not -sweep or -seeds"
 	case tracing && manager == "all":
-		return "-trace-out and -series-out record one manager's run; pick a single -manager"
+		return "-trace-out, -series-out and -heatmap-out record one manager's run; pick a single -manager"
 	case (o.progress || o.metricsAddr != "") && seeds > 1:
 		return "-progress and -metrics-addr are not supported with -seeds"
 	}
@@ -517,8 +528,8 @@ func run(ctx context.Context, o runOpts) (err error) {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
-	if (o.obs.traceOut != "" || o.obs.seriesOut != "") && o.manager == "all" {
-		return fmt.Errorf("-trace-out and -series-out record one manager's run; pick a single -manager")
+	if (o.obs.traceOut != "" || o.obs.seriesOut != "" || o.obs.heatmapOut != "") && o.manager == "all" {
+		return fmt.Errorf("-trace-out, -series-out and -heatmap-out record one manager's run; pick a single -manager")
 	}
 	// Observability sinks: files open before the run so unwritable
 	// paths fail fast, metrics always present when anything needs the
@@ -561,6 +572,30 @@ func run(ctx context.Context, o runOpts) (err error) {
 			if err := series.WriteCSV(f, m); err != nil {
 				f.Close()
 				return fmt.Errorf("-series-out %s: %w", o.obs.seriesOut, err)
+			}
+			return f.Close()
+		})
+	}
+	var scope *heapscope.Sampler
+	if o.obs.heatmapOut != "" {
+		f, err := os.Create(o.obs.heatmapOut)
+		if err != nil {
+			return fmt.Errorf("-heatmap-out: %w", err)
+		}
+		hc := heapscope.Config{}
+		if o.shards > 1 {
+			hc = heapscope.Config{Shards: o.shards, Capacity: cfg.M * sim.DefaultCapacityFactor}
+		}
+		scope, err = heapscope.New(hc)
+		if err != nil {
+			// Shard count does not divide the heap: fall back to the
+			// single-strip view rather than refusing the artifact.
+			scope, _ = heapscope.New(heapscope.Config{})
+		}
+		closers = append(closers, func() error {
+			if _, err := f.Write(append(scope.AppendJSON(nil), '\n')); err != nil {
+				f.Close()
+				return fmt.Errorf("-heatmap-out %s: %w", o.obs.heatmapOut, err)
 			}
 			return f.Close()
 		})
@@ -614,6 +649,18 @@ func run(ctx context.Context, o runOpts) (err error) {
 			e.RoundHook = ref.CheckRound
 			e.RoundHookEvery = o.checkEvery
 		}
+		if scope != nil {
+			e.HeapHook = scope.Sample
+			if ref == nil {
+				// RoundHookEvery is shared with the referee; without one
+				// the heatmap picks its stride (or the heapscope default).
+				if o.obs.heatmapEvery > 0 {
+					e.RoundHookEvery = o.obs.heatmapEvery
+				} else {
+					e.RoundHookEvery = heapscope.DefaultEvery
+				}
+			}
+		}
 		if tracer != nil {
 			e.Tracer = tracer
 			if ts, ok := mgr.(obs.TracerSetter); ok {
@@ -652,6 +699,9 @@ func run(ctx context.Context, o runOpts) (err error) {
 	}
 	if o.obs.seriesOut != "" {
 		fmt.Printf("wrote %s\n", o.obs.seriesOut)
+	}
+	if o.obs.heatmapOut != "" {
+		fmt.Printf("wrote %s\n", o.obs.heatmapOut)
 	}
 	fmt.Printf("adversary=%s M=%s n=%s c=%d\n", o.adv, word.Format(cfg.M), word.Format(cfg.N), cfg.C)
 	fmt.Print(stats.Table(rows))

@@ -295,3 +295,70 @@ func TestTraceOutSchemas(t *testing.T) {
 		t.Fatalf("series waste column %v disagrees with run waste %v", waste, res.WasteFactor())
 	}
 }
+
+func TestHeatmapOutArtifact(t *testing.T) {
+	dir := t.TempDir()
+	heat := filepath.Join(dir, "heat.json")
+	opts := runOpts{
+		adv: "pf", manager: "first-fit", m: 1 << 12, n: 1 << 6, c: 8, seed: 1, rounds: 64,
+		obs: obsOpts{heatmapOut: heat, traceFormat: "auto"},
+	}
+	if err := run(context.Background(), opts); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(heat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		V      int `json:"v"`
+		Shards int `json:"shards"`
+		Width  int `json:"width"`
+		Tiers  []struct {
+			Scale   int              `json:"scale"`
+			Entries []map[string]any `json:"entries"`
+		} `json:"tiers"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("heatmap artifact is not valid JSON: %v", err)
+	}
+	if doc.V != 1 || doc.Shards != 1 || doc.Width == 0 || len(doc.Tiers) != 3 {
+		t.Fatalf("artifact header v=%d shards=%d width=%d tiers=%d", doc.V, doc.Shards, doc.Width, len(doc.Tiers))
+	}
+	if len(doc.Tiers[0].Entries) == 0 {
+		t.Fatal("raw tier has no samples")
+	}
+
+	// Determinism: the identical run writes identical bytes.
+	heat2 := filepath.Join(dir, "heat2.json")
+	opts.obs.heatmapOut = heat2
+	if err := run(context.Background(), opts); err != nil {
+		t.Fatal(err)
+	}
+	raw2, err := os.ReadFile(heat2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(raw2) {
+		t.Fatal("two identical runs wrote different heatmap artifacts")
+	}
+
+	// Sharded runs carry one strip per shard.
+	heat4 := filepath.Join(dir, "heat4.json")
+	if err := run(context.Background(), runOpts{
+		adv: "random", manager: "first-fit", m: 1 << 12, n: 1 << 6, c: 8, seed: 1, rounds: 64,
+		shards: 4, obs: obsOpts{heatmapOut: heat4, traceFormat: "auto"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	raw4, err := os.ReadFile(heat4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw4, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Shards != 4 {
+		t.Fatalf("sharded artifact has %d shards, want 4", doc.Shards)
+	}
+}

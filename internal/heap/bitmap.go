@@ -128,6 +128,100 @@ func (b *Bitmap) MaxSet() (word.Addr, bool) {
 	return 0, false
 }
 
+// Runs calls fn for every maximal run of identically-valued bits in
+// [0, upto), in address order: fn(addr, n, set) describes n
+// consecutive bits starting at addr that are all set (or all clear).
+// Runs alternate strictly between set and clear and tile [0, upto)
+// exactly. Iteration stops early when fn returns false.
+//
+// Untouched pages read as clear, and fully clear or fully set pages
+// are skipped via their population counts, so a walk costs O(touched
+// words) — cheap enough for sampled fragmentation introspection
+// (obs/heapscope) to run inside the round loop. Runs itself performs
+// no allocation; callers on the zero-alloc path must pass a
+// preconstructed fn, not a fresh closure.
+func (b *Bitmap) Runs(upto word.Addr, fn func(addr word.Addr, n word.Size, set bool) bool) {
+	if upto <= 0 {
+		return
+	}
+	var (
+		runStart word.Addr // start of the run being accumulated
+		runSet   bool      // its bit value
+		open     bool      // whether a run is being accumulated
+	)
+	pos := word.Addr(0)
+	for pos < upto {
+		wi := pos >> 6
+		page := int(wi >> (bmPageBits - 6))
+		// Whole-page fast paths: from a page-aligned position with a
+		// full page in range, the population count classifies the page
+		// without touching its words.
+		if pos&((1<<bmPageBits)-1) == 0 && upto-pos >= 1<<bmPageBits {
+			var pageAll bool // true when the page is uniformly set/clear
+			var pageVal bool
+			switch {
+			case page >= len(b.pages) || b.pages[page] == nil || b.pageSet[page] == 0:
+				pageAll, pageVal = true, false
+			case b.pageSet[page] == 1<<bmPageBits:
+				pageAll, pageVal = true, true
+			}
+			if pageAll {
+				if open && runSet != pageVal {
+					if !fn(runStart, word.Size(pos-runStart), runSet) {
+						return
+					}
+					open = false
+				}
+				if !open {
+					runStart, runSet, open = pos, pageVal, true
+				}
+				pos += 1 << bmPageBits
+				continue
+			}
+		}
+		var w uint64
+		if page < len(b.pages) && b.pages[page] != nil {
+			w = b.pages[page][wi&(bmPageWords-1)]
+		}
+		base := wi << 6
+		from := uint(pos - base)
+		to := uint(64)
+		if rem := upto - base; rem < 64 {
+			to = uint(rem)
+		}
+		for from < to {
+			set := w>>from&1 == 1
+			// Length of the same-valued group starting at bit `from`.
+			var l uint
+			if set {
+				l = uint(bits.TrailingZeros64(^(w >> from)))
+			} else if shifted := w >> from; shifted != 0 {
+				l = uint(bits.TrailingZeros64(shifted))
+			} else {
+				l = 64 - from
+			}
+			if l > to-from {
+				l = to - from
+			}
+			segStart := base + word.Addr(from)
+			if open && runSet != set {
+				if !fn(runStart, word.Size(segStart-runStart), runSet) {
+					return
+				}
+				open = false
+			}
+			if !open {
+				runStart, runSet, open = segStart, set, true
+			}
+			from += l
+		}
+		pos = base + word.Addr(to)
+	}
+	if open {
+		fn(runStart, word.Size(upto-runStart), runSet)
+	}
+}
+
 // Count returns the total number of set bits.
 func (b *Bitmap) Count() word.Size {
 	var n word.Size

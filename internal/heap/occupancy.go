@@ -150,6 +150,18 @@ func (o *Occupancy) Extent() word.Addr {
 	return top + 1
 }
 
+// Runs exposes the occupancy bitmap's maximal same-valued bit runs in
+// [0, upto): fn(addr, n, set) receives each run in address order (set
+// runs are occupied words, clear runs are free intervals), stopping
+// early when fn returns false. It is the ground-truth feed for
+// fragmentation introspection (free-interval histograms, largest free
+// extent, occupancy heatmaps in obs/heapscope) and performs no
+// allocation, so sampled walks may run inside the engine's
+// allocation-free round loop.
+func (o *Occupancy) Runs(upto word.Addr, fn func(addr word.Addr, n word.Size, set bool) bool) {
+	o.bits.Runs(upto, fn)
+}
+
 // Each calls fn for every live object in address order until fn
 // returns false. Occupancy walks are not on the hot allocation path;
 // the address-sorted view is built on demand (into a reused buffer).

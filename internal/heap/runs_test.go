@@ -1,0 +1,174 @@
+package heap
+
+import (
+	"math/rand"
+	"testing"
+
+	"compaction/internal/word"
+)
+
+// collectRuns materializes the run decomposition of [0, upto).
+type runSeg struct {
+	addr word.Addr
+	n    word.Size
+	set  bool
+}
+
+func collectRuns(b *Bitmap, upto word.Addr) []runSeg {
+	var out []runSeg
+	b.Runs(upto, func(addr word.Addr, n word.Size, set bool) bool {
+		out = append(out, runSeg{addr, n, set})
+		return true
+	})
+	return out
+}
+
+// checkRuns verifies the three structural invariants of a run
+// decomposition — tiling, alternation, agreement with the bitmap —
+// against a reference bit slice.
+func checkRuns(t *testing.T, runs []runSeg, ref []bool, upto word.Addr) {
+	t.Helper()
+	if upto <= 0 {
+		if len(runs) != 0 {
+			t.Fatalf("upto=%d: got %d runs, want none", upto, len(runs))
+		}
+		return
+	}
+	pos := word.Addr(0)
+	for i, r := range runs {
+		if r.addr != pos {
+			t.Fatalf("run %d starts at %d, want %d (runs must tile)", i, r.addr, pos)
+		}
+		if r.n <= 0 {
+			t.Fatalf("run %d has non-positive length %d", i, r.n)
+		}
+		if i > 0 && runs[i-1].set == r.set {
+			t.Fatalf("runs %d and %d both set=%v (must alternate)", i-1, i, r.set)
+		}
+		for a := r.addr; a < r.addr+r.n; a++ {
+			want := a < word.Addr(len(ref)) && ref[a]
+			if want != r.set {
+				t.Fatalf("run %d claims bit %d is set=%v, reference says %v", i, a, r.set, want)
+			}
+		}
+		pos += r.n
+	}
+	if pos != upto {
+		t.Fatalf("runs cover [0,%d), want [0,%d)", pos, upto)
+	}
+}
+
+func TestBitmapRunsBasic(t *testing.T) {
+	var b Bitmap
+	// Empty bitmap: one clear run covering everything.
+	runs := collectRuns(&b, 100)
+	if len(runs) != 1 || runs[0] != (runSeg{0, 100, false}) {
+		t.Fatalf("empty bitmap runs = %v, want one clear run [0,100)", runs)
+	}
+	// A few disjoint spans, including word- and page-straddling ones.
+	spans := []Span{
+		{Addr: 0, Size: 3},
+		{Addr: 10, Size: 1},
+		{Addr: 62, Size: 5},     // straddles a word boundary
+		{Addr: 65530, Size: 12}, // straddles the first page boundary
+	}
+	ref := make([]bool, 1<<17)
+	for _, s := range spans {
+		b.SetRange(s.Addr, s.Size)
+		for a := s.Addr; a < s.End(); a++ {
+			ref[a] = true
+		}
+	}
+	for _, upto := range []word.Addr{1, 2, 3, 4, 11, 63, 64, 65, 67, 1 << 16, 65531, 65542, 65543, 1 << 17} {
+		checkRuns(t, collectRuns(&b, upto), ref, upto)
+	}
+}
+
+func TestBitmapRunsFullAndClearPages(t *testing.T) {
+	var b Bitmap
+	// Page 1 fully set, pages 0 and 2 untouched, page 3 partially set:
+	// exercises every whole-page fast path plus the word path.
+	b.SetRange(1<<16, 1<<16)
+	b.SetRange(3<<16+5, 7)
+	upto := word.Addr(4 << 16)
+	ref := make([]bool, upto)
+	for a := word.Addr(1 << 16); a < 2<<16; a++ {
+		ref[a] = true
+	}
+	for a := word.Addr(3<<16 + 5); a < 3<<16+12; a++ {
+		ref[a] = true
+	}
+	runs := collectRuns(&b, upto)
+	checkRuns(t, runs, ref, upto)
+	if len(runs) != 5 {
+		t.Fatalf("got %d runs, want 5: %v", len(runs), runs)
+	}
+	// A set run crossing a full-page/partial-page boundary must merge.
+	b.SetRange(2<<16, 10)
+	runs = collectRuns(&b, upto)
+	if runs[1].set != true || runs[1].addr != 1<<16 || runs[1].n != 1<<16+10 {
+		t.Fatalf("merged run across page boundary = %v, want [1<<16, 1<<16+10) set", runs[1])
+	}
+}
+
+func TestBitmapRunsRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var b Bitmap
+		const domain = 3 << 16 // three pages, keeps the reference slice cheap
+		ref := make([]bool, domain)
+		for i := 0; i < 40; i++ {
+			addr := word.Addr(rng.Intn(domain - 64))
+			n := word.Size(1 + rng.Intn(64))
+			if b.AnyInRange(addr, n) {
+				continue
+			}
+			b.SetRange(addr, n)
+			for a := addr; a < addr+n; a++ {
+				ref[a] = true
+			}
+		}
+		upto := word.Addr(1 + rng.Intn(domain))
+		checkRuns(t, collectRuns(&b, upto), ref, upto)
+	}
+}
+
+func TestBitmapRunsEarlyStop(t *testing.T) {
+	var b Bitmap
+	b.SetRange(10, 5)
+	calls := 0
+	b.Runs(100, func(word.Addr, word.Size, bool) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Fatalf("fn called %d times after returning false, want 1", calls)
+	}
+}
+
+// TestBitmapRunsAllocFree pins the walk itself allocation-free: the
+// heapscope sampler runs it inside the engine's zero-alloc round loop
+// (TestEngineRoundIsAllocFree covers the full stack).
+func TestBitmapRunsAllocFree(t *testing.T) {
+	var b Bitmap
+	for a := word.Addr(0); a < 1<<12; a += 7 {
+		b.SetRange(a, 3)
+	}
+	var total word.Size
+	fn := func(_ word.Addr, n word.Size, set bool) bool {
+		if set {
+			total += n
+		}
+		return true
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		total = 0
+		b.Runs(1<<12+16, fn)
+	})
+	if allocs != 0 {
+		t.Fatalf("Bitmap.Runs allocated %.1f times per walk, want 0", allocs)
+	}
+	if want := b.Count(); total != want {
+		t.Fatalf("set-run total %d != Count %d", total, want)
+	}
+}

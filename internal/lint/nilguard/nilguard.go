@@ -1,11 +1,13 @@
 // Package nilguard implements the compactlint analyzer enforcing the
 // observability layer's zero-cost-when-off contract: in the engine
-// (internal/sim), the managers (internal/mm) and the referee
-// (internal/check), every call of Emit on an obs.Tracer-typed value
-// must be dominated by a nil check of that same value, because a nil
-// tracer is the production fast path and an unguarded emission site
-// would either panic or force callers to install a no-op tracer (an
-// interface call per event, no longer free).
+// (internal/sim), the managers (internal/mm), the referee
+// (internal/check) and the sweep runner (internal/sweep), every call
+// of Emit on an obs.Tracer-typed value — and every direct call of a
+// sim.HeapHook-typed value, the heapscope emission sites — must be
+// dominated by a nil check of that same value, because a nil tracer
+// (or hook) is the production fast path and an unguarded emission
+// site would either panic or force callers to install a no-op
+// implementation (an indirect call per event, no longer free).
 //
 // Recognized guard shapes, matching the ones the tree actually uses:
 //
@@ -26,14 +28,14 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "nilguard",
-	Doc: "obs.Tracer Emit sites in sim/mm/check must sit behind a nil " +
-		"guard so tracing-off stays zero-cost",
+	Doc: "obs.Tracer Emit sites and sim.HeapHook calls in sim/mm/check/sweep " +
+		"must sit behind a nil guard so observability-off stays zero-cost",
 	Run: run,
 }
 
 // scope is the set of packages whose emission sites are load-bearing
 // for the zero-cost contract.
-var scope = []string{"internal/sim", "internal/mm", "internal/check"}
+var scope = []string{"internal/sim", "internal/mm", "internal/check", "internal/sweep"}
 
 func run(pass *analysis.Pass) (any, error) {
 	if !lintutil.PathMatches(pass.Pkg.Path(), scope...) {
@@ -43,6 +45,19 @@ func run(pass *analysis.Pass) (any, error) {
 		lintutil.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
+				return true
+			}
+			// Direct call of a sim.HeapHook-typed value: the heapscope
+			// emission site. A conversion `HeapHook(f)` has a type, not
+			// a value, as its Fun and is not a call of the hook.
+			fun := ast.Unparen(call.Fun)
+			if tv, ok := pass.TypesInfo.Types[fun]; ok && tv.IsValue() &&
+				lintutil.IsNamed(tv.Type, "internal/sim", "HeapHook") {
+				if !guarded(pass, fun, stack) {
+					pass.Reportf(call.Pos(),
+						"%s is called without a nil guard; a nil HeapHook is the zero-cost default",
+						types.ExprString(fun))
+				}
 				return true
 			}
 			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)

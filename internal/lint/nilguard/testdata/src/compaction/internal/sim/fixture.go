@@ -80,3 +80,44 @@ func pick(a, b obs.Tracer) obs.Tracer {
 	}
 	return b
 }
+
+// HeapHook mirrors the real engine's heap-observation callback; the
+// analyzer matches it by package-path suffix and name, so direct
+// calls of values of this type are emission sites too.
+type HeapHook func(round int, occ int)
+
+type hooked struct {
+	hook HeapHook
+}
+
+// Unguarded hook call: the production default is a nil hook.
+func (h *hooked) bad(round int) {
+	h.hook(round, 0) // want `h\.hook is called without a nil guard`
+}
+
+// A guard on a different value does not count.
+func (h *hooked) wrongGuard(other HeapHook) {
+	if other != nil {
+		h.hook(1, 0) // want `h\.hook is called without a nil guard`
+	}
+}
+
+// The engine's own idiom: nil check and sampling condition in one &&.
+func (h *hooked) guarded(round, every int) {
+	if h.hook != nil && (every <= 1 || (round+1)%every == 0) {
+		h.hook(round, 0)
+	}
+}
+
+// Early-return guard.
+func (h *hooked) earlyReturn(round int) {
+	if h.hook == nil {
+		return
+	}
+	h.hook(round, 0)
+}
+
+// A conversion to the hook type is not a call of a hook value.
+func hookOf(f func(int, int)) HeapHook {
+	return HeapHook(f)
+}

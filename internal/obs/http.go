@@ -10,6 +10,8 @@ import (
 // Handler returns the live-introspection mux for a registry:
 //
 //	/metrics        plain-text snapshot (Registry.WriteText)
+//	/metrics/prom   Prometheus text exposition 0.0.4
+//	                (Registry.WritePrometheus) — point a scraper here
 //	/debug/vars     the standard expvar JSON (includes the registry
 //	                once PublishExpvar has run)
 //	/debug/pprof/   the standard pprof index, profiles and traces
@@ -18,6 +20,10 @@ func Handler(reg *Registry) http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_ = reg.WriteText(w)
+	})
+	mux.HandleFunc("/metrics/prom", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

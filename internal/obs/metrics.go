@@ -52,6 +52,26 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // holds observations v with bits.Len64(v) == i, i.e. v in
 // [2^(i-1), 2^i). Non-positive observations land in bucket 0. 64
 // buckets cover the whole int64 range.
+//
+// The full bucket → value-range mapping, pinned by the boundary-value
+// tests in metrics_edge_test.go:
+//
+//	bucket i | holds v in           | upper edge (Quantile result)
+//	---------+----------------------+-----------------------------
+//	0        | v ≤ 0                | 0
+//	1        | 1                    | 1
+//	2        | [2, 3]               | 3
+//	3        | [4, 7]               | 7
+//	i (1–62) | [2^(i−1), 2^i − 1]   | 2^i − 1
+//	63       | [2^62, MaxInt64]     | MaxInt64
+//
+// Bucket 63 doubles as the overflow bucket: every positive int64 has
+// bits.Len64 ≤ 63, so indices never reach histBuckets and MaxInt64
+// itself lands in bucket 63 with upper edge MaxInt64 (bucketUpper
+// special-cases i ≥ 63 because 2^63 − 1 cannot be formed by shifting).
+// Exact powers of two sit at the bottom of their bucket: Observe(2^k)
+// lands in bucket k+1, whose upper edge is 2^(k+1) − 1 — Quantile is
+// deliberately coarse, never under-reporting by more than 2×.
 const histBuckets = 64
 
 // Histogram aggregates int64 observations into power-of-two buckets
@@ -85,6 +105,23 @@ func bucketUpper(i int) int64 {
 	}
 	return int64(1)<<uint(i) - 1
 }
+
+// Pow2Bucket returns the index of the power-of-two bucket holding v —
+// Histogram's bucket mapping (see the table at histBuckets), exported
+// so sibling packages share one size-class scheme: heapscope's
+// free-interval census uses it to bucket gap lengths exactly like a
+// Histogram would.
+//
+//compactlint:noalloc
+func Pow2Bucket(v int64) int { return bucketOf(v) }
+
+// Pow2Buckets is the number of buckets Pow2Bucket can return indices
+// for (0 through Pow2Buckets−1).
+const Pow2Buckets = histBuckets
+
+// Pow2BucketUpper returns the largest value bucket i holds, the
+// exported form of the upper edges in the histBuckets table.
+func Pow2BucketUpper(i int) int64 { return bucketUpper(i) }
 
 // Observe records one value.
 //

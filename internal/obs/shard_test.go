@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestShardMetricsScripted drives the gauge bundle through a scripted
+// alloc/free sequence — the same updates the sharded facade's publish
+// path performs — and checks every per-shard value, the registry
+// names, and the census-sum invariant (per-shard live words sum to
+// the global live total) directly, without a heap in the loop.
+func TestShardMetricsScripted(t *testing.T) {
+	reg := NewRegistry()
+	m := NewShardMetrics(reg, 3)
+	if m.Shards() != 3 {
+		t.Fatalf("Shards() = %d, want 3", m.Shards())
+	}
+
+	// Script: (shard, +words alloc'd or -words freed). Objects are one
+	// word-span each; shard 2 stays cold.
+	script := []struct {
+		shard int
+		words int64
+	}{
+		{0, 64}, {0, 32}, {1, 128}, {0, -32}, {1, 16}, {1, -128}, {0, 8},
+	}
+	live := make([]int64, 3)
+	objects := make([]int64, 3)
+	allocs := make([]int64, 3)
+	frees := make([]int64, 3)
+	var globalLive int64
+	for _, op := range script {
+		live[op.shard] += op.words
+		globalLive += op.words
+		if op.words > 0 {
+			objects[op.shard]++
+			allocs[op.shard]++
+		} else {
+			objects[op.shard]--
+			frees[op.shard]++
+		}
+		// Publish the way the facade does: absolute sets from its
+		// lock-free counters.
+		m.Live[op.shard].Set(live[op.shard])
+		m.Objects[op.shard].Set(objects[op.shard])
+		m.Allocs[op.shard].Set(allocs[op.shard])
+		m.Frees[op.shard].Set(frees[op.shard])
+	}
+	m.Fallbacks.Inc()
+	m.Moves[1].Set(5)
+
+	var sumLive int64
+	for i := 0; i < 3; i++ {
+		if got := m.Live[i].Value(); got != live[i] {
+			t.Errorf("shard %d live = %d, want %d", i, got, live[i])
+		}
+		if got := m.Objects[i].Value(); got != objects[i] {
+			t.Errorf("shard %d objects = %d, want %d", i, got, objects[i])
+		}
+		if got := m.Allocs[i].Value(); got != allocs[i] {
+			t.Errorf("shard %d allocs = %d, want %d", i, got, allocs[i])
+		}
+		if got := m.Frees[i].Value(); got != frees[i] {
+			t.Errorf("shard %d frees = %d, want %d", i, got, frees[i])
+		}
+		sumLive += m.Live[i].Value()
+	}
+	// Census-sum invariant: the shard-indexed gauges are a partition of
+	// the heap, so their sum IS the global live figure.
+	if sumLive != globalLive {
+		t.Errorf("census sum %d != global live %d", sumLive, globalLive)
+	}
+	if sumLive != 64+32-32+8+128+16-128 {
+		t.Errorf("census sum = %d, script says %d", sumLive, 64+32-32+8+128+16-128)
+	}
+	if got := m.Fallbacks.Value(); got != 1 {
+		t.Errorf("fallbacks = %d, want 1", got)
+	}
+	if got := m.Moves[1].Value(); got != 5 {
+		t.Errorf("shard 1 moves = %d, want 5", got)
+	}
+
+	// The bundle registers under the documented names; a snapshot must
+	// expose exactly shard.<i>.<name> plus shard.fallbacks.
+	snap := reg.Snapshot()
+	for i := 0; i < 3; i++ {
+		for _, name := range []string{"live", "objects", "allocs", "frees", "moves"} {
+			key := fmt.Sprintf("shard.%d.%s", i, name)
+			if _, ok := snap[key]; !ok {
+				t.Errorf("registry missing %s", key)
+			}
+		}
+	}
+	if v, ok := snap["shard.0.live"]; !ok || v.(int64) != live[0] {
+		t.Errorf("snapshot shard.0.live = %v, want %d", v, live[0])
+	}
+	if len(snap) != 3*5+1 {
+		t.Errorf("registry holds %d metrics, want %d", len(snap), 3*5+1)
+	}
+}
+
+// TestShardMetricsSharedRegistry pins that re-bundling over the same
+// registry aliases the same underlying gauges (registry lookup is
+// get-or-create), so two facades over one registry cannot silently
+// shadow each other's values.
+func TestShardMetricsSharedRegistry(t *testing.T) {
+	reg := NewRegistry()
+	a := NewShardMetrics(reg, 2)
+	b := NewShardMetrics(reg, 2)
+	a.Live[1].Set(77)
+	if got := b.Live[1].Value(); got != 77 {
+		t.Fatalf("second bundle sees live = %d, want 77 (must alias)", got)
+	}
+	a.Fallbacks.Add(3)
+	if got := b.Fallbacks.Value(); got != 3 {
+		t.Fatalf("second bundle sees fallbacks = %d, want 3", got)
+	}
+	if a.Live[1] != b.Live[1] {
+		t.Fatal("bundles hold distinct gauge pointers for the same name")
+	}
+}
+
+// TestShardMetricsZeroShards: a zero-shard bundle is legal (the
+// facade clamps shards to ≥1, but the bundle itself must not panic)
+// and still registers the global fallback counter.
+func TestShardMetricsZeroShards(t *testing.T) {
+	reg := NewRegistry()
+	m := NewShardMetrics(reg, 0)
+	if m.Shards() != 0 {
+		t.Fatalf("Shards() = %d, want 0", m.Shards())
+	}
+	m.Fallbacks.Inc()
+	if got := reg.Counter("shard.fallbacks").Value(); got != 1 {
+		t.Fatalf("fallbacks = %d, want 1", got)
+	}
+}

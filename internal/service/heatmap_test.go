@@ -1,0 +1,168 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	_ "compaction/internal/mm/all"
+)
+
+// combinedDoc mirrors the combined heatmap wire schema for decoding.
+type combinedDoc struct {
+	V     int               `json:"v"`
+	Job   string            `json:"job"`
+	Cells []json.RawMessage `json:"cells"`
+}
+
+// TestHeatmapEndpoint: a terminal job serves a frozen combined
+// document — valid JSON, one heapscope artifact per cell, identical
+// bytes on every read — and /heapstats reports per-cell summaries.
+func TestHeatmapEndpoint(t *testing.T) {
+	_, hs := startServer(t, Config{})
+	st := mustSubmit(t, hs.URL, "", quickSpec)
+	final := waitTerminal(t, hs.URL, "", st.ID)
+	if final.State != StateDone || final.Failed != 0 {
+		t.Fatalf("job settled %s (failed=%d): %s", final.State, final.Failed, final.Error)
+	}
+
+	resp, doc := request(t, "GET", hs.URL+"/v1/jobs/"+st.ID+"/heatmap", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("heatmap: %d %s", resp.StatusCode, doc)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var d combinedDoc
+	if err := json.Unmarshal(doc, &d); err != nil {
+		t.Fatalf("combined heatmap is not valid JSON: %v\n%s", err, doc)
+	}
+	if d.V != 1 || d.Job != st.ID || len(d.Cells) != final.Cells {
+		t.Fatalf("combined header = v%d job %s cells %d, want v1 %s %d",
+			d.V, d.Job, len(d.Cells), st.ID, final.Cells)
+	}
+	for i, c := range d.Cells {
+		var cell struct {
+			V     int               `json:"v"`
+			Tiers []json.RawMessage `json:"tiers"`
+		}
+		if err := json.Unmarshal(c, &cell); err != nil || cell.V != 1 || len(cell.Tiers) != 3 {
+			t.Fatalf("cell %d artifact malformed (err=%v): %s", i, err, c)
+		}
+	}
+
+	// Terminal bytes are frozen: a second read is identical.
+	if _, again := request(t, "GET", hs.URL+"/v1/jobs/"+st.ID+"/heatmap", "", nil); !bytes.Equal(doc, again) {
+		t.Fatal("two reads of a terminal heatmap differ")
+	}
+
+	resp, body := request(t, "GET", hs.URL+"/v1/jobs/"+st.ID+"/heapstats", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("heapstats: %d %s", resp.StatusCode, body)
+	}
+	var stats struct {
+		Cells []*struct {
+			Samples   int   `json:"samples"`
+			HighWater int64 `json:"high_water"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatalf("heapstats not JSON: %v\n%s", err, body)
+	}
+	if len(stats.Cells) != final.Cells {
+		t.Fatalf("heapstats covers %d cells, want %d", len(stats.Cells), final.Cells)
+	}
+	for i, c := range stats.Cells {
+		if c == nil || c.Samples == 0 || c.HighWater == 0 {
+			t.Fatalf("cell %d stats empty: %+v", i, c)
+		}
+	}
+}
+
+// TestHeatmapDisabled: heatmap "off" turns both endpoints into 404s
+// and skips sampling entirely.
+func TestHeatmapDisabled(t *testing.T) {
+	_, hs := startServer(t, Config{})
+	st := mustSubmit(t, hs.URL, "",
+		`{"program":"pf","manager":"first-fit","m":1024,"n":16,"c":64,"rounds":20,"heatmap":"off"}`)
+	waitTerminal(t, hs.URL, "", st.ID)
+	for _, ep := range []string{"/heatmap", "/heapstats"} {
+		if resp, body := request(t, "GET", hs.URL+"/v1/jobs/"+st.ID+ep, "", nil); resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s with heatmap off: %d %s", ep, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestHeatmapSpecRejectsBadMode: validation, not silent defaulting.
+func TestHeatmapSpecRejectsBadMode(t *testing.T) {
+	if _, err := ParseSpec([]byte(
+		`{"program":"pf","manager":"first-fit","m":1024,"n":16,"c":64,"heatmap":"maybe"}`)); err == nil {
+		t.Fatal("heatmap=maybe accepted")
+	}
+	if _, err := ParseSpec([]byte(
+		`{"program":"pf","manager":"first-fit","m":1024,"n":16,"c":64,"heatmap_every":-1}`)); err == nil {
+		t.Fatal("heatmap_every=-1 accepted")
+	}
+}
+
+// TestHeatmapResumeByteIdentical is the acceptance drill for the
+// heatmap artifact: kill a server mid-sweep, resume on a new boot,
+// and require the terminal combined heatmap to be byte-identical to
+// an uninterrupted run of the same spec — restored cells serve the
+// artifact persisted before their checkpoint, fresh cells recompute
+// deterministically.
+func TestHeatmapResumeByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	id := runInterrupted(t, dir)
+
+	_, hs2 := startServer(t, Config{Dir: dir})
+	final := waitTerminal(t, hs2.URL, "", id)
+	if final.State != StateDone || final.Failed != 0 || final.Restored == 0 {
+		t.Fatalf("resumed job settled %+v, want clean done with restores", final)
+	}
+	resp, resumed := request(t, "GET", hs2.URL+"/v1/jobs/"+id+"/heatmap", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resumed heatmap: %d", resp.StatusCode)
+	}
+
+	// Reference: the same spec uninterrupted on a fresh server (same
+	// first job ID, so the documents are comparable verbatim).
+	_, hsRef := startServer(t, Config{})
+	ref := mustSubmit(t, hsRef.URL, "", interruptSpec)
+	if ref.ID != id {
+		t.Fatalf("reference job id %s != %s; documents not comparable", ref.ID, id)
+	}
+	waitTerminal(t, hsRef.URL, "", ref.ID)
+	resp, clean := request(t, "GET", hsRef.URL+"/v1/jobs/"+ref.ID+"/heatmap", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("clean heatmap: %d", resp.StatusCode)
+	}
+	if !bytes.Equal(resumed, clean) {
+		t.Errorf("resumed heatmap differs from a clean run (%d vs %d bytes)", len(resumed), len(clean))
+	}
+
+	// A third boot adopts the terminal job and serves the same bytes
+	// straight from disk.
+	_, hs3 := startServer(t, Config{Dir: dir})
+	resp, adopted := request(t, "GET", hs3.URL+"/v1/jobs/"+id+"/heatmap", "", nil)
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(adopted, resumed) {
+		t.Errorf("adopted heatmap differs from the settled one (%d)", resp.StatusCode)
+	}
+}
+
+// TestPromEndpointOnService: the service mounts the Prometheus
+// exposition under /metrics/prom and the output parses.
+func TestPromEndpointOnService(t *testing.T) {
+	_, hs := startServer(t, Config{})
+	resp, body := request(t, "GET", hs.URL+"/metrics/prom", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics/prom: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content type %q", ct)
+	}
+	if !bytes.Contains(body, []byte("# TYPE service_jobs_submitted counter")) {
+		t.Fatalf("service counters missing from exposition:\n%s", body)
+	}
+}

@@ -25,9 +25,14 @@ const maxSpecBytes = 1 << 20
 //	GET    /v1/jobs/{id}/events  NDJSON stream (?from=N)
 //	GET    /v1/jobs/{id}/stream  SSE stream (?from=N, Last-Event-ID)
 //	GET    /v1/jobs/{id}/result  terminal outcome CSV (409 until then)
+//	GET    /v1/jobs/{id}/heatmap  combined heapscope artifact (live
+//	                             view while running, frozen bytes once
+//	                             terminal; 404 with heatmap off)
+//	GET    /v1/jobs/{id}/heapstats  per-cell heap summary statistics
 //	GET    /healthz              liveness
 //	GET    /                     live dashboard
-//	/metrics, /debug/...         obs.Handler over the service registry
+//	/metrics, /metrics/prom,
+//	/debug/...                   obs.Handler over the service registry
 //
 // Authentication is bearer-token (Authorization: Bearer <token>, or
 // ?token= for EventSource clients, which cannot set headers). With no
@@ -45,10 +50,51 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.auth(s.handleNDJSON))
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.auth(s.handleSSE))
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.auth(s.handleResult))
+	mux.HandleFunc("GET /v1/jobs/{id}/heatmap", s.auth(s.handleHeatmap))
+	mux.HandleFunc("GET /v1/jobs/{id}/heapstats", s.auth(s.handleHeapStats))
 	mux.HandleFunc("GET /{$}", s.handleDashboard)
-	mux.Handle("/metrics", obs.Handler(s.reg))
-	mux.Handle("/debug/", obs.Handler(s.reg))
+	oh := obs.Handler(s.reg)
+	mux.Handle("/metrics", oh)
+	mux.Handle("/metrics/", oh) // subtree: /metrics/prom
+	mux.Handle("/debug/", oh)
 	return mux
+}
+
+// handleHeatmap serves the job's combined heapscope document. While
+// the job runs the document is assembled on each request (settled
+// cells verbatim, in-flight cells from their live samplers); once the
+// job is terminal the frozen bytes are served — identical across
+// reads, restarts, and journal resumes.
+func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request, t Tenant) {
+	j, ok := s.findJob(w, r, t)
+	if !ok {
+		return
+	}
+	doc, ok := j.heatmapJSON()
+	if !ok {
+		httpError(w, http.StatusNotFound, "job %s has heap introspection disabled", j.ID())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(doc)
+}
+
+// handleHeapStats serves per-cell heap summary statistics from the
+// live samplers: {"cells":[{...}|null,...]}. Cells without a sampler
+// in this process (not started, failed, restored from a previous
+// process, or a terminal job after a restart) are null — the durable
+// record is /heatmap, this is the live instrument.
+func (s *Server) handleHeapStats(w http.ResponseWriter, r *http.Request, t Tenant) {
+	j, ok := s.findJob(w, r, t)
+	if !ok {
+		return
+	}
+	stats, ok := j.heapStats()
+	if !ok {
+		httpError(w, http.StatusNotFound, "job %s has heap introspection disabled", j.ID())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"cells": stats})
 }
 
 // httpError is the JSON error body of every non-2xx response.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync"
 
+	"compaction/internal/obs/heapscope"
 	"compaction/internal/sweep"
 )
 
@@ -52,13 +53,17 @@ type Status struct {
 	Failed int64  `json:"failed"`
 	// Restored counts cells satisfied from the checkpoint journal
 	// instead of a fresh run — nonzero exactly when the job resumed.
-	Restored    int64  `json:"restored"`
-	Skipped     int64  `json:"skipped,omitempty"`
-	Retries     int64  `json:"retries,omitempty"`
-	Checkpoints int64  `json:"checkpoints,omitempty"`
-	ETAMillis   int64  `json:"eta_ms,omitempty"`
-	Error       string `json:"error,omitempty"`
-	Spec        Spec   `json:"spec"`
+	Restored    int64 `json:"restored"`
+	Skipped     int64 `json:"skipped,omitempty"`
+	Retries     int64 `json:"retries,omitempty"`
+	Checkpoints int64 `json:"checkpoints,omitempty"`
+	ETAMillis   int64 `json:"eta_ms,omitempty"`
+	// LogTruncated reports that the job's stream log hit its retention
+	// limit and dropped non-essential lines (a "log-truncated" marker
+	// line sits in the stream where the drop began).
+	LogTruncated bool   `json:"log_truncated,omitempty"`
+	Error        string `json:"error,omitempty"`
+	Spec         Spec   `json:"spec"`
 }
 
 // Job is one admitted submission: its spec, stream log, monitor, and
@@ -79,6 +84,14 @@ type Job struct {
 	errMsg    string
 	resultCSV []byte  // set at terminal when outcomes exist
 	final     *Status // frozen terminal status (also recovered from disk)
+
+	// Heap introspection (slices nil when the spec disables it): one
+	// live sampler per in-flight cell, one final per-cell artifact per
+	// settled cell, and the frozen combined document once terminal.
+	hmu      sync.Mutex
+	samplers []*heapscope.Sampler
+	heatmaps [][]byte
+	hmDoc    []byte
 }
 
 // Cancel requests cooperative cancellation on behalf of the tenant.
@@ -104,6 +117,7 @@ func (j *Job) Status() Status {
 	st.Done, st.Failed, st.Restored = p.Done, p.Failed, p.Restored
 	st.Skipped, st.Retries, st.Checkpoints = p.Skipped, p.Retries, p.Checkpoints
 	st.ETAMillis = p.ETA.Milliseconds()
+	st.LogTruncated = j.log.isTruncated()
 	st.Error = j.errMsg
 	return st
 }
@@ -130,7 +144,8 @@ func (j *Job) finish(state State, errMsg string, resultCSV []byte) Status {
 		Cells: j.cells, Spec: j.spec,
 		Done: p.Done, Failed: p.Failed, Restored: p.Restored,
 		Skipped: p.Skipped, Retries: p.Retries, Checkpoints: p.Checkpoints,
-		Error: errMsg,
+		LogTruncated: j.log.isTruncated(),
+		Error:        errMsg,
 	}
 	j.final = &st
 	j.mu.Unlock()
@@ -148,4 +163,124 @@ func (j *Job) result() ([]byte, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.resultCSV, j.resultCSV != nil
+}
+
+// initHeatmaps arms per-cell heap introspection for n cells.
+func (j *Job) initHeatmaps(n int) {
+	j.hmu.Lock()
+	j.samplers = make([]*heapscope.Sampler, n)
+	j.heatmaps = make([][]byte, n)
+	j.hmu.Unlock()
+}
+
+// setSampler installs the cell's live sampler for the current attempt
+// (retries replace it, so a retried cell never double-counts rounds).
+func (j *Job) setSampler(cell int, s *heapscope.Sampler) {
+	j.hmu.Lock()
+	if cell >= 0 && cell < len(j.samplers) {
+		j.samplers[cell] = s
+	}
+	j.hmu.Unlock()
+}
+
+// sampler returns the cell's live sampler, if any.
+func (j *Job) sampler(cell int) *heapscope.Sampler {
+	j.hmu.Lock()
+	defer j.hmu.Unlock()
+	if cell < 0 || cell >= len(j.samplers) {
+		return nil
+	}
+	return j.samplers[cell]
+}
+
+// setCellHeatmap freezes a cell's final artifact bytes.
+func (j *Job) setCellHeatmap(cell int, data []byte) {
+	j.hmu.Lock()
+	if cell >= 0 && cell < len(j.heatmaps) {
+		j.heatmaps[cell] = data
+	}
+	j.hmu.Unlock()
+}
+
+// freezeHeatmap installs the terminal combined document — from this
+// point heatmapJSON serves exactly these bytes, which is what makes a
+// terminal job's heatmap byte-stable across reads and restarts.
+func (j *Job) freezeHeatmap(doc []byte) {
+	j.hmu.Lock()
+	j.hmDoc = doc
+	j.hmu.Unlock()
+}
+
+// heatmapJSON assembles the job's combined heatmap document:
+//
+//	{"v":1,"job":"<id>","cells":[<heapscope doc>|null,...]}
+//
+// Terminal jobs serve their frozen bytes. Live jobs assemble from the
+// settled cells' artifacts, falling back to the in-flight samplers'
+// current state so the dashboard sees fragmentation evolve mid-run;
+// cells not yet started (or failed) are null. ok is false when the
+// job has heap introspection disabled.
+func (j *Job) heatmapJSON() (doc []byte, ok bool) {
+	j.hmu.Lock()
+	defer j.hmu.Unlock()
+	if j.hmDoc != nil {
+		return j.hmDoc, true
+	}
+	if j.heatmaps == nil {
+		return nil, false
+	}
+	return j.assembleLocked(true), true
+}
+
+// assembleLocked builds the combined document from per-cell state;
+// useLive lets cells without a final artifact fall back to their
+// in-flight sampler's current state. Callers hold hmu.
+func (j *Job) assembleLocked(useLive bool) []byte {
+	doc := append([]byte(`{"v":1,"job":"`), j.id...)
+	doc = append(doc, `","cells":[`...)
+	for i, h := range j.heatmaps {
+		if i > 0 {
+			doc = append(doc, ',')
+		}
+		switch {
+		case h != nil:
+			doc = append(doc, h...)
+		case useLive && j.samplers[i] != nil:
+			doc = j.samplers[i].AppendJSON(doc)
+		default:
+			doc = append(doc, `null`...)
+		}
+	}
+	return append(doc, ']', '}')
+}
+
+// finalHeatmap assembles the terminal combined document from settled
+// cells only (no live-sampler fallback): it is a pure function of the
+// per-cell artifacts, so an uninterrupted run and a resumed run that
+// restored the same artifacts produce identical bytes.
+func (j *Job) finalHeatmap() []byte {
+	j.hmu.Lock()
+	defer j.hmu.Unlock()
+	if j.heatmaps == nil {
+		return nil
+	}
+	return j.assembleLocked(false)
+}
+
+// heapStats snapshots the live samplers' summary statistics, one
+// entry per cell (null for cells without a sampler in this process).
+func (j *Job) heapStats() ([]*heapscope.Stats, bool) {
+	j.hmu.Lock()
+	defer j.hmu.Unlock()
+	if j.heatmaps == nil {
+		return nil, false
+	}
+	out := make([]*heapscope.Stats, len(j.samplers))
+	for i, s := range j.samplers {
+		if s != nil {
+			st := s.Stats()
+			out[i] = &st
+		}
+	}
+	return out, true
 }

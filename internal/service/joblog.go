@@ -141,6 +141,15 @@ func (l *eventLog) appendState(s stateLine) {
 	l.appendLocked(logLine{event: "state", data: append(data, '\n')}, true)
 }
 
+// isTruncated reports whether the log has dropped lines — surfaced
+// in Status.LogTruncated so clients learn about the gap without
+// scanning the stream for the marker line.
+func (l *eventLog) isTruncated() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.truncated
+}
+
 // close ends the stream: tails drain what is retained and return.
 func (l *eventLog) close() {
 	l.mu.Lock()

@@ -11,11 +11,14 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 
 	"compaction/internal/obs"
+	"compaction/internal/obs/heapscope"
 	"compaction/internal/resume"
+	"compaction/internal/sim"
 	"compaction/internal/sweep"
 )
 
@@ -185,6 +188,9 @@ func (s *Server) adoptTerminal(r recovered) {
 	}
 	j.ctx, j.cancel = context.WithCancelCause(s.ctx)
 	j.cancel(nil)
+	if data, err := os.ReadFile(s.store.heatmapPath(st.ID)); err == nil {
+		j.freezeHeatmap(data)
+	}
 	j.log.appendState(stateLine{
 		Ev: "state", State: st.State, Cells: st.Cells,
 		Done: st.Done, Failed: st.Failed, Restored: st.Restored,
@@ -291,11 +297,31 @@ func (s *Server) run(j *Job) ([]sweep.Outcome, error) {
 	opts := j.spec.options()
 	opts.Monitor = j.mon
 	opts.Tracer = schedTracer{log: j.log}
+	// Every cell attempt runs under pprof labels, so CPU and heap
+	// profiles scraped from /debug/pprof slice by job, tenant and cell.
+	opts.ProfileLabels = map[string]string{"job": j.id, "tenant": j.tenant}
 	if j.spec.Stream != StreamOff {
 		all := j.spec.Stream == StreamAll
 		opts.EngineTracer = func(cell int) obs.Tracer {
 			return cellTracer{log: j.log, cell: cell, all: all}
 		}
+	}
+	if j.spec.heatmapOn() {
+		j.initHeatmaps(len(cells))
+		hc := j.spec.heapscopeConfig()
+		opts.HeapEvery = j.spec.HeatmapEvery
+		opts.HeapProbe = func(cell int) sim.HeapHook {
+			sam, err := heapscope.New(hc)
+			if err != nil {
+				// A spec whose shape heapscope rejects (capacity not
+				// divisible by shards) runs unprobed rather than failing.
+				s.warn(fmt.Errorf("service: job %s cell %d: %w", j.id, cell, err))
+				return nil
+			}
+			j.setSampler(cell, sam)
+			return sam.Sample
+		}
+		opts.OnCell = func(cell int, o sweep.Outcome) { s.cellSettled(j, cell, o) }
 	}
 	if s.store.durable() {
 		jr, err := resume.Open(s.store.journalPath(j.id))
@@ -308,6 +334,39 @@ func (s *Server) run(j *Job) ([]sweep.Outcome, error) {
 		opts.Journal = jr
 	}
 	return sweep.RunOpts(j.ctx, cells, opts)
+}
+
+// cellSettled is the sweep's OnCell observer: it finalizes the cell's
+// heatmap artifact. Fresh successes serialize their sampler and (on a
+// durable store) persist it — OnCell runs before the cell's journal
+// checkpoint, so the artifact is on disk before the journal promises
+// the cell never re-runs. Restored cells read the artifact those
+// earlier writes left behind. Failed and skipped cells keep a null
+// slot.
+func (s *Server) cellSettled(j *Job, cell int, o sweep.Outcome) {
+	switch {
+	case o.Restored:
+		data, err := os.ReadFile(s.store.heatmapCellPath(j.id, cell))
+		if err != nil {
+			s.warn(fmt.Errorf("service: job %s cell %d: restoring heatmap: %w", j.id, cell, err))
+			return
+		}
+		j.setCellHeatmap(cell, data)
+	case o.Err != nil:
+		// A hole in the grid is a hole in the heatmap.
+	default:
+		sam := j.sampler(cell)
+		if sam == nil {
+			return
+		}
+		data := sam.AppendJSON(nil)
+		if s.store.durable() {
+			if err := writeFileAtomic(s.store.heatmapCellPath(j.id, cell), data); err != nil {
+				s.warn(fmt.Errorf("service: job %s cell %d: persisting heatmap: %w", j.id, cell, err))
+			}
+		}
+		j.setCellHeatmap(cell, data)
+	}
 }
 
 // settle classifies how the job ended and persists accordingly:
@@ -337,10 +396,12 @@ func (s *Server) settle(j *Job, outs []sweep.Outcome, infraErr error) {
 		j.finish(StateCanceled, "server shutting down; job resumes on next boot", nil)
 	case cause == errCanceledByUser:
 		s.mCancel.Inc()
+		s.settleHeatmap(j)
 		st := j.finish(StateCanceled, errCanceledByUser.Error(), csv)
 		s.persist(j, st, csv)
 	case infraErr != nil:
 		s.mFail.Inc()
+		s.settleHeatmap(j)
 		st := j.finish(StateFailed, infraErr.Error(), csv)
 		s.persist(j, st, csv)
 	default:
@@ -354,8 +415,26 @@ func (s *Server) settle(j *Job, outs []sweep.Outcome, infraErr error) {
 				s.warn(err)
 			}
 		}
+		s.settleHeatmap(j)
 		st := j.finish(StateDone, "", csv)
 		s.persist(j, st, csv)
+	}
+}
+
+// settleHeatmap freezes and persists the job's combined heatmap
+// document at a terminal transition. A no-op for jobs without heap
+// introspection. Like the result CSV, the combined document is
+// assembled once and then served verbatim forever.
+func (s *Server) settleHeatmap(j *Job) {
+	doc := j.finalHeatmap()
+	if doc == nil {
+		return
+	}
+	j.freezeHeatmap(doc)
+	if s.store.durable() {
+		if err := writeFileAtomic(s.store.heatmapPath(j.id), doc); err != nil {
+			s.warn(fmt.Errorf("service: job %s: persisting heatmap: %w", j.id, err))
+		}
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"compaction/internal/catalog"
 	"compaction/internal/mm"
+	"compaction/internal/obs/heapscope"
 	"compaction/internal/sim"
 	"compaction/internal/sweep"
 )
@@ -27,6 +28,16 @@ const (
 	// move-reject, sweep, round). Verbose: a paper-scale job emits
 	// millions of events, and the log truncates at its line limit.
 	StreamAll = "all"
+)
+
+// Heatmap modes (Spec.Heatmap).
+const (
+	// HeatmapOn samples each cell's heap into a heatmap artifact. The
+	// default: sampling is allocation-free and the artifact is the
+	// job's fragmentation record.
+	HeatmapOn = "on"
+	// HeatmapOff disables heap introspection for the job.
+	HeatmapOff = "off"
 )
 
 // Spec is the wire form of a job submission: one simulation (C set)
@@ -69,6 +80,14 @@ type Spec struct {
 	// Stream selects the event-stream verbosity (StreamOff,
 	// StreamRounds, StreamAll). Empty means StreamRounds.
 	Stream string `json:"stream,omitempty"`
+	// Heatmap toggles per-cell heap introspection ("on" or "off";
+	// empty means on): a heapscope sampler per cell, persisted as the
+	// job's heatmap artifact and served on /v1/jobs/{id}/heatmap.
+	Heatmap string `json:"heatmap,omitempty"`
+	// HeatmapEvery is the heap sampling stride in rounds; 0 means 1
+	// (sample every round), negative is rejected. Larger strides cost
+	// less and coarsen the time axis of the heatmap.
+	HeatmapEvery int `json:"heatmap_every,omitempty"`
 }
 
 // withDefaults fills the defaulted fields. It is applied once at
@@ -83,6 +102,12 @@ func (sp Spec) withDefaults() Spec {
 	}
 	if sp.Stream == "" {
 		sp.Stream = StreamRounds
+	}
+	if sp.Heatmap == "" {
+		sp.Heatmap = HeatmapOn
+	}
+	if sp.HeatmapEvery == 0 {
+		sp.HeatmapEvery = 1
 	}
 	return sp
 }
@@ -131,6 +156,15 @@ func (sp Spec) Validate() error {
 	default:
 		return fmt.Errorf("spec: unknown stream mode %q (want %q, %q or %q)",
 			sp.Stream, StreamOff, StreamRounds, StreamAll)
+	}
+	switch sp.Heatmap {
+	case HeatmapOn, HeatmapOff:
+	default:
+		return fmt.Errorf("spec: unknown heatmap mode %q (want %q or %q)",
+			sp.Heatmap, HeatmapOn, HeatmapOff)
+	}
+	if sp.HeatmapEvery < 0 {
+		return fmt.Errorf("spec: heatmap_every must be non-negative")
 	}
 	if sp.CellTimeoutMS < 0 || sp.Retries < 0 || sp.Parallelism < 0 {
 		return fmt.Errorf("spec: cell_timeout_ms, retries and parallelism must be non-negative")
@@ -182,8 +216,8 @@ func (sp Spec) JournalParams() string {
 	return fmt.Sprintf("program=%s seed=%d rounds=%d ell=%d", sp.Program, sp.Seed, sp.Rounds, sp.Ell)
 }
 
-// Options builds the job's sweep options (journal, tracers and
-// monitor are attached by the runner).
+// Options builds the job's sweep options (journal, tracers, monitor
+// and heap probes are attached by the runner).
 func (sp Spec) options() sweep.Options {
 	return sweep.Options{
 		Parallelism: sp.Parallelism,
@@ -192,6 +226,24 @@ func (sp Spec) options() sweep.Options {
 		Seed:        sp.Seed,
 		Params:      sp.JournalParams(),
 	}
+}
+
+// heatmapOn reports whether the job samples its cells' heaps.
+func (sp Spec) heatmapOn() bool { return sp.Heatmap != HeatmapOff }
+
+// heapscopeConfig is the per-cell sampler configuration the spec
+// implies: one shard per heap shard (so sharded managers get per-shard
+// rows) over the model's default capacity, heapscope defaults
+// otherwise. It must be a pure function of the spec — a resumed job
+// rebuilds identical samplers, which is half of what makes resumed
+// heatmaps byte-identical.
+func (sp Spec) heapscopeConfig() heapscope.Config {
+	cfg := heapscope.Config{}
+	if sp.Shards > 1 {
+		cfg.Shards = sp.Shards
+		cfg.Capacity = sp.M * sim.DefaultCapacityFactor
+	}
+	return cfg
 }
 
 // ParseSpec decodes and validates a submission body. Unknown fields

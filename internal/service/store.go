@@ -23,6 +23,10 @@ import (
 //	                         when the job ends, so its absence is the
 //	                         boot-recovery signal ("still owed work")
 //	jobs/<id>/result.csv     the outcome CSV of a terminal job
+//	jobs/<id>/heatmap_<k>.json  cell k's heapscope artifact, written
+//	                         before the cell's checkpoint so resumed
+//	                         cells serve the same bytes
+//	jobs/<id>/heatmap.json   the combined heatmap of a terminal job
 //
 // All JSON writes go through temp-file + fsync + rename, the same
 // atomicity discipline as the resume journal: a crash at any instant
@@ -44,6 +48,20 @@ func (st store) journalPath(id string) string {
 
 func (st store) resultPath(id string) string {
 	return filepath.Join(st.jobDir(id), "result.csv")
+}
+
+// heatmapCellPath is a cell's durable heatmap artifact. It is written
+// in the sweep's OnCell callback — before the cell's journal
+// checkpoint — so any cell the journal restores has its artifact on
+// disk, which is what makes resumed combined heatmaps byte-identical
+// to uninterrupted ones.
+func (st store) heatmapCellPath(id string, cell int) string {
+	return filepath.Join(st.jobDir(id), fmt.Sprintf("heatmap_%d.json", cell))
+}
+
+// heatmapPath is the terminal combined heatmap document.
+func (st store) heatmapPath(id string) string {
+	return filepath.Join(st.jobDir(id), "heatmap.json")
 }
 
 // jobRecord is the job.json schema.

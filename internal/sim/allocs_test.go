@@ -6,6 +6,7 @@ import (
 
 	"compaction/internal/heap"
 	"compaction/internal/obs"
+	"compaction/internal/obs/heapscope"
 	"compaction/internal/word"
 )
 
@@ -107,16 +108,18 @@ func (m *stackMgr) Free(_ heap.ObjectID, s heap.Span) {
 }
 
 // TestEngineRoundIsAllocFree pins the zero-allocs-per-round property
-// in both observability modes: with tracing disabled (the nil-tracer
-// fast path every production sweep uses) and with an enabled tracer
+// in every observability mode: with tracing disabled (the nil-tracer
+// fast path every production sweep uses), with an enabled tracer
 // built from the allocation-free obs primitives (ring buffer + atomic
-// metrics), which is what makes always-on flight recording free.
+// metrics), which is what makes always-on flight recording free, and
+// with a heapscope sampler on the HeapHook at its default stride,
+// which is what makes heap introspection safe to leave on by default.
 func TestEngineRoundIsAllocFree(t *testing.T) {
 	cfg := Config{M: 1 << 10, N: 1 << 6, C: 16}
 	const k = 8
 	const slot = word.Size(16)
 
-	measure := func(rounds int, tracer obs.Tracer) float64 {
+	measure := func(rounds int, tracer obs.Tracer, hook HeapHook, every int) float64 {
 		prog := newSteadyProg(rounds, k, slot)
 		mgr := &stackMgr{slot: slot, free: make([]word.Addr, 0, k)}
 		e, err := NewEngine(cfg, prog, mgr)
@@ -124,6 +127,8 @@ func TestEngineRoundIsAllocFree(t *testing.T) {
 			t.Fatal(err)
 		}
 		e.Tracer = tracer
+		e.HeapHook = hook
+		e.RoundHookEvery = every
 		run := func() {
 			prog.reset()
 			if err := e.Reset(cfg, prog, mgr); err != nil {
@@ -140,16 +145,29 @@ func TestEngineRoundIsAllocFree(t *testing.T) {
 	modes := []struct {
 		name   string
 		tracer func() obs.Tracer
+		hook   func(t *testing.T) (HeapHook, int)
 	}{
-		{"disabled", func() obs.Tracer { return nil }},
+		{"disabled", func() obs.Tracer { return nil }, nil},
 		{"ring+metrics", func() obs.Tracer {
 			return obs.Tee(obs.NewRing(1<<10), obs.NewSimMetrics(obs.NewRegistry()))
+		}, nil},
+		{"heapscope", func() obs.Tracer { return nil }, func(t *testing.T) (HeapHook, int) {
+			s, err := heapscope.New(heapscope.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s.Sample, heapscope.DefaultEvery
 		}},
 	}
 	for _, mode := range modes {
 		t.Run(mode.name, func(t *testing.T) {
-			short := measure(32, mode.tracer())
-			long := measure(512, mode.tracer())
+			var hook HeapHook
+			every := 0
+			if mode.hook != nil {
+				hook, every = mode.hook(t)
+			}
+			short := measure(32, mode.tracer(), hook, every)
+			long := measure(512, mode.tracer(), hook, every)
 			if long > short {
 				perRound := (long - short) / (512 - 32)
 				t.Errorf("engine rounds allocate: %.0f allocs at 512 rounds vs %.0f at 32 (%.3f allocs/round, want 0)",

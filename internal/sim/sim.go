@@ -269,7 +269,25 @@ type Engine struct {
 	// and obs.SimMetrics keep it allocation-free too (both pinned by
 	// TestEngineRoundIsAllocFree). The setting survives Reset.
 	Tracer obs.Tracer
+	// HeapHook, if non-nil, receives the engine's ground-truth
+	// occupancy at the same sampled round boundaries as RoundHook
+	// (every RoundHookEvery-th round and the final one). It is the
+	// fragmentation-introspection twin of Tracer: nil is the zero-cost
+	// default (one branch per round), and an installed hook — such as
+	// heapscope.Sampler.Sample — must stay allocation-free on its warm
+	// path so the round loop's zero-alloc pin holds with sampling
+	// enabled. Like Tracer, the setting survives Reset, and the
+	// nilguard analyzer statically requires every call site to sit
+	// behind a nil check.
+	HeapHook HeapHook
 }
+
+// HeapHook observes the heap at a sampled round boundary: round is the
+// 0-based index of the round just completed, occ the engine's live
+// occupancy record. Hooks must treat occ as read-only and must not
+// retain references past the run — the engine mutates it every round
+// and recycles it across Reset.
+type HeapHook func(round int, occ *heap.Occupancy)
 
 // NewEngine validates the configuration and prepares a run.
 func NewEngine(cfg Config, prog Program, mgr Manager) (*Engine, error) {
@@ -374,6 +392,10 @@ func (e *Engine) RunCtx(ctx context.Context) (Result, error) {
 		if e.RoundHook != nil &&
 			(e.RoundHookEvery <= 1 || done || (round+1)%e.RoundHookEvery == 0) {
 			e.RoundHook(e.result())
+		}
+		if e.HeapHook != nil &&
+			(e.RoundHookEvery <= 1 || done || (round+1)%e.RoundHookEvery == 0) {
+			e.HeapHook(round, e.occ)
 		}
 		if done {
 			return e.result(), nil

@@ -22,7 +22,9 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -181,6 +183,31 @@ type Options struct {
 	// and move) events; the cell index is passed so the caller can
 	// stamp events with their grid position.
 	EngineTracer func(cell int) obs.Tracer
+	// HeapProbe, if non-nil, is consulted once per attempt for the
+	// sim.HeapHook to install on the cell's engine (nil leaves that
+	// cell unprobed). The hook sees the engine's occupancy at sampled
+	// round boundaries — compactd hands out one heapscope.Sampler per
+	// cell this way. Like EngineTracer, the hook runs on the worker's
+	// goroutine, concurrently with other cells' hooks.
+	HeapProbe func(cell int) sim.HeapHook
+	// HeapEvery is the round sampling stride for HeapProbe hooks
+	// (engine RoundHookEvery): k > 1 fires the hook every k-th round
+	// and on the final round; <= 1 fires it every round.
+	HeapEvery int
+	// OnCell, if non-nil, observes every cell the moment its outcome is
+	// final: successful cells BEFORE their journal checkpoint (so
+	// durable per-cell artifacts — compactd's heatmap files — exist
+	// by the time the journal claims the cell is done), failed cells
+	// after their last attempt, restored and skipped cells when the
+	// sweep classifies them. Calls are serialized across workers, in
+	// completion order, not cell order.
+	OnCell func(cell int, o Outcome)
+	// ProfileLabels, if non-nil, attaches pprof labels to every
+	// attempt: the given base pairs (compactd sets job and tenant)
+	// plus cell="<index>", so CPU and heap profiles of a long sweep
+	// attribute samples to grid positions. An empty map enables just
+	// the cell label.
+	ProfileLabels map[string]string
 }
 
 func (o Options) withDefaults(cells int) Options {
@@ -247,6 +274,7 @@ func RunOpts(ctx context.Context, cells []Cell, o Options) ([]Outcome, error) {
 			if e, ok := o.Journal.Lookup(s.fps[i]); ok {
 				out[i] = Outcome{Cell: cells[i], Result: e.Result, Restored: true}
 				restored[i] = true
+				s.notify(i, out[i])
 			}
 		}
 	}
@@ -276,6 +304,7 @@ func RunOpts(ctx context.Context, cells []Cell, o Options) ([]Outcome, error) {
 						Label: cells[i].Label, Manager: cells[i].Manager, Index: i,
 						Kind: FailSkipped, Err: context.Cause(ctx),
 					}}
+					s.notify(i, out[i])
 					s.mon.cellSkipped()
 					continue
 				}
@@ -300,6 +329,22 @@ type scheduler struct {
 	tracer     obs.Tracer
 	journalErr error
 	journalOff bool
+
+	// cbMu serializes OnCell callbacks, separately from mu so a slow
+	// callback (compactd writing a heatmap file) never blocks tracer
+	// emissions or checkpoint bookkeeping.
+	cbMu sync.Mutex
+}
+
+// notify delivers a final outcome to the OnCell observer, serialized
+// across workers.
+func (s *scheduler) notify(i int, o Outcome) {
+	if s.o.OnCell == nil {
+		return
+	}
+	s.cbMu.Lock()
+	defer s.cbMu.Unlock()
+	s.o.OnCell(i, o)
 }
 
 // emit serializes tracer emissions across workers.
@@ -366,10 +411,26 @@ func (s *scheduler) runCell(ctx context.Context, i int, e *sim.Engine) (Outcome,
 		if s.o.EngineTracer != nil {
 			tracer = s.o.EngineTracer(i)
 		}
-		o, next := runCellAttempt(actx, c, e, tracer)
+		var hook sim.HeapHook
+		if s.o.HeapProbe != nil {
+			hook = s.o.HeapProbe(i)
+		}
+		var o Outcome
+		var next *sim.Engine
+		attempt := func(ctx context.Context) {
+			o, next = runCellAttempt(ctx, c, e, tracer, hook, s.o.HeapEvery)
+		}
+		if s.o.ProfileLabels != nil {
+			pprof.Do(actx, cellLabels(s.o.ProfileLabels, i), attempt)
+		} else {
+			attempt(actx)
+		}
 		cancel()
 		e = next
 		if o.Err == nil {
+			// Observer before checkpoint: per-cell artifacts written in
+			// OnCell are durable by the time the journal claims the cell.
+			s.notify(i, o)
 			s.checkpoint(i, o.Result)
 			return o, e
 		}
@@ -391,6 +452,7 @@ func (s *scheduler) runCell(ctx context.Context, i int, e *sim.Engine) (Outcome,
 		if kind != FailCanceled {
 			s.emit(obs.Event{Kind: obs.EvDegraded, Round: -1, Cell: i, Attempt: attempts})
 		}
+		s.notify(i, o)
 		return o, e
 	}
 }
@@ -446,14 +508,31 @@ func classify(parent context.Context, err error) FailKind {
 	}
 }
 
+// cellLabels builds the pprof label set for one attempt: the base
+// pairs plus the grid position.
+func cellLabels(base map[string]string, cell int) pprof.LabelSet {
+	kv := make([]string, 0, 2*len(base)+2)
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		kv = append(kv, k, base[k])
+	}
+	kv = append(kv, "cell", strconv.Itoa(cell))
+	return pprof.Labels(kv...)
+}
+
 // runCellAttempt runs one attempt of one cell, reusing the worker's
 // engine when one is handed in. It returns the engine for the next
 // cell, or nil when the engine's state can no longer be trusted (a
-// panic mid-run). The tracer (possibly nil) is installed on the
-// engine for exactly this attempt: engines are reused across cells,
-// so it must be set unconditionally or a traced cell would leak its
-// tracer into the next cell the worker picks up.
-func runCellAttempt(ctx context.Context, c Cell, e *sim.Engine, tracer obs.Tracer) (o Outcome, next *sim.Engine) {
+// panic mid-run). The tracer and heap hook (possibly nil) are
+// installed on the engine for exactly this attempt: engines are
+// reused across cells, so both must be set unconditionally or a
+// traced or probed cell would leak its hooks into the next cell the
+// worker picks up.
+func runCellAttempt(ctx context.Context, c Cell, e *sim.Engine, tracer obs.Tracer, hook sim.HeapHook, every int) (o Outcome, next *sim.Engine) {
 	o = Outcome{Cell: c}
 	next = e
 	// A panicking program or manager must fail its own cell, not tear
@@ -485,6 +564,8 @@ func runCellAttempt(ctx context.Context, c Cell, e *sim.Engine, tracer obs.Trace
 		return o, next
 	}
 	e.Tracer = tracer
+	e.HeapHook = hook
+	e.RoundHookEvery = every
 	if ts, ok := mgr.(obs.TracerSetter); ok {
 		ts.SetTracer(tracer)
 	}
