@@ -8,7 +8,7 @@ FUZZ_TARGETS := FuzzManagerTrace FuzzFreeIndex FuzzBoundsMonotone FuzzTraceRound
 BENCH_PATTERN := BenchmarkSim1PF|BenchmarkAllocatorThroughput|BenchmarkObsOverhead|BenchmarkShardedScaling
 BENCH_OUT := bench.out
 
-.PHONY: all build test vet lint race fuzz-smoke robustness resume-drill serve serve-drill check bench bench-check trace heatmap clean
+.PHONY: all build test vet lint race fuzz-smoke robustness resume-drill chaos serve serve-drill check bench bench-check trace heatmap clean
 
 all: build
 
@@ -36,14 +36,14 @@ lint: build
 race:
 	$(GO) test -race ./internal/sim ./internal/sweep ./internal/check ./internal/obs \
 		./internal/resume ./internal/faultinject ./internal/lint/... ./cmd/compactlint \
-		./internal/heap/sharded ./internal/service ./cmd/compactd
+		./internal/heap/sharded ./internal/service ./cmd/compactd ./internal/dist
 
 # The fault-tolerance suite under the race detector: every injected
 # fault class (panic, deadline, alloc failure, transient, sink write
 # error), checkpoint/resume determinism, cancellation, and the CLI's
 # flush-on-failure and exit-code contracts.
 robustness:
-	$(GO) test -race ./internal/resume ./internal/faultinject ./cmd/compactsim
+	$(GO) test -race ./internal/resume ./internal/faultinject ./internal/dist ./cmd/compactsim
 	$(GO) test -race -run 'Panic|Deadline|Retry|Retries|Cancel|Checkpoint|Journal|Degrad|Ticker|Backoff|Injected' ./internal/sweep
 
 # End-to-end recovery drill: sweep → SIGTERM → resume → byte-compare
@@ -51,6 +51,14 @@ robustness:
 # real grid twice and a half); CI runs it in the robustness job.
 resume-drill:
 	scripts/resume_drill.sh
+
+# Distributed chaos drill: coordinator + 4 workers, two SIGKILLed
+# mid-grid, one hung on its lease, one double-delivering a commit —
+# the merged CSV must be byte-identical to an uninterrupted
+# single-process run and the monitor must show the recoveries. CI
+# runs this as its own job.
+chaos:
+	scripts/chaos_drill.sh
 
 # Run the resident simulation service locally with a durable data
 # directory: http://localhost:8080 serves the dashboard, the job API,

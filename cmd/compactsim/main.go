@@ -49,12 +49,28 @@
 //
 //	compactsim -adversary pf -sweep 8,16,32 -checkpoint sweep.ckpt \
 //	    -cell-timeout 5m -retries 2 -csv results.csv
+//
+// Distributed sweeps (internal/dist): -coordinate serves the grid's
+// cells as fenced leases to worker processes over localhost HTTP,
+// journaling every claim and commit in the -ledger directory so a
+// crashed coordinator resumes mid-grid; -worker turns this binary
+// into such a worker (cmd/sweepworker is the dedicated frontend).
+// Leases carry monotonic fencing tokens: a worker that crashes or
+// hangs stops renewing, its cell is reassigned, and its late commit
+// is rejected. The merged CSV is byte-identical to a single-process
+// run (scripts/chaos_drill.sh proves it under SIGKILL):
+//
+//	compactsim -adversary pf -sweep 8,16,32 -coordinate 127.0.0.1:7171 \
+//	    -ledger sweep.ledger -csv results.csv &
+//	compactsim -worker http://127.0.0.1:7171 &
+//	sweepworker -coordinator http://127.0.0.1:7171 &
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"strconv"
@@ -66,6 +82,7 @@ import (
 	"compaction/internal/budget"
 	"compaction/internal/catalog"
 	"compaction/internal/check"
+	"compaction/internal/dist"
 	"compaction/internal/heap/sharded"
 	"compaction/internal/mm"
 	"compaction/internal/obs"
@@ -111,8 +128,26 @@ func main() {
 		cellTimeout  = flag.Duration("cell-timeout", 0, "wall-clock deadline per sweep cell (0 = none)")
 		retries      = flag.Int("retries", 0, "re-run a failed sweep cell this many times (with backoff) before declaring a hole")
 		serve        = flag.Bool("serve", false, "removed: the resident simulation service is the compactd binary")
+		coordinate   = flag.String("coordinate", "", "distribute the sweep: serve cell leases to workers on this HTTP address (e.g. 127.0.0.1:7171; needs -sweep)")
+		ledgerDir    = flag.String("ledger", "", "lease ledger directory for -coordinate: claims and commits are journaled there and a restarted coordinator resumes from it")
+		leaseTTL     = flag.Duration("lease-ttl", 10*time.Second, "heartbeat timeout for -coordinate: a lease not renewed within it is reassigned to another worker")
+		maxFailures  = flag.Int("max-failures", 3, "poison-cell threshold for -coordinate: quarantine a cell after this many failed attempts across workers")
+		workerURL    = flag.String("worker", "", "run as a distributed-sweep worker against this coordinator URL (or - for NDJSON over stdin/stdout); sweep flags come from the coordinator")
+		workerID     = flag.String("worker-id", "", "worker name for -worker (default worker-<pid>)")
+		inject       = flag.String("inject", "", "with -worker: process fault to inject for chaos drills (kill-at-cell=N, kill-at-commit=N, hang-at-cell=N, dup-commit=N)")
 	)
 	flag.Parse()
+	if *workerURL != "" {
+		// Worker mode is a different program: leases in, results out,
+		// its own two-stage signal drain (first signal finishes the
+		// in-flight cell, second abandons it). Exit codes match ours.
+		os.Exit(dist.RunWorkerCLI(context.Background(), dist.CLIConfig{
+			URL: *workerURL, ID: *workerID, CellTimeout: *cellTimeout, Inject: *inject,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "compactsim: "+format+"\n", args...)
+			},
+		}))
+	}
 	if *serve {
 		// compactsim stays the one-shot CLI; the resident job API,
 		// streaming and multi-tenant service live in cmd/compactd.
@@ -125,11 +160,16 @@ func main() {
 		metricsAddr: *metricsAddr, progress: *progress,
 	}
 	ft := ftOpts{checkpoint: *checkpoint, cellTimeout: *cellTimeout, retries: *retries}
+	dd := distOpts{coordinate: *coordinate, ledger: *ledgerDir, leaseTTL: *leaseTTL, maxFailures: *maxFailures}
 	if msg := oo.validate(*manager, *sweepCs != "", *seeds); msg != "" {
 		fmt.Fprintln(os.Stderr, "compactsim:", msg)
 		os.Exit(2)
 	}
 	if msg := ft.validate(*sweepCs != ""); msg != "" {
+		fmt.Fprintln(os.Stderr, "compactsim:", msg)
+		os.Exit(2)
+	}
+	if msg := dd.validate(*sweepCs != "", *seeds, *checkpoint, *inject); msg != "" {
 		fmt.Fprintln(os.Stderr, "compactsim:", msg)
 		os.Exit(2)
 	}
@@ -148,13 +188,18 @@ func main() {
 	if *seeds > 1 {
 		err = runSeeds(ctx, *adv, *manager, mFlag.Size(), nFlag.Size(), *cFlag, *shards, *seeds, *rounds, *ell)
 	} else if *sweepCs != "" {
-		err = runSweep(ctx, sweepOpts{
+		o := sweepOpts{
 			adv: *adv, manager: *manager,
 			m: mFlag.Size(), n: nFlag.Size(), shards: *shards,
 			sweepCs: *sweepCs, csvOut: *csvOut,
 			seed: *seed, rounds: *rounds, ell: *ell,
-			obs: oo, ft: ft,
-		})
+			obs: oo, ft: ft, dist: dd,
+		}
+		if dd.coordinate != "" {
+			err = runCoordinate(ctx, o)
+		} else {
+			err = runSweep(ctx, o)
+		}
 	} else {
 		err = run(ctx, runOpts{
 			adv: *adv, manager: *manager,
@@ -305,6 +350,37 @@ type sweepOpts struct {
 	rounds, ell     int
 	obs             obsOpts
 	ft              ftOpts
+	dist            distOpts
+}
+
+// distOpts bundles the distributed-sweep coordinator flags.
+type distOpts struct {
+	coordinate  string
+	ledger      string
+	leaseTTL    time.Duration
+	maxFailures int
+}
+
+// validate rejects distributed flags that cannot work together.
+func (d distOpts) validate(sweeping bool, seeds int, checkpoint, inject string) string {
+	if inject != "" {
+		return "-inject plants worker faults; it needs -worker"
+	}
+	if d.coordinate == "" {
+		if d.ledger != "" {
+			return "-ledger journals a coordinator's leases; it needs -coordinate"
+		}
+		return ""
+	}
+	switch {
+	case !sweeping:
+		return "-coordinate distributes a sweep; it needs -sweep"
+	case seeds > 1:
+		return "-coordinate distributes a -sweep grid; it does not support -seeds"
+	case checkpoint != "":
+		return "-coordinate journals through -ledger; drop -checkpoint"
+	}
+	return ""
 }
 
 // newManager constructs the named manager, wrapped in the sharded
@@ -351,13 +427,9 @@ func runSweep(ctx context.Context, o sweepOpts) error {
 	if err != nil {
 		return err
 	}
-	var cs []int64
-	for _, part := range strings.Split(o.sweepCs, ",") {
-		c, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
-		if err != nil {
-			return fmt.Errorf("bad -sweep value %q: %w", part, err)
-		}
-		cs = append(cs, c)
+	cs, err := parseCs(o.sweepCs)
+	if err != nil {
+		return err
 	}
 	managers := []string{o.manager}
 	if o.manager == "all" {
@@ -438,6 +510,142 @@ func runSweep(ctx context.Context, o sweepOpts) error {
 	if opts.Journal != nil {
 		if err := opts.Journal.Remove(); err != nil {
 			return fmt.Errorf("-checkpoint: removing completed journal: %w", err)
+		}
+	}
+	return nil
+}
+
+// parseCs parses the -sweep list of compaction bounds.
+func parseCs(spec string) ([]int64, error) {
+	var cs []int64
+	for _, part := range strings.Split(spec, ",") {
+		c, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -sweep value %q: %w", part, err)
+		}
+		cs = append(cs, c)
+	}
+	return cs, nil
+}
+
+// runCoordinate runs the sweep as a distributed coordinator: the grid
+// is sharded into fenced leases served over HTTP, workers (sweepworker
+// or compactsim -worker) run the cells, and the merged results are
+// reported exactly as a local -sweep would report them — same summary,
+// same CSV bytes.
+func runCoordinate(ctx context.Context, o sweepOpts) error {
+	cs, err := parseCs(o.sweepCs)
+	if err != nil {
+		return err
+	}
+	managers := []string{o.manager}
+	if o.manager == "all" {
+		managers = mm.Names()
+	}
+	spec := dist.GridSpec{
+		Program: o.adv, Seed: o.seed, Rounds: o.rounds, Ell: o.ell,
+		M: o.m, N: o.n, Shards: o.shards,
+		Cs: cs, Managers: managers,
+	}
+	_, tasks, err := spec.Expand()
+	if err != nil {
+		return err
+	}
+	var ledger *resume.Ledger
+	if o.dist.ledger != "" {
+		ledger, err = resume.OpenLedger(o.dist.ledger)
+		if err != nil {
+			return fmt.Errorf("-ledger: %w", err)
+		}
+		defer ledger.Close()
+	}
+	var mon *sweep.Monitor
+	if o.obs.progress || o.obs.metricsAddr != "" {
+		reg := obs.NewRegistry()
+		mon = sweep.NewMonitor(reg)
+		if o.obs.metricsAddr != "" {
+			addr, err := obs.Serve(o.obs.metricsAddr, "compactsim", reg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "compactsim: metrics on http://%s/metrics\n", addr)
+		}
+	}
+	coord, err := dist.NewCoordinator(tasks, ledger, dist.Options{
+		LeaseTTL: o.dist.leaseTTL, MaxFailures: o.dist.maxFailures,
+		Params: journalParams(o), Monitor: mon,
+	})
+	if err != nil {
+		return err
+	}
+	if n := coord.Restored(); n > 0 {
+		fmt.Fprintf(os.Stderr, "compactsim: resuming %d/%d cells from %s\n", n, len(tasks), o.dist.ledger)
+	}
+	l, err := net.Listen("tcp", o.dist.coordinate)
+	if err != nil {
+		return fmt.Errorf("-coordinate: %w", err)
+	}
+	srv := dist.Serve(coord, l)
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(sctx)
+	}()
+	fmt.Fprintf(os.Stderr, "compactsim: coordinating %d cells on http://%s (lease TTL %s)\n",
+		len(tasks), l.Addr(), o.dist.leaseTTL)
+	if o.obs.progress {
+		defer mon.StartTicker(os.Stderr, time.Second)()
+	}
+
+	waitErr := coord.Wait(ctx)
+	outs := coord.Outcomes()
+	if o.obs.progress {
+		fmt.Fprintln(os.Stderr, mon.Snapshot().Line())
+	}
+	fmt.Printf("sweep: adversary=%s M=%s n=%s\n", o.adv, word.Format(o.m), word.Format(o.n))
+	fmt.Print(sweep.Summary(outs))
+	if o.csvOut != "" {
+		f, err := os.Create(o.csvOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := sweep.WriteCSV(f, outs); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", o.csvOut)
+	}
+	holes := sweep.Holes(outs)
+	if ctx.Err() != nil {
+		if o.dist.ledger != "" {
+			fmt.Fprintf(os.Stderr, "compactsim: interrupted with %d/%d cells done; rerun with -ledger %s to resume\n",
+				len(tasks)-len(holes), len(tasks), o.dist.ledger)
+		}
+		return fmt.Errorf("sweep interrupted: %d of %d cells incomplete", len(holes), len(tasks))
+	}
+	if waitErr != nil {
+		// Fenced by a successor coordinator, or durability degraded
+		// mid-run. Results (if any) were reported above; the error is
+		// still an error.
+		return waitErr
+	}
+	if len(holes) > 0 {
+		// Quarantined poison cells: the grid completed with explicit
+		// typed holes and the ledger is kept so a rerun retries only
+		// those cells.
+		fmt.Fprintf(os.Stderr, "compactsim: %d of %d cells failed (explicit holes; see the error column)\n",
+			len(holes), len(tasks))
+		return nil
+	}
+	if o.dist.ledger != "" {
+		if err := ledger.Close(); err != nil {
+			return fmt.Errorf("-ledger: %w", err)
+		}
+		if err := resume.RemoveLedger(o.dist.ledger); err != nil {
+			return fmt.Errorf("-ledger: removing completed ledger: %w", err)
 		}
 	}
 	return nil

@@ -128,6 +128,34 @@ func TestFtFlagValidation(t *testing.T) {
 	}
 }
 
+// TestDistFlagValidation: the coordinator needs a -sweep grid and must
+// not be silently ignored by the -seeds or -checkpoint modes.
+func TestDistFlagValidation(t *testing.T) {
+	cases := []struct {
+		dist       distOpts
+		sweeping   bool
+		seeds      int
+		checkpoint string
+		inject     string
+		wantErr    bool
+	}{
+		{distOpts{}, false, 1, "", "", false},
+		{distOpts{coordinate: "127.0.0.1:0"}, true, 1, "", "", false},
+		{distOpts{coordinate: "127.0.0.1:0", ledger: "d"}, true, 1, "", "", false},
+		{distOpts{coordinate: "127.0.0.1:0"}, false, 1, "", "", true}, // needs -sweep
+		{distOpts{coordinate: "127.0.0.1:0"}, true, 2, "", "", true},  // -seeds would bypass it
+		{distOpts{coordinate: "127.0.0.1:0"}, true, 1, "j", "", true}, // -checkpoint conflicts
+		{distOpts{ledger: "d"}, true, 1, "", "", true},                // -ledger without -coordinate
+		{distOpts{}, false, 1, "", "kill-at-cell=1", true},            // -inject is worker-only
+	}
+	for i, c := range cases {
+		msg := c.dist.validate(c.sweeping, c.seeds, c.checkpoint, c.inject)
+		if (msg != "") != c.wantErr {
+			t.Errorf("case %d: validate = %q, wantErr=%v", i, msg, c.wantErr)
+		}
+	}
+}
+
 // TestSweepCheckpointResumeCLI is the tentpole acceptance drill at the
 // command level: a sweep interrupted mid-grid, resumed via
 // -checkpoint with identical flags, produces a CSV byte-identical to

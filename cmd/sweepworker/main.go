@@ -1,0 +1,54 @@
+// Command sweepworker is a distributed-sweep worker: it pulls cell
+// leases from a compactsim coordinator, runs each cell through the
+// sweep machinery, and commits the results back under the lease's
+// fencing token.
+//
+//	compactsim -adversary pf -sweep 8,16,32 -coordinate 127.0.0.1:7171 ... &
+//	sweepworker -coordinator http://127.0.0.1:7171
+//	sweepworker -coordinator -          # NDJSON over stdin/stdout
+//
+// The first SIGTERM/SIGINT drains the worker: it finishes and commits
+// the in-flight cell, says goodbye, and exits 0. A second signal
+// abandons the cell (its lease is released, so the cell is claimable
+// immediately) and exits 3. Exit codes match compactsim: 0 success,
+// 1 error, 2 usage, 3 interrupted.
+//
+// -inject plants a process-level fault for chaos drills (see
+// internal/faultinject): kill-at-cell=N, kill-at-commit=N,
+// hang-at-cell=N, dup-commit=N.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"compaction/internal/dist"
+
+	_ "compaction/internal/mm/all"
+)
+
+func main() {
+	var (
+		coordinator = flag.String("coordinator", "", "coordinator address: an http://host:port base URL, or - for NDJSON over stdin/stdout")
+		id          = flag.String("id", "", "worker name used in leases and the ledger (default worker-<pid>)")
+		cellTimeout = flag.Duration("cell-timeout", 0, "wall-clock deadline per cell attempt (0 = none)")
+		inject      = flag.String("inject", "", "fault to inject, for drills: kill-at-cell=N, kill-at-commit=N, hang-at-cell=N or dup-commit=N")
+		quiet       = flag.Bool("quiet", false, "suppress per-lease progress lines on stderr")
+	)
+	flag.Parse()
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "sweepworker: "+format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	os.Exit(dist.RunWorkerCLI(context.Background(), dist.CLIConfig{
+		URL:         *coordinator,
+		ID:          *id,
+		CellTimeout: *cellTimeout,
+		Inject:      *inject,
+		Logf:        logf,
+	}))
+}

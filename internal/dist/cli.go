@@ -1,0 +1,125 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"compaction/internal/faultinject"
+)
+
+// Exit codes shared with compactsim: 0 success/drained, 1 error,
+// 2 usage, 3 interrupted (hard stop before the grid settled).
+const (
+	ExitOK          = 0
+	ExitError       = 1
+	ExitUsage       = 2
+	ExitInterrupted = 3
+)
+
+// CLIConfig configures a worker process frontend.
+type CLIConfig struct {
+	// URL is the coordinator address: an http://host:port base, or "-"
+	// to speak NDJSON over stdin/stdout.
+	URL string
+	// ID names the worker; defaults to "worker-<pid>".
+	ID string
+	// CellTimeout bounds each cell attempt (0 = none).
+	CellTimeout time.Duration
+	// Inject is a faultinject.ParseWorkerFault spec ("" = no fault).
+	Inject string
+	// Logf receives progress lines; nil silences them.
+	Logf func(format string, args ...any)
+	// Stdin/Stdout back the "-" transport; default os.Stdin/os.Stdout.
+	Stdin  io.Reader
+	Stdout io.Writer
+}
+
+// RunWorkerCLI is the whole worker frontend: transport setup, fault
+// injection, the two-stage signal drain, and exit-code mapping. The
+// first SIGTERM/SIGINT stops claiming new leases and lets the
+// in-flight cell finish and commit (graceful drain, exit 0); the
+// second abandons the cell, releases its lease, and exits 3.
+func RunWorkerCLI(ctx context.Context, cfg CLIConfig) int {
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if cfg.URL == "" {
+		fmt.Fprintln(os.Stderr, "worker: a coordinator address is required (-coordinator URL, or - for stdio)")
+		return ExitUsage
+	}
+	id := cfg.ID
+	if id == "" {
+		id = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	hooks, err := faultinject.ParseWorkerFault(cfg.Inject)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "worker:", err)
+		return ExitUsage
+	}
+
+	var conn Conn
+	if cfg.URL == "-" {
+		in, out := cfg.Stdin, cfg.Stdout
+		if in == nil {
+			in = os.Stdin
+		}
+		if out == nil {
+			out = os.Stdout
+		}
+		conn = NewLineConn(in, out)
+	} else {
+		conn = &HTTPConn{Base: cfg.URL}
+	}
+
+	runCtx, hardStop := context.WithCancel(ctx)
+	defer hardStop()
+	claimCtx, drain := context.WithCancel(runCtx)
+	defer drain()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sigc)
+	go func() {
+		select {
+		case <-sigc:
+			logf("worker %s: draining (finishing the in-flight cell; signal again to abandon it)", id)
+			drain()
+		case <-runCtx.Done():
+			return
+		}
+		select {
+		case <-sigc:
+			logf("worker %s: hard stop", id)
+			hardStop()
+		case <-runCtx.Done():
+		}
+	}()
+
+	w := NewWorker(conn, WorkerOptions{
+		ID:          id,
+		CellTimeout: cfg.CellTimeout,
+		Hooks: Hooks{
+			AfterClaim:   hooks.AfterClaim,
+			BeforeCommit: hooks.BeforeCommit,
+			CommitCopies: hooks.CommitCopies,
+		},
+		Logf: logf,
+	})
+	err = w.Run(runCtx, claimCtx)
+	switch {
+	case err == nil:
+		return ExitOK
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		fmt.Fprintln(os.Stderr, "worker: interrupted:", err)
+		return ExitInterrupted
+	default:
+		fmt.Fprintln(os.Stderr, "worker:", err)
+		return ExitError
+	}
+}

@@ -1,0 +1,246 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"compaction/internal/resume"
+	"compaction/internal/sim"
+)
+
+// Request is one worker→coordinator message. The same schema rides
+// both transports: one JSON object per line over an NDJSON pipe, or
+// the body of POST /v1/lease over localhost HTTP.
+type Request struct {
+	// Op is the operation: claim, renew, commit, fail, release, goodbye.
+	Op     string `json:"op"`
+	Worker string `json:"worker"`
+	Cell   int    `json:"cell,omitempty"`
+	Token  uint64 `json:"token,omitempty"`
+	// Result rides commit requests.
+	Result *sim.Result `json:"result,omitempty"`
+	// Reason rides fail requests (the cell error's text).
+	Reason string `json:"reason,omitempty"`
+}
+
+// Response is the coordinator's answer.
+type Response struct {
+	OK bool `json:"ok"`
+	// Done: the grid is settled; the worker should say goodbye and
+	// exit cleanly.
+	Done bool `json:"done,omitempty"`
+	// Fenced: the operation was rejected by lease fencing — the lease
+	// expired and was reassigned, the token is superseded, or the
+	// commit is a duplicate. The worker drops the work and moves on.
+	Fenced bool `json:"fenced,omitempty"`
+	// Task, Token and TTLMillis carry a granted lease.
+	Task      *Task  `json:"task,omitempty"`
+	Token     uint64 `json:"token,omitempty"`
+	TTLMillis int64  `json:"ttl_ms,omitempty"`
+	// Error reports a coordinator-side problem (unknown op, fenced
+	// coordinator). Transport-level retries apply; fencing does not.
+	Error string `json:"error,omitempty"`
+}
+
+// Handle dispatches one protocol request against the coordinator. It
+// is the single entry point both transports go through.
+func (c *Coordinator) Handle(req Request) Response {
+	switch req.Op {
+	case "claim":
+		g, st := c.Claim(req.Worker)
+		switch st {
+		case ClaimGranted:
+			t := g.Task
+			return Response{OK: true, Task: &t, Token: g.Token, TTLMillis: g.TTL.Milliseconds()}
+		case ClaimEmpty:
+			return Response{OK: true}
+		case ClaimDone:
+			return Response{OK: true, Done: true}
+		default:
+			return Response{Error: "coordinator fenced by a successor"}
+		}
+	case "renew":
+		return respond(c.Renew(req.Worker, req.Cell, req.Token))
+	case "commit":
+		if req.Result == nil {
+			return Response{Error: "commit without a result"}
+		}
+		return respond(c.Commit(req.Worker, req.Cell, req.Token, *req.Result))
+	case "fail":
+		return respond(c.Fail(req.Worker, req.Cell, req.Token, req.Reason))
+	case "release":
+		return respond(c.Release(req.Worker, req.Cell, req.Token))
+	case "goodbye":
+		c.Goodbye(req.Worker)
+		return Response{OK: true}
+	default:
+		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// respond maps a coordinator error to the wire: fencing rejections are
+// a dedicated flag (expected protocol traffic, not failures).
+func respond(err error) Response {
+	switch {
+	case err == nil:
+		return Response{OK: true}
+	case errors.Is(err, resume.ErrFenced):
+		return Response{Fenced: true}
+	default:
+		return Response{Error: err.Error()}
+	}
+}
+
+// Conn is the worker's view of a coordinator, over any transport.
+type Conn interface {
+	Call(ctx context.Context, req Request) (Response, error)
+}
+
+// leasePath is the HTTP endpoint both sides agree on.
+const leasePath = "/v1/lease"
+
+// Handler serves the lease protocol over HTTP: POST /v1/lease with a
+// Request body returns a Response.
+func Handler(c *Coordinator) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+leasePath, func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(c.Handle(req)); err != nil {
+			// The client went away mid-response; its retry (or lease
+			// expiry) recovers.
+			return
+		}
+	})
+	return mux
+}
+
+// Serve runs the lease protocol on the listener until the returned
+// server is shut down.
+func Serve(c *Coordinator, l net.Listener) *http.Server {
+	srv := &http.Server{Handler: Handler(c), ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		// Serve's error is ErrServerClosed on Shutdown; anything else
+		// means the listener died, which the coordinator's Wait caller
+		// notices by workers going silent.
+		_ = srv.Serve(l)
+	}()
+	return srv
+}
+
+// HTTPConn is the worker-side HTTP transport.
+type HTTPConn struct {
+	// Base is the coordinator's base URL, e.g. "http://127.0.0.1:7171".
+	Base string
+	// Client, if nil, uses a dedicated client with sane timeouts.
+	Client *http.Client
+}
+
+// Call implements Conn.
+func (h *HTTPConn) Call(ctx context.Context, req Request) (Response, error) {
+	client := h.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return Response{}, fmt.Errorf("dist: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, h.Base+leasePath, bytes.NewReader(body))
+	if err != nil {
+		return Response{}, fmt.Errorf("dist: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hres, err := client.Do(hreq)
+	if err != nil {
+		return Response{}, fmt.Errorf("dist: %w", err)
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(hres.Body, 1<<10))
+		return Response{}, fmt.Errorf("dist: coordinator returned %s: %s", hres.Status, bytes.TrimSpace(b))
+	}
+	var resp Response
+	if err := json.NewDecoder(hres.Body).Decode(&resp); err != nil {
+		return Response{}, fmt.Errorf("dist: %w", err)
+	}
+	return resp, nil
+}
+
+// ServeLines runs the lease protocol over an NDJSON pipe: one Request
+// per line on r, one Response per line on w — the transport for
+// workers wired up over stdin/stdout instead of a socket. It returns
+// when r is exhausted (the worker hung up) or w fails.
+func ServeLines(c *Coordinator, r io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	enc := json.NewEncoder(w)
+	for sc.Scan() {
+		var req Request
+		var resp Response
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			resp = Response{Error: "bad request: " + err.Error()}
+		} else {
+			resp = c.Handle(req)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return fmt.Errorf("dist: %w", err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("dist: %w", err)
+	}
+	return nil
+}
+
+// LineConn is the worker-side NDJSON pipe transport: requests written
+// to w, responses read from r, strictly one in flight at a time.
+type LineConn struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	sc  *bufio.Scanner
+}
+
+// NewLineConn builds a LineConn over the pipe pair.
+func NewLineConn(r io.Reader, w io.Writer) *LineConn {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	return &LineConn{enc: json.NewEncoder(w), sc: sc}
+}
+
+// Call implements Conn. Pipes carry no per-call cancellation; ctx is
+// honored between calls.
+func (l *LineConn) Call(ctx context.Context, req Request) (Response, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return Response{}, fmt.Errorf("dist: %w", err)
+	}
+	if err := l.enc.Encode(req); err != nil {
+		return Response{}, fmt.Errorf("dist: %w", err)
+	}
+	if !l.sc.Scan() {
+		if err := l.sc.Err(); err != nil {
+			return Response{}, fmt.Errorf("dist: %w", err)
+		}
+		return Response{}, fmt.Errorf("dist: coordinator pipe closed")
+	}
+	var resp Response
+	if err := json.Unmarshal(l.sc.Bytes(), &resp); err != nil {
+		return Response{}, fmt.Errorf("dist: %w", err)
+	}
+	return resp, nil
+}

@@ -1,0 +1,94 @@
+package faultinject
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseWorkerFault(t *testing.T) {
+	cases := []struct {
+		spec string
+		ok   bool
+		want string // which hook must be non-nil: claim, commit, copies, none
+	}{
+		{"", true, "none"},
+		{"kill-at-cell=1", true, "claim"},
+		{"kill-at-commit=2", true, "commit"},
+		{"hang-at-cell=3", true, "claim"},
+		{"dup-commit=1", true, "copies"},
+		{"kill-at-cell", false, ""},
+		{"kill-at-cell=0", false, ""},
+		{"kill-at-cell=x", false, ""},
+		{"explode=1", false, ""},
+	}
+	for _, c := range cases {
+		h, err := ParseWorkerFault(c.spec)
+		if c.ok != (err == nil) {
+			t.Errorf("%q: err=%v, want ok=%v", c.spec, err, c.ok)
+			continue
+		}
+		if !c.ok {
+			continue
+		}
+		got := "none"
+		switch {
+		case h.AfterClaim != nil:
+			got = "claim"
+		case h.BeforeCommit != nil:
+			got = "commit"
+		case h.CommitCopies != nil:
+			got = "copies"
+		}
+		if got != c.want {
+			t.Errorf("%q: hook %s wired, want %s", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestDuplicateCommitFiresOnce(t *testing.T) {
+	copies := DuplicateCommit(2)
+	got := []int{copies(10), copies(11), copies(12)}
+	want := []int{1, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("copies sequence = %v, want %v", got, want)
+		}
+	}
+}
+
+// The kill and hang injectors cannot fire in-process (they would take
+// the test down with them); what is testable here is that they stay
+// quiet before their operation count. The firing behavior is covered
+// end to end by the dist worker tests and the chaos drill, which run
+// them in child processes.
+func TestKillAndHangStayQuietBeforeN(t *testing.T) {
+	kill := KillAtCell(100)
+	hang := HangAtCell(100)
+	commit := KillAtCommit(100)
+	for i := 0; i < 10; i++ {
+		kill(i)
+		hang(i)
+		commit(i)
+	}
+}
+
+func TestTearFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	if err := os.WriteFile(path, []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := TearFile(path, 4); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "0123" {
+		t.Fatalf("torn file = %q, want %q", b, "0123")
+	}
+	if err := TearFile(filepath.Join(t.TempDir(), "missing"), 0); err == nil {
+		t.Fatal("tearing a missing file succeeded")
+	}
+}

@@ -34,8 +34,10 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // scope is the set of packages whose emission sites are load-bearing
-// for the zero-cost contract.
-var scope = []string{"internal/sim", "internal/mm", "internal/check", "internal/sweep"}
+// for the zero-cost contract. internal/dist rides along: its
+// coordinator drives the sweep monitor from every protocol handler,
+// so an unguarded emission there would cost every lease round-trip.
+var scope = []string{"internal/sim", "internal/mm", "internal/check", "internal/sweep", "internal/dist"}
 
 func run(pass *analysis.Pass) (any, error) {
 	if !lintutil.PathMatches(pass.Pkg.Path(), scope...) {

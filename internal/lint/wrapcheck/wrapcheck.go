@@ -26,12 +26,12 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "wrapcheck",
-	Doc: "fmt.Errorf in sim/sweep/resume must wrap error arguments " +
+	Doc: "fmt.Errorf in sim/sweep/resume/dist must wrap error arguments " +
 		"with %w so sentinel errors remain matchable with errors.Is",
 	Run: run,
 }
 
-var scope = []string{"internal/sim", "internal/sweep", "internal/resume"}
+var scope = []string{"internal/sim", "internal/sweep", "internal/resume", "internal/dist"}
 
 func run(pass *analysis.Pass) (any, error) {
 	if !lintutil.PathMatches(pass.Pkg.Path(), scope...) {

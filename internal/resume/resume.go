@@ -249,6 +249,34 @@ func (j *Journal) saveLocked() error {
 	if err := os.Rename(tmp.Name(), j.path); err != nil {
 		return fmt.Errorf("resume: %w", err)
 	}
+	// The rename made the new checkpoint visible, but the directory
+	// entry itself lives in the directory's metadata: until the parent
+	// directory is synced, a crash can roll the rename back and a
+	// caller who saw Record return success would resume from the
+	// previous checkpoint — or from nothing, for the first save. Sync
+	// the directory so a committed checkpoint survives any crash after
+	// commit.
+	if err := fsyncDir(filepath.Dir(j.path)); err != nil {
+		return fmt.Errorf("resume: syncing journal directory: %w", err)
+	}
+	return nil
+}
+
+// fsyncDir syncs a directory's entries to stable storage. It is a
+// package variable so the durability regression tests can observe the
+// calls and inject failures.
+var fsyncDir = func(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("resume: %w", err)
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return fmt.Errorf("resume: %w", err)
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("resume: %w", err)
+	}
 	return nil
 }
 

@@ -25,6 +25,14 @@ type Monitor struct {
 	skipped     *obs.Gauge
 	checkpoints *obs.Gauge
 
+	// Distributed-sweep gauges, driven by the internal/dist
+	// coordinator: live worker count, leases that expired and became
+	// eligible for reassignment, and commits rejected by lease
+	// fencing (zombie or duplicate deliveries).
+	workersAlive     *obs.Gauge
+	leasesReassigned *obs.Gauge
+	commitsFenced    *obs.Gauge
+
 	// mu guards the non-atomic fields below, which begin() rewrites at
 	// the start of every run while external readers (HTTP status
 	// handlers, tickers) may be mid-Snapshot. Workers never take it:
@@ -50,6 +58,9 @@ func NewMonitor(reg *obs.Registry) *Monitor {
 	m.restored = reg.Gauge("sweep.cells_restored")
 	m.skipped = reg.Gauge("sweep.cells_skipped")
 	m.checkpoints = reg.Gauge("sweep.checkpoints")
+	m.workersAlive = reg.Gauge("sweep.workers_alive")
+	m.leasesReassigned = reg.Gauge("sweep.leases_reassigned")
+	m.commitsFenced = reg.Gauge("sweep.commits_fenced")
 	return m
 }
 
@@ -71,6 +82,9 @@ func (m *Monitor) begin(total, workers int) {
 	m.restored.Set(0)
 	m.skipped.Set(0)
 	m.checkpoints.Set(0)
+	m.workersAlive.Set(0)
+	m.leasesReassigned.Set(0)
+	m.commitsFenced.Set(0)
 	m.mu.Lock()
 	m.workers = m.workers[:0]
 	for w := 0; w < workers; w++ {
@@ -131,13 +145,92 @@ func (m *Monitor) checkpointed() {
 	m.checkpoints.Add(1)
 }
 
+// Exported recording surface for the internal/dist coordinator, which
+// drives the same monitor the in-process scheduler does but lives in
+// another package. Nil receivers are allowed throughout, so the
+// coordinator needs no branching either.
+
+// Begin arms the monitor for a distributed run of total cells. The
+// in-process worker-pool gauges stay empty: workers are remote
+// processes, counted by WorkersAlive instead.
+func (m *Monitor) Begin(total int) {
+	if m == nil {
+		return
+	}
+	m.begin(total, 0)
+}
+
+// CellDone records one settled cell (committed, or quarantined when
+// failed is true).
+func (m *Monitor) CellDone(failed bool) {
+	if m == nil {
+		return
+	}
+	m.cellDone(-1, failed)
+}
+
+// CellRestored records one cell adopted from a replayed lease ledger.
+func (m *Monitor) CellRestored() {
+	if m == nil {
+		return
+	}
+	m.cellRestored()
+}
+
+// Retried records one failed attempt that was handed back for another
+// worker to retry.
+func (m *Monitor) Retried() {
+	if m == nil {
+		return
+	}
+	m.retried()
+}
+
+// Checkpointed records one durable ledger commit.
+func (m *Monitor) Checkpointed() {
+	if m == nil {
+		return
+	}
+	m.checkpointed()
+}
+
+// WorkersAlive sets the live worker count.
+func (m *Monitor) WorkersAlive(n int) {
+	if m == nil {
+		return
+	}
+	m.workersAlive.Set(int64(n))
+}
+
+// LeaseReassigned records one lease that expired (heartbeat timeout)
+// and was handed back for reassignment.
+func (m *Monitor) LeaseReassigned() {
+	if m == nil {
+		return
+	}
+	m.leasesReassigned.Add(1)
+}
+
+// CommitFenced records one rejected commit: a zombie worker's late
+// delivery, or a duplicate of an already-committed cell.
+func (m *Monitor) CommitFenced() {
+	if m == nil {
+		return
+	}
+	m.commitsFenced.Add(1)
+}
+
 // Progress is a point-in-time view of a monitored sweep.
 type Progress struct {
 	Done, Total, Failed        int64
 	Retries, Restored, Skipped int64
 	Checkpoints                int64
-	PerWorker                  []int64
-	Elapsed                    time.Duration
+	// Distributed-sweep counters; zero in single-process runs.
+	WorkersAlive     int64
+	LeasesReassigned int64
+	CommitsFenced    int64
+	PerWorker        []int64
+	Elapsed          time.Duration
 	// ETA extrapolates the remaining wall clock from the average cell
 	// rate so far; 0 until the first cell finishes.
 	ETA time.Duration
@@ -153,6 +246,10 @@ func (m *Monitor) Snapshot() Progress {
 		Restored:    m.restored.Value(),
 		Skipped:     m.skipped.Value(),
 		Checkpoints: m.checkpoints.Value(),
+
+		WorkersAlive:     m.workersAlive.Value(),
+		LeasesReassigned: m.leasesReassigned.Value(),
+		CommitsFenced:    m.commitsFenced.Value(),
 	}
 	m.mu.Lock()
 	for _, w := range m.workers {
@@ -194,6 +291,15 @@ func (p Progress) Line() string {
 	}
 	if p.Skipped > 0 {
 		line += fmt.Sprintf(", %d skipped", p.Skipped)
+	}
+	if p.WorkersAlive > 0 {
+		line += fmt.Sprintf(", %d workers alive", p.WorkersAlive)
+	}
+	if p.LeasesReassigned > 0 {
+		line += fmt.Sprintf(", %d leases reassigned", p.LeasesReassigned)
+	}
+	if p.CommitsFenced > 0 {
+		line += fmt.Sprintf(", %d commits fenced", p.CommitsFenced)
 	}
 	if p.ETA > 0 {
 		line += fmt.Sprintf(", ETA %s", p.ETA.Round(time.Second))

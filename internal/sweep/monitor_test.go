@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"context"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -138,4 +139,94 @@ func TestEngineTracerPerCell(t *testing.T) {
 		t.Errorf("traced cell emitted %d round events, want %d (a mismatch means the "+
 			"tracer leaked onto another cell run by the same reused engine)", rounds, want)
 	}
+}
+
+// TestMonitorDistributedGauges drives the exported distributed-sweep
+// recording surface through a scripted coordinator-shaped sequence and
+// checks every gauge — on the snapshot, on the registry (the compactd
+// /metrics path), and on the rendered progress line.
+func TestMonitorDistributedGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMonitor(reg)
+	m.Begin(4)
+
+	// Two workers join; one claims and commits a cell.
+	m.WorkersAlive(2)
+	m.CellDone(false)
+	m.Checkpointed()
+	// A worker dies mid-lease: the lease expires and is reassigned,
+	// the replacement commits, and the zombie's late commit is fenced.
+	m.WorkersAlive(1)
+	m.LeaseReassigned()
+	m.CellDone(false)
+	m.Checkpointed()
+	m.CommitFenced()
+	// A duplicate delivery is fenced too.
+	m.CommitFenced()
+	// A cell fails once, is retried elsewhere, then quarantined.
+	m.Retried()
+	m.CellDone(true)
+	// One cell is adopted from a replayed ledger.
+	m.CellRestored()
+
+	p := m.Snapshot()
+	checks := []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{"done", p.Done, 4},
+		{"failed", p.Failed, 1},
+		{"restored", p.Restored, 1},
+		{"retries", p.Retries, 1},
+		{"checkpoints", p.Checkpoints, 2},
+		{"workers alive", p.WorkersAlive, 1},
+		{"leases reassigned", p.LeasesReassigned, 1},
+		{"commits fenced", p.CommitsFenced, 2},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+
+	// The same values must be live in the registry, where obs.Serve
+	// and compactd's job status read them.
+	for name, want := range map[string]int64{
+		"sweep.workers_alive":     1,
+		"sweep.leases_reassigned": 1,
+		"sweep.commits_fenced":    2,
+	} {
+		if got := reg.Gauge(name).Value(); got != want {
+			t.Errorf("registry %s = %d, want %d", name, got, want)
+		}
+	}
+
+	line := p.Line()
+	for _, want := range []string{"1 workers alive", "1 leases reassigned", "2 commits fenced"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("progress line %q missing %q", line, want)
+		}
+	}
+
+	// Begin must rearm everything: a second run starts from zero.
+	m.Begin(2)
+	p = m.Snapshot()
+	if p.WorkersAlive != 0 || p.LeasesReassigned != 0 || p.CommitsFenced != 0 || p.Done != 0 {
+		t.Errorf("Begin did not reset distributed gauges: %+v", p)
+	}
+	if line := p.Line(); strings.Contains(line, "alive") || strings.Contains(line, "fenced") {
+		t.Errorf("reset progress line still shows distributed counters: %q", line)
+	}
+
+	// And the nil monitor accepts the whole surface silently.
+	var nilMon *Monitor
+	nilMon.Begin(1)
+	nilMon.CellDone(false)
+	nilMon.CellRestored()
+	nilMon.Retried()
+	nilMon.Checkpointed()
+	nilMon.WorkersAlive(3)
+	nilMon.LeaseReassigned()
+	nilMon.CommitFenced()
 }

@@ -90,6 +90,10 @@ const (
 	// FailSkipped: the sweep's context was canceled before the cell
 	// started; it was never attempted.
 	FailSkipped
+	// FailQuarantined: a distributed sweep's coordinator declared the
+	// cell poisonous after it failed on MaxFailures distinct attempts
+	// across workers; it will not be leased again.
+	FailQuarantined
 )
 
 // String names the kind.
@@ -105,6 +109,8 @@ func (k FailKind) String() string {
 		return "canceled"
 	case FailSkipped:
 		return "skipped"
+	case FailQuarantined:
+		return "quarantined"
 	}
 	return "unknown"
 }
