@@ -3,7 +3,13 @@
 
 GO ?= go
 FUZZTIME ?= 10s
-FUZZ_TARGETS := FuzzManagerTrace FuzzFreeIndex FuzzBoundsMonotone FuzzTraceRoundtrip
+# package:target pairs; `go test -fuzz` accepts one target per run.
+FUZZ_TARGETS := \
+	./internal/check:FuzzManagerTrace \
+	./internal/check:FuzzFreeIndex \
+	./internal/check:FuzzBoundsMonotone \
+	./internal/check:FuzzTraceRoundtrip \
+	./internal/lint/analysistest:FuzzSplitPatterns
 
 BENCH_PATTERN := BenchmarkSim1PF|BenchmarkAllocatorThroughput|BenchmarkObsOverhead|BenchmarkShardedScaling
 BENCH_OUT := bench.out
@@ -24,10 +30,14 @@ vet:
 
 # Domain lint: the compactlint analyzers prove the repo's invariants
 # (nil-guarded tracing, %w wrapping, determinism, noalloc hot path,
-# context flow) at compile time. Exit 0 = clean, 1 = findings,
-# 2 = driver error; CI treats anything non-zero as a failure.
+# context flow, lock ordering, atomic/guarded field discipline,
+# goroutine termination, fsync-before-rename) at compile time. Exit
+# 0 = clean, 1 = findings, 2 = driver error; CI treats anything
+# non-zero as a failure. -timing prints per-analyzer wall clock so a
+# slow analyzer shows up in the log, not as a mystery lint slowdown.
 lint: build
-	$(GO) run ./cmd/compactlint ./...
+	$(GO) run ./cmd/compactlint -timing ./...
+	$(GO) run ./cmd/compactlint -waivers ./...
 
 # The concurrency-sensitive packages under the race detector: the
 # engine, the parallel sweep, the verification harness (whose stress
@@ -80,8 +90,9 @@ serve-drill:
 # invocation.
 fuzz-smoke:
 	@for t in $(FUZZ_TARGETS); do \
-		echo "fuzz $$t ($(FUZZTIME))"; \
-		$(GO) test ./internal/check -run='^$$' -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) || exit 1; \
+		pkg=$${t%%:*}; name=$${t##*:}; \
+		echo "fuzz $$pkg $$name ($(FUZZTIME))"; \
+		$(GO) test $$pkg -run='^$$' -fuzz="^$$name$$" -fuzztime=$(FUZZTIME) || exit 1; \
 	done
 
 check: test vet lint race fuzz-smoke

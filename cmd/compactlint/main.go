@@ -1,11 +1,13 @@
 // Command compactlint is the multichecker for the repository's domain
-// invariants: it runs the internal/lint analyzer suite (ctxflow,
-// determinism, nilguard, noalloc, wrapcheck) over the named package
-// patterns and fails the build on any finding.
+// invariants: it runs the internal/lint analyzer suite — the five
+// syntactic passes (ctxflow, determinism, nilguard, noalloc,
+// wrapcheck) and the four CFG/dataflow passes (atomicguard, fsyncpath,
+// goroleak, lockorder) — over the named package patterns and fails the
+// build on any finding.
 //
 // Usage:
 //
-//	compactlint [-dir d] [-list] [packages]
+//	compactlint [-dir d] [-list] [-waivers] [-timing] [packages]
 //
 // With no packages, ./... is checked. Exit status is 0 when clean, 1
 // when diagnostics were reported, 2 when loading or analysis failed —
@@ -15,7 +17,11 @@
 //
 //	//compactlint:allow <analyzer> <why this site is exempt>
 //
-// on the offending line or the line above.
+// on the offending line or the line above. -waivers inverts the
+// report: it lists every waiver in the tree with its file:line and
+// reason, and exits 1 if any waiver is missing its reason or names an
+// unknown analyzer — the audit that keeps exemptions reviewable.
+// -timing appends per-analyzer wall time to stderr after a run.
 package main
 
 import (
@@ -37,6 +43,8 @@ func run(args []string, out, errw io.Writer) int {
 	fs.SetOutput(errw)
 	dir := fs.String("dir", ".", "directory to resolve package patterns in")
 	list := fs.Bool("list", false, "print the analyzer suite and exit")
+	waivers := fs.Bool("waivers", false, "audit //compactlint:allow waivers instead of running the analyzers")
+	timing := fs.Bool("timing", false, "report per-analyzer wall time on stderr")
 	if err := fs.Parse(args); err != nil {
 		return driver.ExitError
 	}
@@ -51,5 +59,8 @@ func run(args []string, out, errw io.Writer) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	return driver.Run(analyzers, *dir, patterns, out, errw)
+	if *waivers {
+		return driver.RunWaivers(analyzers, *dir, patterns, out, errw)
+	}
+	return driver.Run(analyzers, *dir, patterns, out, errw, driver.Options{Timing: *timing})
 }

@@ -1,0 +1,21 @@
+// Package sharded is the smoke fixture for the lockorder analyzer:
+// two ranked mutexes acquired in descending rank order.
+package sharded
+
+import "sync"
+
+type shard struct {
+	mu sync.Mutex //compactlint:lockrank 1
+}
+
+type pool struct {
+	mu sync.Mutex //compactlint:lockrank 2
+}
+
+// inverted violates lockorder.
+func inverted(p *pool, s *shard) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}

@@ -1,0 +1,16 @@
+// Package resume is the smoke fixture for the fsyncpath analyzer: the
+// rename commits, but no parent-directory fsync follows.
+package resume
+
+import "os"
+
+// commit violates fsyncpath.
+func commit(tmp *os.File, path string) error {
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,13 @@
+package sim
+
+// spin violates goroleak: every select arm loops back, so the
+// goroutine can never terminate.
+func spin(ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ch:
+			}
+		}
+	}()
+}

@@ -1,0 +1,21 @@
+// Package sweep is the smoke fixture for the atomicguard analyzer: a
+// guardedby field read with no lock on the path.
+package sweep
+
+import "sync"
+
+type monitor struct {
+	mu    sync.Mutex
+	cells []int //compactlint:guardedby mu
+}
+
+func (m *monitor) fill(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cells = make([]int, n)
+}
+
+// racy violates atomicguard.
+func (m *monitor) racy() int {
+	return len(m.cells)
+}

@@ -1,0 +1,3 @@
+module revertmod
+
+go 1.22

@@ -1,0 +1,25 @@
+// Package dist replays an inverted lock-order regression: the
+// coordinator lock taken while a connection lock is held, the nesting
+// the rank declarations forbid. The lockorder analyzer must turn this
+// red; TestRevertDrills pins it.
+package dist
+
+import "sync"
+
+type coord struct {
+	mu sync.Mutex //compactlint:lockrank 10
+}
+
+type conn struct {
+	mu sync.Mutex //compactlint:lockrank 20
+}
+
+// broadcast nests rank 10 under rank 20: with another goroutine
+// holding the coordinator lock while renewing on the same conn, the
+// two deadlock.
+func broadcast(c *coord, l *conn) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+}

@@ -1,0 +1,23 @@
+// Package sharded replays the PR 7 regression with the fix reverted:
+// a lock-free snapshot read racing the guarded writers. The
+// atomicguard analyzer must turn this red; TestRevertDrills pins it.
+package sharded
+
+import "sync"
+
+type shard struct {
+	mu   sync.Mutex //compactlint:lockrank 1
+	live int        //compactlint:guardedby mu
+}
+
+func (s *shard) add(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.live += n
+}
+
+// Snapshot is the reverted bug: it reads live without the lock, racing
+// every add — the data race PR 7 fixed by taking mu.
+func (s *shard) Snapshot() int {
+	return s.live
+}

@@ -1,0 +1,33 @@
+// Package resume replays the PR 9 regression with the fix reverted:
+// the checkpoint rename commits, but the parent directory is never
+// synced, so a crash can roll the committed rename back. The fsyncpath
+// analyzer must turn this red; TestRevertDrills pins it.
+package resume
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// save writes and syncs the temp file, renames it over the live
+// checkpoint — and returns without fsyncing the directory, the exact
+// window PR 9 closed.
+func save(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "ckpt*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

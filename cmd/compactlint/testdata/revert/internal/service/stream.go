@@ -1,0 +1,24 @@
+// Package service replays the PR 4 regression with the fix reverted:
+// the status streamer's heartbeat ticker outlives every subscriber.
+// The goroleak analyzer must turn this red; TestRevertDrills pins it.
+package service
+
+import "time"
+
+// streamTicks leaks its ticker: the subscriber goroutine exits through
+// done, but nothing ever calls t.Stop(), so the ticker's timer and
+// channel survive per subscription — the exact leak PR 4 fixed by
+// adding defer t.Stop().
+func streamTicks(emit func(time.Time), done chan struct{}) {
+	t := time.NewTicker(time.Second)
+	go func() {
+		for {
+			select {
+			case now := <-t.C:
+				emit(now)
+			case <-done:
+				return
+			}
+		}
+	}()
+}

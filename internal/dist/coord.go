@@ -74,19 +74,19 @@ type Coordinator struct {
 	fps   []string
 	o     Options
 
-	mu       sync.Mutex
-	state    []cellState
-	lease    []leaseInfo
-	results  []sim.Result
-	failN    []int
-	failMsg  []string
-	restored []bool
-	next     uint64 // last issued fencing token
-	settled  int    // cells done or quarantined
-	workers  map[string]time.Time
-	ledger   *resume.Ledger
-	infraErr error // first non-fencing ledger failure (degraded mode)
-	fenced   bool  // a newer coordinator epoch owns the ledger
+	mu       sync.Mutex           //compactlint:lockrank 10
+	state    []cellState          //compactlint:guardedby mu
+	lease    []leaseInfo          //compactlint:guardedby mu
+	results  []sim.Result         //compactlint:guardedby mu
+	failN    []int                //compactlint:guardedby mu
+	failMsg  []string             //compactlint:guardedby mu
+	restored []bool               //compactlint:guardedby mu
+	next     uint64               //compactlint:guardedby mu — last issued fencing token
+	settled  int                  //compactlint:guardedby mu — cells done or quarantined
+	workers  map[string]time.Time //compactlint:guardedby mu
+	ledger   *resume.Ledger       //compactlint:guardedby mu
+	infraErr error                //compactlint:guardedby mu — first non-fencing ledger failure (degraded mode)
+	fenced   bool                 //compactlint:guardedby mu — a newer coordinator epoch owns the ledger
 
 	done   chan struct{} // closed when every cell settled
 	failed chan struct{} // closed when the coordinator is fenced
@@ -360,6 +360,8 @@ func (c *Coordinator) Goodbye(worker string) {
 // checkLeaseLocked verifies that (worker, cell, token) names the live
 // lease. Every mismatch — settled cell, expired-and-reassigned lease,
 // wrong worker, superseded token — is a fencing rejection.
+//
+//compactlint:lockheld mu
 func (c *Coordinator) checkLeaseLocked(worker string, cell int, token uint64) error {
 	if cell < 0 || cell >= len(c.tasks) {
 		return fmt.Errorf("dist: cell %d out of range", cell)
@@ -380,6 +382,8 @@ func (c *Coordinator) fpAt(cell int) string {
 }
 
 // touchLocked marks the worker alive.
+//
+//compactlint:lockheld mu
 func (c *Coordinator) touchLocked(worker string, now time.Time) {
 	if worker == "" {
 		return
@@ -390,6 +394,8 @@ func (c *Coordinator) touchLocked(worker string, now time.Time) {
 
 // expireLocked reclaims every expired lease (heartbeat timeout) and
 // prunes workers silent for 3×TTL from the alive gauge.
+//
+//compactlint:lockheld mu
 func (c *Coordinator) expireLocked(now time.Time) {
 	for i, st := range c.state {
 		if st != cellLeased || now.Before(c.lease[i].expires) {
@@ -419,6 +425,8 @@ func (c *Coordinator) expireLocked(now time.Time) {
 // fencing rejection marks the coordinator dead (a successor owns the
 // ledger), any other failure disables durability but lets the run
 // finish; both surface from Err.
+//
+//compactlint:lockheld mu
 func (c *Coordinator) appendLocked(rec resume.LeaseRecord) error {
 	if c.ledger == nil || (c.infraErr != nil && !c.fenced) {
 		return nil

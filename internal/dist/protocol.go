@@ -209,9 +209,9 @@ func ServeLines(c *Coordinator, r io.Reader, w io.Writer) error {
 // LineConn is the worker-side NDJSON pipe transport: requests written
 // to w, responses read from r, strictly one in flight at a time.
 type LineConn struct {
-	mu  sync.Mutex
-	enc *json.Encoder
-	sc  *bufio.Scanner
+	mu  sync.Mutex     //compactlint:lockrank 20
+	enc *json.Encoder  //compactlint:guardedby mu
+	sc  *bufio.Scanner //compactlint:guardedby mu
 }
 
 // NewLineConn builds a LineConn over the pipe pair.

@@ -98,7 +98,7 @@ type magEntry struct {
 // (gauges, tests, the fallback heuristics of callers) never take the
 // lock.
 type ashard struct {
-	mu sync.Mutex
+	mu sync.Mutex //compactlint:lockrank 1
 
 	idx  int
 	base word.Addr
@@ -106,30 +106,30 @@ type ashard struct {
 
 	sub sim.Manager
 	rc  sim.RoundCompactor // non-nil when sub compacts; disables magazines
-	occ *heap.Occupancy    // ground truth: live objects, shard-local spans, keyed by local ID
-	led *budget.Ledger     // shard-local compaction budget
+	occ *heap.Occupancy    //compactlint:guardedby mu — ground truth: live objects, shard-local spans, keyed by local ID
+	led *budget.Ledger     //compactlint:guardedby mu — shard-local compaction budget
 
 	// Local object IDs are dense and reused LIFO, so the occupancy
 	// table and the subOf binding stay small and allocation-free in
 	// steady state. subOf maps a local ID to the sub-manager ID that
 	// owns its words (they differ only after a magazine hit).
-	nextID   heap.ObjectID
-	freeIDs  []heap.ObjectID
-	nextSub  heap.ObjectID
-	freeSubs []heap.ObjectID
-	subOf    []heap.ObjectID
+	nextID   heap.ObjectID   //compactlint:guardedby mu
+	freeIDs  []heap.ObjectID //compactlint:guardedby mu
+	nextSub  heap.ObjectID   //compactlint:guardedby mu
+	freeSubs []heap.ObjectID //compactlint:guardedby mu
+	subOf    []heap.ObjectID //compactlint:guardedby mu
 
-	mags   [][]magEntry // striped size-class free lists, indexed by log2(size)
+	mags   [][]magEntry //compactlint:guardedby mu — striped size-class free lists, indexed by log2(size)
 	magCap int
-	cached int // blocks currently parked across all magazines
+	cached int //compactlint:guardedby mu — blocks currently parked across all magazines
 
-	seq       uint64
+	seq       uint64 //compactlint:guardedby mu
 	recordOps bool
-	ops       []Op
+	ops       []Op //compactlint:guardedby mu
 
 	verifyEvery int
-	sinceVerify int
-	scratch     []heap.Span
+	sinceVerify int         //compactlint:guardedby mu
+	scratch     []heap.Span //compactlint:guardedby mu
 
 	mover  compactMover
 	refuse refuseMover
@@ -401,6 +401,7 @@ func globalID(idx int, lid heap.ObjectID) heap.ObjectID {
 // subOf binding to cover it.
 //
 //compactlint:noalloc
+//compactlint:lockheld mu
 func (s *ashard) takeID() heap.ObjectID {
 	var lid heap.ObjectID
 	if n := len(s.freeIDs); n > 0 {
@@ -417,6 +418,7 @@ func (s *ashard) takeID() heap.ObjectID {
 }
 
 //compactlint:noalloc
+//compactlint:lockheld mu
 func (s *ashard) putID(lid heap.ObjectID) {
 	if n := len(s.freeIDs); cap(s.freeIDs) > n {
 		s.freeIDs = s.freeIDs[:n+1]
@@ -434,6 +436,7 @@ func (s *ashard) putID(lid heap.ObjectID) {
 // from their own counter and free list.
 //
 //compactlint:noalloc
+//compactlint:lockheld mu
 func (s *ashard) takeSub(lid heap.ObjectID) heap.ObjectID {
 	if s.magCap == 0 {
 		return lid
@@ -449,6 +452,7 @@ func (s *ashard) takeSub(lid heap.ObjectID) heap.ObjectID {
 }
 
 //compactlint:noalloc
+//compactlint:lockheld mu
 func (s *ashard) putSub(sid heap.ObjectID) {
 	if s.magCap == 0 {
 		return
@@ -465,6 +469,7 @@ func (s *ashard) putSub(sid heap.ObjectID) {
 // oracle-test mode, off on production paths.
 //
 //compactlint:noalloc
+//compactlint:lockheld mu
 func (s *ashard) logOp(kind OpKind, id heap.ObjectID, addr, from word.Addr, size word.Size) {
 	seq := s.seq
 	s.seq++
@@ -596,6 +601,8 @@ func (s *ashard) free(h Handle) error {
 }
 
 // flushLocked drains every magazine back into the sub-manager.
+//
+//compactlint:lockheld mu
 func (s *ashard) flushLocked() {
 	for c := range s.mags {
 		for _, e := range s.mags[c] {
@@ -622,6 +629,7 @@ func (s *ashard) updateMetrics() {
 // maybeVerify runs the sampled self-check every verifyEvery ops.
 //
 //compactlint:noalloc
+//compactlint:lockheld mu
 func (s *ashard) maybeVerify() {
 	if s.verifyEvery <= 0 {
 		return
@@ -640,6 +648,8 @@ func (s *ashard) maybeVerify() {
 // Cost is O(objects in the shard · log), which is what makes sampled
 // verification scale with the shard count: the same op budget between
 // checks buys an S-times cheaper sweep per shard.
+//
+//compactlint:lockheld mu
 func (s *ashard) verifyLocked() {
 	if got, want := word.Size(s.live.Load()), s.occ.Live(); got != want {
 		panic(fmt.Sprintf("sharded: shard %d live counter %d, occupancy %d", s.idx, got, want))
@@ -649,7 +659,7 @@ func (s *ashard) verifyLocked() {
 	}
 	s.scratch = s.scratch[:0]
 	s.occ.Each(func(o heap.Object) bool {
-		s.scratch = append(s.scratch, o.Span)
+		s.scratch = append(s.scratch, o.Span) //compactlint:allow atomicguard Each invokes the visitor synchronously under the shard lock verifyLocked runs with
 		return true
 	})
 	slices.SortFunc(s.scratch, func(x, y heap.Span) int {
@@ -676,6 +686,7 @@ func (s *ashard) verifyLocked() {
 // facade has no program to notify, so a move never frees.
 type compactMover struct{ s *ashard }
 
+//compactlint:lockheld s.mu
 func (m *compactMover) Move(id heap.ObjectID, to word.Addr) (bool, error) {
 	s := m.s
 	sp, ok := s.occ.Lookup(id)
@@ -697,8 +708,10 @@ func (m *compactMover) Move(id heap.ObjectID, to word.Addr) (bool, error) {
 	return false, nil
 }
 
+//compactlint:lockheld s.mu
 func (m *compactMover) Remaining() word.Size { return m.s.led.Remaining() }
 
+//compactlint:lockheld s.mu
 func (m *compactMover) Lookup(id heap.ObjectID) (heap.Span, bool) {
 	return m.s.occ.Lookup(id)
 }

@@ -1,0 +1,81 @@
+package analysistest
+
+import (
+	"testing"
+)
+
+// FuzzSplitPatterns hammers the `// want` expectation parser: it must
+// never panic, must be deterministic, and every extracted backquoted
+// pattern must be a verbatim substring of the input (double-quoted
+// patterns go through strconv.Unquote, so they only need to round
+// back in). A parser bug here silently weakens every analyzer test.
+func FuzzSplitPatterns(f *testing.F) {
+	f.Add("`lock ranks must strictly increase`")
+	f.Add(`"time\.Now reads the wall clock" "second"`)
+	f.Add("`a` \"b\" `c`")
+	f.Add("   ")
+	f.Add("`unterminated")
+	f.Add(`"unterminated`)
+	f.Add(`"escaped \" quote" trailing junk`)
+	f.Add("``")
+	f.Add("`x`garbage\"y\"")
+	f.Add(`"\xff" bad escape`)
+	f.Add("\"`\"00")      // a quoted backquote is a legal one-char pattern
+	f.Add("\"\xf0\xd9\"") // invalid UTF-8: Unquote expands each bad byte to U+FFFD
+	f.Fuzz(func(t *testing.T, s string) {
+		pats := splitPatterns(s)
+		again := splitPatterns(s)
+		if len(pats) != len(again) {
+			t.Fatalf("nondeterministic: %d then %d patterns", len(pats), len(again))
+		}
+		for i, p := range pats {
+			if p != again[i] {
+				t.Fatalf("nondeterministic at %d: %q vs %q", i, p, again[i])
+			}
+		}
+		if len(pats) > len(s) {
+			t.Fatalf("%d patterns from %d bytes", len(pats), len(s))
+		}
+		// Extraction is near-linear: a backquoted segment is a verbatim
+		// slice, and strconv.Unquote expands at worst one invalid byte
+		// into a three-byte U+FFFD replacement rune.
+		total := 0
+		for _, p := range pats {
+			total += len(p)
+		}
+		if total > 3*len(s) {
+			t.Fatalf("patterns %q blow up input %q", pats, s)
+		}
+	})
+}
+
+// TestSplitPatternsTable pins the exact shapes the fuzz target relies
+// on, so a corpus regression reads as a table diff.
+func TestSplitPatternsTable(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"`a`", []string{"a"}},
+		{"`a` `b`", []string{"a", "b"}},
+		{`"a\\.b"`, []string{`a\.b`}},
+		{"`a` junk after", []string{"a"}},
+		{"", nil},
+		{"`unterminated", nil},
+		{`"half`, nil},
+		{"``", []string{""}},
+		{`"mix" ` + "`styles`", []string{"mix", "styles"}},
+	}
+	for _, c := range cases {
+		got := splitPatterns(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("splitPatterns(%q) = %q, want %q", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("splitPatterns(%q)[%d] = %q, want %q", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}

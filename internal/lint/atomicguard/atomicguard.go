@@ -1,0 +1,366 @@
+// Package atomicguard is the static twin of the Snapshot race fixed in
+// PR 7: a struct field that participates in a synchronization protocol
+// must never be touched plainly. Two sources induce the obligation, in
+// the concurrent packages (internal/heap/sharded, internal/dist,
+// internal/sweep):
+//
+//   - a field whose address is ever passed to a function-style
+//     sync/atomic call (atomic.AddInt64(&s.f, …)) must be accessed
+//     through sync/atomic everywhere — one plain load next to atomic
+//     stores is a data race, however innocent it looks;
+//   - a field annotated //compactlint:guardedby <mutexfield> must only
+//     be read or written while the named sibling mutex of the same
+//     receiver is in the lockset (tracked by the same flow-sensitive
+//     dataflow lockorder uses).
+//
+// Helpers that run under the caller's lock declare it with
+// //compactlint:lockheld <path> — a field name, or a dotted path such
+// as s.mu for a view struct whose receiver holds a pointer to the
+// locked owner; the lock then seeds the entry state, and local aliases
+// of the path prefix (s := m.s) resolve to it. Constructor code
+// touching a still-private value is
+// exempt: locals initialized from a composite literal or new(T), and
+// values derived from them, are unpublished, so no other goroutine can
+// observe them yet. Deliberate unguarded accesses justified by a
+// happens-before argument the analysis cannot see carry a
+// //compactlint:allow atomicguard waiver with the argument as reason.
+package atomicguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"compaction/internal/lint/analysis"
+	"compaction/internal/lint/cfg"
+	"compaction/internal/lint/dataflow"
+	"compaction/internal/lint/lintutil"
+	"compaction/internal/lint/lockset"
+)
+
+// Analyzer is the atomicguard pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicguard",
+	Doc:  "fields touched via sync/atomic or declared guardedby a mutex must never be accessed plainly on any path",
+	Run:  run,
+}
+
+var scope = []string{"internal/heap/sharded", "internal/dist", "internal/sweep"}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lintutil.PathMatches(pass.Pkg.Path(), scope...) {
+		return nil, nil
+	}
+	fields := lockset.Collect(pass.Files, pass.TypesInfo)
+	guarded := collectGuarded(pass, fields)
+	atomics := collectAtomicFields(pass)
+	if len(guarded) == 0 && len(atomics) == 0 {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			init := lockset.InitForFunc(pass.TypesInfo, fields, fn)
+			aliases := lockset.CollectAliases(pass.TypesInfo, fn.Body)
+			checkBody(pass, fields, guarded, atomics, fn.Body, init, aliases)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					// A literal may be invoked while the enclosing
+					// frame's locks are held (sync.OnceFunc, deferred
+					// closures) or long after (goroutines); assuming
+					// nothing held is the conservative choice.
+					checkBody(pass, fields, guarded, atomics, lit.Body, nil, aliases)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// collectGuarded resolves every //compactlint:guardedby <name> field
+// directive to the named sibling mutex field of the same struct.
+func collectGuarded(pass *analysis.Pass, fields *lockset.Info) map[*types.Var]*types.Var {
+	out := make(map[*types.Var]*types.Var)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				name, ok := lockset.FieldDirective(fld, "guardedby")
+				if !ok {
+					continue
+				}
+				mu := siblingMutex(pass.TypesInfo, st, name)
+				if mu == nil {
+					pass.Reportf(fld.Pos(),
+						"//compactlint:guardedby names %q, which is not a sync.Mutex/RWMutex field of this struct", name)
+					continue
+				}
+				for _, id := range fld.Names {
+					if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+						out[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// siblingMutex finds the mutex-typed field called name in st.
+func siblingMutex(info *types.Info, st *ast.StructType, name string) *types.Var {
+	for _, fld := range st.Fields.List {
+		for _, id := range fld.Names {
+			if id.Name != name {
+				continue
+			}
+			v, ok := info.Defs[id].(*types.Var)
+			if !ok {
+				return nil
+			}
+			if _, isMu := lockset.IsMutexType(v.Type()); isMu {
+				return v
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// collectAtomicFields returns every struct field whose address is
+// passed to a function-style sync/atomic call anywhere in the package.
+func collectAtomicFields(pass *analysis.Pass) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if v := addressedField(pass.TypesInfo, arg); v != nil {
+					out[v] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// addressedField decodes &x.f to the field object f, or nil.
+func addressedField(info *types.Info, e ast.Expr) *types.Var {
+	u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	return fieldOf(info, u.X)
+}
+
+// fieldOf resolves a selector expression to the struct field it names.
+func fieldOf(info *types.Info, e ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// checkBody runs the lockset dataflow over one body and reports every
+// plain access to a protected field outside its protocol.
+func checkBody(pass *analysis.Pass, fields *lockset.Info, guarded map[*types.Var]*types.Var, atomics map[*types.Var]bool, body *ast.BlockStmt, init lockset.Set, aliases lockset.Aliases) {
+	g := cfg.New(body)
+	p := dataflow.Problem[lockset.Set]{
+		Init: init,
+		Transfer: func(s lockset.Set, n ast.Node) lockset.Set {
+			return lockset.Step(pass.TypesInfo, fields, s, n, nil)
+		},
+		Join:  lockset.Join,
+		Equal: lockset.Equal,
+	}
+	r := dataflow.Forward(g, p)
+	fresh := freshLocals(pass.TypesInfo, body)
+	exempt := atomicOperands(pass.TypesInfo, body)
+
+	r.ForEachNode(g, func(_ *cfg.Block, n ast.Node, before lockset.Set) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			if _, ok := x.(*ast.FuncLit); ok {
+				return false
+			}
+			sel, ok := x.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fv := fieldOf(pass.TypesInfo, sel)
+			if fv == nil || exempt[sel] {
+				return true
+			}
+			if atomics[fv] {
+				if !isFresh(pass.TypesInfo, fresh, sel.X) {
+					pass.Reportf(sel.Pos(),
+						"%s is accessed via sync/atomic elsewhere in this package; a plain access is a data race",
+						types.ExprString(sel))
+				}
+				return true
+			}
+			mu, ok := guarded[fv]
+			if !ok {
+				return true
+			}
+			if isFresh(pass.TypesInfo, fresh, sel.X) {
+				return true
+			}
+			key, keyOK := lockset.FieldKey(pass.TypesInfo, sel.X, mu)
+			if keyOK {
+				if _, held := before[key]; held {
+					return true
+				}
+			}
+			// A lockheld entry seeded from a receiver field path keys
+			// by that path; expand local aliases (s := m.s) so the
+			// body's spelling matches it.
+			if akey, ok := lockset.FieldKeyAliased(pass.TypesInfo, aliases, sel.X, mu); ok && akey != key {
+				if _, held := before[akey]; held {
+					return true
+				}
+			}
+			pass.Reportf(sel.Pos(),
+				"%s is guarded by %s but accessed without holding it",
+				types.ExprString(sel),
+				types.ExprString(sel.X)+"."+mu.Name())
+			return true
+		})
+	})
+}
+
+// atomicOperands indexes the selector expressions that appear as
+// &-operands of sync/atomic calls: those are the protocol accesses.
+func atomicOperands(info *types.Info, body *ast.BlockStmt) map[*ast.SelectorExpr]bool {
+	out := make(map[*ast.SelectorExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := lintutil.CalleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok {
+				if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+					out[sel] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// freshLocals computes the local variables of body that only ever hold
+// unpublished values: defined from a composite literal, new(T), or a
+// projection of another fresh value. A plain write to a field of such
+// a value cannot race — no other goroutine has a reference yet.
+func freshLocals(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	// sources[obj] collects every expression assigned to obj; an
+	// object is fresh only if all of them are fresh expressions.
+	sources := make(map[types.Object][]ast.Expr)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			sources[obj] = append(sources[obj], as.Rhs[i])
+		}
+		return true
+	})
+	// Iterate to fixpoint: freshness propagates through derivations
+	// (sh := &a.shards[i] is fresh when a is).
+	for changed := true; changed; {
+		changed = false
+		for obj, exprs := range sources {
+			if fresh[obj] {
+				continue
+			}
+			all := true
+			for _, e := range exprs {
+				if !freshExpr(info, fresh, e) {
+					all = false
+					break
+				}
+			}
+			if all {
+				fresh[obj] = true
+				changed = true
+			}
+		}
+	}
+	return fresh
+}
+
+// freshExpr reports whether e evaluates to an unpublished value given
+// the current fresh set.
+func freshExpr(info *types.Info, fresh map[types.Object]bool, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		return freshExpr(info, fresh, e.X)
+	case *ast.StarExpr:
+		return freshExpr(info, fresh, e.X)
+	case *ast.CallExpr:
+		return lintutil.IsBuiltin(info, e, "new")
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		return obj != nil && fresh[obj]
+	case *ast.SelectorExpr:
+		return freshExpr(info, fresh, e.X)
+	case *ast.IndexExpr:
+		return freshExpr(info, fresh, e.X)
+	}
+	return false
+}
+
+// isFresh reports whether the base of an access path is a fresh local.
+func isFresh(info *types.Info, fresh map[types.Object]bool, base ast.Expr) bool {
+	return freshExpr(info, fresh, base)
+}

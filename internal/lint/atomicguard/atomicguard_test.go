@@ -1,0 +1,15 @@
+package atomicguard_test
+
+import (
+	"testing"
+
+	"compaction/internal/lint/analysistest"
+	"compaction/internal/lint/atomicguard"
+)
+
+func TestAtomicguard(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), atomicguard.Analyzer,
+		"compaction/internal/sweep", // guardedby + atomic-field findings
+		"compaction/internal/plain", // out of scope: same shapes, no findings
+	)
+}

@@ -1,0 +1,17 @@
+// Package plain sits outside the atomicguard scope.
+package plain
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu sync.Mutex
+	v  int64 //compactlint:guardedby mu
+}
+
+func (c *counter) read() int64 {
+	atomic.AddInt64(&c.v, 0)
+	return c.v // no want: out-of-scope package
+}

@@ -1,0 +1,112 @@
+// Package sweep is the atomicguard fixture, shaped after the Monitor
+// whose unguarded Snapshot read PR 7 fixed dynamically.
+package sweep
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type monitor struct {
+	mu      sync.Mutex
+	workers []int //compactlint:guardedby mu
+	hits    int64 // address taken by sync/atomic below
+}
+
+type broken struct {
+	//compactlint:guardedby lock
+	n int // want `names "lock", which is not a sync\.Mutex/RWMutex field`
+}
+
+// snapshot reads under the declared guard: clean.
+func (m *monitor) snapshot() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.workers)
+}
+
+// racy is the PR 7 bug shape: a plain read with no lock on the path.
+func (m *monitor) racy() int {
+	return len(m.workers) // want `m\.workers is guarded by m\.mu but accessed without holding it`
+}
+
+// halfGuarded locks on one arm only; the merge point must still flag.
+func (m *monitor) halfGuarded(check bool) int {
+	if check {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return len(m.workers)
+	}
+	return len(m.workers) // want `m\.workers is guarded by m\.mu`
+}
+
+// bump is the atomic protocol access: clean.
+func (m *monitor) bump() {
+	atomic.AddInt64(&m.hits, 1)
+}
+
+// peek mixes a plain read into the atomic protocol.
+func (m *monitor) peek() int64 {
+	return m.hits // want `m\.hits is accessed via sync/atomic elsewhere`
+}
+
+// countLocked runs under the caller's lock, declared by directive.
+//
+//compactlint:lockheld mu
+func (m *monitor) countLocked() int {
+	return len(m.workers)
+}
+
+// newMonitor touches fields of an unpublished value: constructor code
+// is exempt, including through derived locals.
+func newMonitor(n int) *monitor {
+	m := &monitor{}
+	m.workers = make([]int, n)
+	alias := m
+	alias.workers[0] = 1
+	return m
+}
+
+// waived documents a happens-before argument the analysis cannot see.
+func (m *monitor) waived() int {
+	return len(m.workers) //compactlint:allow atomicguard read after all workers joined
+}
+
+// spawned closures start with nothing held even if the spawner locks.
+func (m *monitor) spawned() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	go func() {
+		_ = len(m.workers) // want `m\.workers is guarded by m\.mu`
+	}()
+}
+
+// view is the mover shape: a struct handed out while its owner's lock
+// is held, every method running under that lock by contract.
+type view struct{ m *monitor }
+
+// drainLocked declares the dotted path: the mutex lives one field hop
+// from the receiver, and the body reaches it through a local alias.
+//
+//compactlint:lockheld m.mu
+func (v *view) drainLocked() int {
+	m := v.m
+	return len(m.workers) + len(v.m.workers)
+}
+
+// drainRacy has no directive: both spellings of the access are plain.
+func (v *view) drainRacy() int {
+	m := v.m
+	return len(m.workers) + // want `m\.workers is guarded by m\.mu`
+		len(v.m.workers) // want `v\.m\.workers is guarded by v\.m\.mu`
+}
+
+// reboundAlias reassigns the local, so it stops aliasing the path the
+// directive names; the access after rebinding must flag.
+//
+//compactlint:lockheld m.mu
+func (v *view) reboundAlias(other *monitor) int {
+	m := v.m
+	m = other
+	return len(m.workers) // want `m\.workers is guarded by m\.mu`
+}

@@ -1,0 +1,493 @@
+// Package cfg builds an intraprocedural control-flow graph for one
+// function body on top of go/ast alone. It is the substrate for the
+// flow-sensitive analyzers (lockorder, atomicguard, fsyncpath,
+// goroleak): each basic block carries its statements and guard
+// expressions in source order as []ast.Node, so a dataflow client can
+// replay a per-node transfer function inside a block and recover the
+// abstract state immediately before any given call site.
+//
+// The builder decomposes compound statements: an *ast.IfStmt
+// contributes its Init statement and Cond expression as nodes of the
+// block that branches, never the whole IfStmt, so a node in Block.Nodes
+// never hides nested control flow (other than function literals, which
+// clients are expected to skip or analyze as separate functions).
+//
+// Edges are labeled: True/False edges carry the branch condition,
+// Case/Comm edges carry the *ast.CaseClause or *ast.CommClause, which
+// lets clients refine state branch-sensitively (fsyncpath's error-path
+// exemption, goroleak's select-arm reasoning).
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// EdgeKind classifies how control transfers between two blocks.
+type EdgeKind int
+
+const (
+	// Next is an unconditional fallthrough edge.
+	Next EdgeKind = iota
+	// True is the taken branch of a condition (if, for).
+	True
+	// False is the not-taken branch of a condition, including the
+	// loop-exit edge of for and range statements.
+	False
+	// Case is the edge into a switch case or select comm clause.
+	Case
+	// Return is the edge from a return statement to the exit block.
+	Return
+	// Panic is the edge from a panic call to the exit block.
+	Panic
+)
+
+// String returns the edge kind's name for debug output.
+func (k EdgeKind) String() string {
+	switch k {
+	case Next:
+		return "next"
+	case True:
+		return "true"
+	case False:
+		return "false"
+	case Case:
+		return "case"
+	case Return:
+		return "return"
+	case Panic:
+		return "panic"
+	}
+	return "?"
+}
+
+// Edge is one labeled control transfer.
+type Edge struct {
+	From, To *Block
+	Kind     EdgeKind
+	// Cond is the branch condition for True/False edges; nil otherwise
+	// (a for loop without a condition exits only via break, so its body
+	// edge is Next, not True).
+	Cond ast.Expr
+	// Clause is the *ast.CaseClause or *ast.CommClause for Case edges.
+	Clause ast.Stmt
+}
+
+// Block is a basic block: a maximal straight-line node sequence.
+type Block struct {
+	// Index is the block's position in CFG.Blocks, stable across runs.
+	Index int
+	// Nodes holds the block's statements and guard expressions in
+	// source order. Entries are simple statements (assignments, calls,
+	// sends, go/defer, returns) or bare expressions (if/for/switch
+	// conditions, switch tags, ranged expressions, select comm
+	// statements). No entry ever contains nested statement control
+	// flow; the only nested bodies are function literals, which
+	// clients treat as separate functions.
+	Nodes []ast.Node
+	Succs []*Edge
+	Preds []*Edge
+}
+
+// CFG is the control-flow graph of one function body. Entry is the
+// first block executed; Exit is the single synthetic block reached by
+// falling off the end, returning, or panicking. Exit holds no nodes.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// ExitReachable reports whether any path from Entry reaches Exit —
+// i.e. whether the function can terminate. A body whose every cycle
+// lacks a break/return (for {} with no exit, select{} with no cases)
+// has an unreachable Exit; goroleak builds directly on this.
+func (g *CFG) ExitReachable() bool {
+	seen := make([]bool, len(g.Blocks))
+	var walk func(b *Block) bool
+	walk = func(b *Block) bool {
+		if b == g.Exit {
+			return true
+		}
+		if seen[b.Index] {
+			return false
+		}
+		seen[b.Index] = true
+		for _, e := range b.Succs {
+			if walk(e.To) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(g.Entry)
+}
+
+// builder carries the state of one CFG construction.
+type builder struct {
+	g   *CFG
+	cur *Block // current block; nil after a terminator
+
+	// breakTo / continueTo are the innermost enclosing targets; the
+	// label maps carry targets for labeled break/continue/goto.
+	breakTo    *Block
+	continueTo *Block
+	labelBreak map[string]*Block
+	labelCont  map[string]*Block
+	labelStart map[string]*Block
+	// pendingLabel is the label of the LabeledStmt currently being
+	// lowered; the loop/switch it labels consumes it to register its
+	// break/continue targets under that name.
+	pendingLabel string
+	// gotos collects forward gotos resolved after the walk.
+	gotos []pendingGoto
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// New builds the CFG of one function body. A nil body (declaration
+// without body, e.g. assembly-backed) yields a two-block graph whose
+// entry falls through to exit.
+func New(body *ast.BlockStmt) *CFG {
+	b := &builder{
+		g:          &CFG{},
+		labelBreak: make(map[string]*Block),
+		labelCont:  make(map[string]*Block),
+		labelStart: make(map[string]*Block),
+	}
+	entry := b.newBlock()
+	exit := b.newBlock()
+	b.g.Entry, b.g.Exit = entry, exit
+	b.cur = entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.edgeTo(exit, Next, nil, nil) // fall off the end
+	for _, pg := range b.gotos {
+		if target := b.labelStart[pg.label]; target != nil {
+			addEdge(pg.from, target, Next, nil, nil)
+		}
+	}
+	return b.g
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func addEdge(from, to *Block, kind EdgeKind, cond ast.Expr, clause ast.Stmt) {
+	e := &Edge{From: from, To: to, Kind: kind, Cond: cond, Clause: clause}
+	from.Succs = append(from.Succs, e)
+	to.Preds = append(to.Preds, e)
+}
+
+// edgeTo links the current block (if live) to target and kills it.
+func (b *builder) edgeTo(target *Block, kind EdgeKind, cond ast.Expr, clause ast.Stmt) {
+	if b.cur == nil {
+		return
+	}
+	addEdge(b.cur, target, kind, cond, clause)
+	b.cur = nil
+}
+
+// branch links the current block to target without killing it (used
+// for the two arms of a condition).
+func (b *builder) branch(target *Block, kind EdgeKind, cond ast.Expr, clause ast.Stmt) {
+	if b.cur == nil {
+		return
+	}
+	addEdge(b.cur, target, kind, cond, clause)
+}
+
+// add appends a node to the current block, starting an unreachable
+// block if control already terminated (dead code still gets analyzed,
+// it just has no predecessors).
+func (b *builder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		thenB := b.newBlock()
+		after := b.newBlock()
+		b.branch(thenB, True, s.Cond, nil)
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.edgeTo(elseB, False, s.Cond, nil)
+			b.cur = elseB
+			b.stmt(s.Else)
+			b.edgeTo(after, Next, nil, nil)
+		} else {
+			b.edgeTo(after, False, s.Cond, nil)
+		}
+		b.cur = thenB
+		b.stmtList(s.Body.List)
+		b.edgeTo(after, Next, nil, nil)
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		header := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		post := header
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		b.edgeTo(header, Next, nil, nil)
+		b.cur = header
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.branch(body, True, s.Cond, nil)
+			b.edgeTo(after, False, s.Cond, nil)
+		} else {
+			b.edgeTo(body, Next, nil, nil)
+		}
+		b.inLoop(body, after, post, func() { b.stmtList(s.Body.List) }, label)
+		b.edgeTo(post, Next, nil, nil)
+		if s.Post != nil {
+			b.cur = post
+			b.add(s.Post)
+			b.edgeTo(header, Next, nil, nil)
+		}
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		header := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edgeTo(header, Next, nil, nil)
+		b.cur = header
+		// Only the ranged expression is the header node — never the
+		// whole RangeStmt, whose body belongs to the body blocks (a
+		// client replaying node subtrees must not see it twice).
+		b.add(s.X)
+		b.branch(body, True, nil, nil)
+		b.edgeTo(after, False, nil, nil)
+		b.inLoop(body, after, header, func() { b.stmtList(s.Body.List) }, label)
+		b.edgeTo(header, Next, nil, nil)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.cases(s.Body.List, label, func(c *ast.CaseClause) {
+			for _, e := range c.List {
+				b.add(e)
+			}
+		})
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.cases(s.Body.List, label, nil)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		if head == nil {
+			head = b.newBlock()
+			b.cur = head
+		}
+		after := b.newBlock()
+		saveBreak := b.breakTo
+		b.breakTo = after
+		if label != "" {
+			b.labelBreak[label] = after
+		}
+		for _, cl := range s.Body.List {
+			comm := cl.(*ast.CommClause)
+			caseB := b.newBlock()
+			addEdge(head, caseB, Case, nil, comm)
+			b.cur = caseB
+			if comm.Comm != nil {
+				b.add(comm.Comm)
+			}
+			b.stmtList(comm.Body)
+			b.edgeTo(after, Next, nil, nil)
+		}
+		b.breakTo = saveBreak
+		// A select with no clauses blocks forever: after is
+		// unreachable unless some clause falls through to it.
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edgeTo(b.g.Exit, Return, nil, nil)
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			target := b.breakTo
+			if s.Label != nil {
+				target = b.labelBreak[s.Label.Name]
+			}
+			if target != nil {
+				b.edgeTo(target, Next, nil, nil)
+			} else {
+				b.cur = nil
+			}
+		case token.CONTINUE:
+			target := b.continueTo
+			if s.Label != nil {
+				target = b.labelCont[s.Label.Name]
+			}
+			if target != nil {
+				b.edgeTo(target, Next, nil, nil)
+			} else {
+				b.cur = nil
+			}
+		case token.GOTO:
+			if b.cur != nil && s.Label != nil {
+				b.gotos = append(b.gotos, pendingGoto{b.cur, s.Label.Name})
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// handled structurally by cases(); the statement node is
+			// already recorded, control falls to the next case body.
+		}
+
+	case *ast.LabeledStmt:
+		start := b.newBlock()
+		b.edgeTo(start, Next, nil, nil)
+		b.cur = start
+		b.labelStart[s.Label.Name] = start
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.edgeTo(b.g.Exit, Panic, nil, nil)
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Assign, Decl, IncDec, Send, Go, Defer, ...: straight-line.
+		b.add(s)
+	}
+}
+
+// takeLabel consumes the label pending from an enclosing LabeledStmt,
+// so the loop or switch it names can register break/continue targets.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// inLoop runs body construction with break/continue targets installed.
+func (b *builder) inLoop(body, brk, cont *Block, f func(), label string) {
+	saveBreak, saveCont := b.breakTo, b.continueTo
+	b.breakTo, b.continueTo = brk, cont
+	if label != "" {
+		b.labelBreak[label] = brk
+		b.labelCont[label] = cont
+	}
+	b.cur = body
+	f()
+	b.breakTo, b.continueTo = saveBreak, saveCont
+}
+
+// cases lowers a (type)switch clause list: every clause gets a Case
+// edge from the switch head; fallthrough chains case bodies.
+func (b *builder) cases(clauses []ast.Stmt, label string, guards func(*ast.CaseClause)) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock()
+		b.cur = head
+	}
+	after := b.newBlock()
+	saveBreak := b.breakTo
+	b.breakTo = after
+	if label != "" {
+		b.labelBreak[label] = after
+	}
+	bodies := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cs := range clauses {
+		c := cs.(*ast.CaseClause)
+		if c.List == nil {
+			hasDefault = true
+		}
+		bodies[i] = b.newBlock()
+		addEdge(head, bodies[i], Case, nil, c)
+	}
+	if !hasDefault {
+		addEdge(head, after, Next, nil, nil)
+	}
+	for i, cs := range clauses {
+		c := cs.(*ast.CaseClause)
+		b.cur = bodies[i]
+		if guards != nil {
+			guards(c)
+		}
+		b.stmtList(c.Body)
+		if fallsThrough(c.Body) && i+1 < len(clauses) {
+			b.edgeTo(bodies[i+1], Next, nil, nil)
+		} else {
+			b.edgeTo(after, Next, nil, nil)
+		}
+	}
+	b.breakTo = saveBreak
+	b.cur = after
+}
+
+// fallsThrough reports whether a case body ends in a fallthrough.
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+// isPanicCall reports whether the expression is a direct call of the
+// panic builtin. Resolution-free on purpose: a file-local `panic`
+// shadow would be perverse enough to waive.
+func isPanicCall(x ast.Expr) bool {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

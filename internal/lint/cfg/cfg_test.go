@@ -1,0 +1,330 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses `src` as the body of a function and returns it.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+func build(t *testing.T, src string) *CFG {
+	t.Helper()
+	return New(parseBody(t, src))
+}
+
+func TestStraightLine(t *testing.T) {
+	g := build(t, "x := 1\ny := x\n_ = y")
+	if !g.ExitReachable() {
+		t.Fatal("straight-line body must reach exit")
+	}
+	if len(g.Entry.Nodes) != 3 {
+		t.Fatalf("entry nodes = %d, want 3", len(g.Entry.Nodes))
+	}
+}
+
+func TestIfElseEdges(t *testing.T) {
+	g := build(t, "if x := 1; x > 0 {\n_ = x\n} else {\n_ = x\n}")
+	// Entry holds the init and the condition; it must branch with a
+	// labeled True edge and a labeled False edge carrying the Cond.
+	var sawTrue, sawFalse bool
+	for _, e := range g.Entry.Succs {
+		switch e.Kind {
+		case True:
+			sawTrue = e.Cond != nil
+		case False:
+			sawFalse = e.Cond != nil
+		}
+	}
+	if !sawTrue || !sawFalse {
+		t.Fatalf("if: true/false edges with conditions not found (true=%v false=%v)", sawTrue, sawFalse)
+	}
+	if !g.ExitReachable() {
+		t.Fatal("if/else must reach exit")
+	}
+}
+
+func TestInfiniteForUnreachableExit(t *testing.T) {
+	g := build(t, "for {\nwork()\n}")
+	if g.ExitReachable() {
+		t.Fatal("for{} with no break/return must not reach exit")
+	}
+}
+
+func TestForBreakReachesExit(t *testing.T) {
+	g := build(t, "for {\nif done() {\nbreak\n}\n}")
+	if !g.ExitReachable() {
+		t.Fatal("for{} with break must reach exit")
+	}
+}
+
+func TestForCondLoop(t *testing.T) {
+	g := build(t, "for i := 0; i < 10; i++ {\nuse(i)\n}")
+	if !g.ExitReachable() {
+		t.Fatal("three-clause for must reach exit via the false edge")
+	}
+	// The loop must actually cycle: some block reaches itself.
+	cyclic := false
+	for _, b := range g.Blocks {
+		seen := make([]bool, len(g.Blocks))
+		var walk func(x *Block) bool
+		walk = func(x *Block) bool {
+			for _, e := range x.Succs {
+				if e.To == b {
+					return true
+				}
+				if !seen[e.To.Index] {
+					seen[e.To.Index] = true
+					if walk(e.To) {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		if walk(b) {
+			cyclic = true
+			break
+		}
+	}
+	if !cyclic {
+		t.Fatal("for loop produced an acyclic graph")
+	}
+}
+
+func TestRangeLoop(t *testing.T) {
+	g := build(t, "for _, v := range xs {\nuse(v)\n}\ntail()")
+	if !g.ExitReachable() {
+		t.Fatal("range must reach exit")
+	}
+	// The range header node is the ranged expression, never the whole
+	// RangeStmt (whose body must not be replayed with header state).
+	found := false
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				t.Fatal("whole RangeStmt recorded as a node")
+			}
+			if id, ok := n.(*ast.Ident); ok && id.Name == "xs" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("ranged expression not recorded as the header node")
+	}
+}
+
+func TestSelectForeverLoop(t *testing.T) {
+	// The PR 4 shape: a goroutine body that loops forever over a
+	// ticker with a ctx.Done() escape arm — exit must be reachable
+	// through the select's return arm.
+	g := build(t, `for {
+select {
+case <-ctx.Done():
+	return
+case <-t.C:
+	tick()
+}
+}`)
+	if !g.ExitReachable() {
+		t.Fatal("select with a return arm must reach exit")
+	}
+	// Without the Done arm the loop never terminates.
+	g = build(t, "for {\nselect {\ncase <-t.C:\ntick()\n}\n}")
+	if g.ExitReachable() {
+		t.Fatal("for/select with no escaping arm must not reach exit")
+	}
+}
+
+func TestEmptySelectBlocks(t *testing.T) {
+	g := build(t, "select {}")
+	if g.ExitReachable() {
+		t.Fatal("select{} blocks forever; exit must be unreachable")
+	}
+}
+
+func TestSelectClauseEdges(t *testing.T) {
+	g := build(t, "select {\ncase <-a:\none()\ncase b <- 1:\ntwo()\ndefault:\nthree()\n}")
+	clauses := 0
+	for _, b := range g.Blocks {
+		for _, e := range b.Succs {
+			if e.Kind == Case {
+				if _, ok := e.Clause.(*ast.CommClause); !ok {
+					t.Fatalf("select Case edge carries %T, want *ast.CommClause", e.Clause)
+				}
+				clauses++
+			}
+		}
+	}
+	if clauses != 3 {
+		t.Fatalf("select clause edges = %d, want 3", clauses)
+	}
+}
+
+func TestSwitchDefaultAndFallthrough(t *testing.T) {
+	g := build(t, "switch x {\ncase 1:\none()\nfallthrough\ncase 2:\ntwo()\ndefault:\nthree()\n}\ntail()")
+	if !g.ExitReachable() {
+		t.Fatal("switch must reach exit")
+	}
+	// With a default clause there must be no head→after bypass edge:
+	// one Case edge per clause and nothing else leaving the head.
+	for _, b := range g.Blocks {
+		cases := 0
+		for _, e := range b.Succs {
+			if e.Kind == Case {
+				cases++
+			}
+		}
+		if cases > 0 {
+			if cases != 3 {
+				t.Fatalf("switch head has %d case edges, want 3", cases)
+			}
+			if len(b.Succs) != 3 {
+				t.Fatalf("switch with default has a bypass edge: %d succs", len(b.Succs))
+			}
+		}
+	}
+}
+
+func TestSwitchNoDefaultBypass(t *testing.T) {
+	g := build(t, "switch x {\ncase 1:\none()\n}\ntail()")
+	bypass := false
+	for _, b := range g.Blocks {
+		hasCase := false
+		for _, e := range b.Succs {
+			if e.Kind == Case {
+				hasCase = true
+			}
+		}
+		if hasCase {
+			for _, e := range b.Succs {
+				if e.Kind == Next {
+					bypass = true
+				}
+			}
+		}
+	}
+	if !bypass {
+		t.Fatal("switch without default must have a bypass edge to after")
+	}
+}
+
+func TestReturnAndPanicEdges(t *testing.T) {
+	g := build(t, "if bad {\npanic(\"boom\")\n}\nreturn")
+	var sawReturn, sawPanic bool
+	for _, b := range g.Blocks {
+		for _, e := range b.Succs {
+			switch e.Kind {
+			case Return:
+				sawReturn = true
+			case Panic:
+				sawPanic = true
+			}
+			if (e.Kind == Return || e.Kind == Panic) && e.To != g.Exit {
+				t.Fatalf("%v edge does not target exit", e.Kind)
+			}
+		}
+	}
+	if !sawReturn || !sawPanic {
+		t.Fatalf("return=%v panic=%v edges, want both", sawReturn, sawPanic)
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := build(t, `outer:
+for {
+	for {
+		break outer
+	}
+}
+tail()`)
+	if !g.ExitReachable() {
+		t.Fatal("labeled break out of nested infinite loops must reach exit")
+	}
+}
+
+func TestLabeledContinueTerminates(t *testing.T) {
+	g := build(t, `outer:
+for i := 0; i < n; i++ {
+	for {
+		continue outer
+	}
+}`)
+	if !g.ExitReachable() {
+		t.Fatal("labeled continue must route through the outer post/cond")
+	}
+}
+
+func TestGotoBackward(t *testing.T) {
+	g := build(t, "top:\nx++\nif x < 10 {\ngoto top\n}")
+	if !g.ExitReachable() {
+		t.Fatal("conditional backward goto must still reach exit")
+	}
+}
+
+func TestRangeChannelTerminates(t *testing.T) {
+	// range over a channel exits when the channel closes: the False
+	// edge from the header must make exit reachable even though the
+	// body itself never breaks.
+	g := build(t, "for v := range ch {\nuse(v)\n}")
+	if !g.ExitReachable() {
+		t.Fatal("range-over-channel must reach exit via loop-exit edge")
+	}
+}
+
+func TestDeadCodeGetsBlocks(t *testing.T) {
+	g := build(t, "return\nunreachable()")
+	// The statement after return must still appear in some block so
+	// analyzers can see it, just with no predecessors.
+	found := false
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "unreachable" {
+						found = true
+						if len(b.Preds) != 0 {
+							t.Fatal("dead block has predecessors")
+						}
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("dead code dropped from the graph")
+	}
+}
+
+func TestNilBody(t *testing.T) {
+	g := New(nil)
+	if !g.ExitReachable() {
+		t.Fatal("nil body must fall through to exit")
+	}
+}
+
+func TestEdgeKindStrings(t *testing.T) {
+	for k, want := range map[EdgeKind]string{
+		Next: "next", True: "true", False: "false",
+		Case: "case", Return: "return", Panic: "panic",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("EdgeKind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+	if got := EdgeKind(99).String(); got != "?" {
+		t.Errorf("unknown kind = %q, want ?", got)
+	}
+}

@@ -1,0 +1,142 @@
+// Package dataflow runs a forward dataflow problem to fixpoint over a
+// cfg.CFG. The framework is deliberately small: a client supplies an
+// abstract state type, a per-node transfer function, a join, and an
+// equality test; the engine owns the worklist, the per-block input
+// states, and termination.
+//
+// States are threaded per node, not per block: within a block the
+// engine folds Transfer over Block.Nodes in source order, so a client
+// that needs the state immediately before one call site (is the lock
+// held *here*?) replays the same fold via ForEachNode after the
+// fixpoint converges.
+//
+// For lattices of unbounded height the client supplies Widen, applied
+// to a block's input once the block has been visited more than
+// WidenAfter times. The shipped analyzers use finite lattices (lock
+// sets over declared fields, booleans), where Join alone terminates;
+// Widen exists so a future interval- or counter-shaped analysis does
+// not need to fork the engine.
+package dataflow
+
+import (
+	"go/ast"
+
+	"compaction/internal/lint/cfg"
+)
+
+// WidenAfter is the visit count beyond which Widen (when set) replaces
+// Join on a block's input. Small on purpose: precision inside loops is
+// rarely worth more than a couple of iterations to a linter.
+const WidenAfter = 4
+
+// Problem describes one forward dataflow analysis.
+type Problem[S any] struct {
+	// Init is the abstract state on function entry.
+	Init S
+	// Transfer folds one block node into the state. It must not
+	// mutate its input if the state is a reference type — return a
+	// fresh value instead (the engine aliases states across blocks).
+	Transfer func(S, ast.Node) S
+	// TransferEdge optionally refines the state along a specific edge
+	// (branch sensitivity: a True edge of an `err != nil` condition,
+	// a select arm). Nil means the block's output flows unchanged.
+	TransferEdge func(S, *cfg.Edge) S
+	// Join combines states where control merges.
+	Join func(S, S) S
+	// Equal decides convergence.
+	Equal func(S, S) bool
+	// Widen, when non-nil, replaces Join on inputs of blocks visited
+	// more than WidenAfter times; Widen(old, new) must be an upper
+	// bound of both and must reach a fixpoint in finite steps.
+	Widen func(S, S) S
+}
+
+// Result holds the converged per-block input states.
+type Result[S any] struct {
+	problem Problem[S]
+	in      map[*cfg.Block]S
+	reached map[*cfg.Block]bool
+}
+
+// In returns the converged state at the block's entry and whether the
+// block is reachable from the function entry under the analysis.
+func (r *Result[S]) In(b *cfg.Block) (S, bool) {
+	s, ok := r.in[b]
+	return s, ok && r.reached[b]
+}
+
+// Out folds the block's nodes over its input state, yielding the state
+// at the block's exit (before any edge refinement).
+func (r *Result[S]) Out(b *cfg.Block) S {
+	s := r.in[b]
+	for _, n := range b.Nodes {
+		s = r.problem.Transfer(s, n)
+	}
+	return s
+}
+
+// ForEachNode replays the transfer through every reachable block,
+// calling visit with the state immediately *before* each node. Blocks
+// are visited in index order, so diagnostics derived here are
+// deterministic.
+func (r *Result[S]) ForEachNode(g *cfg.CFG, visit func(b *cfg.Block, n ast.Node, before S)) {
+	for _, b := range g.Blocks {
+		s, ok := r.In(b)
+		if !ok {
+			continue
+		}
+		for _, n := range b.Nodes {
+			visit(b, n, s)
+			s = r.problem.Transfer(s, n)
+		}
+	}
+}
+
+// Forward runs the problem to fixpoint and returns the per-block
+// states. Unreachable blocks keep no state; In reports them as such.
+func Forward[S any](g *cfg.CFG, p Problem[S]) *Result[S] {
+	r := &Result[S]{
+		problem: p,
+		in:      make(map[*cfg.Block]S, len(g.Blocks)),
+		reached: make(map[*cfg.Block]bool, len(g.Blocks)),
+	}
+	visits := make(map[*cfg.Block]int, len(g.Blocks))
+	r.in[g.Entry] = p.Init
+	r.reached[g.Entry] = true
+
+	work := []*cfg.Block{g.Entry}
+	queued := map[*cfg.Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		visits[b]++
+
+		out := r.Out(b)
+		for _, e := range b.Succs {
+			s := out
+			if p.TransferEdge != nil {
+				s = p.TransferEdge(s, e)
+			}
+			next, changed := s, true
+			if r.reached[e.To] {
+				old := r.in[e.To]
+				if p.Widen != nil && visits[e.To] > WidenAfter {
+					next = p.Widen(old, s)
+				} else {
+					next = p.Join(old, s)
+				}
+				changed = !p.Equal(old, next)
+			}
+			if changed {
+				r.in[e.To] = next
+				r.reached[e.To] = true
+				if !queued[e.To] {
+					work = append(work, e.To)
+					queued[e.To] = true
+				}
+			}
+		}
+	}
+	return r
+}

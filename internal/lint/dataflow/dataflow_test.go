@@ -1,0 +1,210 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"compaction/internal/lint/cfg"
+)
+
+func buildCFG(t *testing.T, src string) *cfg.CFG {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return cfg.New(f.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// flagProblem tracks a single boolean fact: "lock() has been called",
+// cleared by unlock(). Join is must-style (AND): the fact holds at a
+// merge only if it holds on every path in.
+func flagProblem() Problem[bool] {
+	calls := func(n ast.Node, name string) bool {
+		found := false
+		ast.Inspect(n, func(x ast.Node) bool {
+			if call, ok := x.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+			}
+			return true
+		})
+		return found
+	}
+	return Problem[bool]{
+		Init: false,
+		Transfer: func(s bool, n ast.Node) bool {
+			if calls(n, "lock") {
+				return true
+			}
+			if calls(n, "unlock") {
+				return false
+			}
+			return s
+		},
+		Join:  func(a, b bool) bool { return a && b },
+		Equal: func(a, b bool) bool { return a == b },
+	}
+}
+
+func TestStraightLineFixpoint(t *testing.T) {
+	g := buildCFG(t, "lock()\nwork()\nunlock()")
+	r := Forward(g, flagProblem())
+	if out := r.Out(g.Entry); out != false {
+		t.Fatalf("after unlock, state = %v, want false", out)
+	}
+}
+
+func TestMustJoinOnDiamond(t *testing.T) {
+	// lock() only on one arm: at the merge the must-fact is false.
+	g := buildCFG(t, "if c {\nlock()\n}\ntail()")
+	r := Forward(g, flagProblem())
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "tail" {
+						in, reached := r.In(b)
+						if !reached {
+							t.Fatal("merge block unreached")
+						}
+						if in != false {
+							t.Fatalf("one-arm lock must not survive the join: state = %v", in)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBothArmsSurviveJoin(t *testing.T) {
+	g := buildCFG(t, "if c {\nlock()\n} else {\nlock()\n}\ntail()")
+	r := Forward(g, flagProblem())
+	if out := r.Out(g.Exit); out != true {
+		t.Fatalf("lock on both arms must hold at exit: %v", out)
+	}
+}
+
+func TestLoopFixpointTerminates(t *testing.T) {
+	g := buildCFG(t, "for i := 0; i < 10; i++ {\nlock()\nwork()\nunlock()\n}\ntail()")
+	r := Forward(g, flagProblem())
+	if out := r.Out(g.Exit); out != false {
+		t.Fatalf("balanced lock/unlock in loop: exit state = %v, want false", out)
+	}
+}
+
+func TestForEachNodeSeesPreState(t *testing.T) {
+	g := buildCFG(t, "lock()\nwork()\nunlock()\nafter()")
+	r := Forward(g, flagProblem())
+	states := map[string]bool{}
+	r.ForEachNode(g, func(_ *cfg.Block, n ast.Node, before bool) {
+		if es, ok := n.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					states[id.Name] = before
+				}
+			}
+		}
+	})
+	if states["lock"] != false {
+		t.Error("state before lock() should be false")
+	}
+	if states["work"] != true {
+		t.Error("state before work() should be true (lock held)")
+	}
+	if states["after"] != false {
+		t.Error("state before after() should be false (unlocked)")
+	}
+}
+
+func TestUnreachableBlockSkipped(t *testing.T) {
+	g := buildCFG(t, "return\ndead()")
+	r := Forward(g, flagProblem())
+	for _, b := range g.Blocks {
+		if len(b.Preds) == 0 && b != g.Entry {
+			if _, reached := r.In(b); reached {
+				t.Fatal("dead block reported as reached")
+			}
+		}
+	}
+	visited := 0
+	r.ForEachNode(g, func(*cfg.Block, ast.Node, bool) { visited++ })
+	// Only the return statement is reachable.
+	if visited != 1 {
+		t.Fatalf("ForEachNode visited %d nodes, want 1 (the return)", visited)
+	}
+}
+
+// TestWideningBoundsAscent runs a counting lattice that would climb
+// forever under plain join inside a loop and checks Widen caps it.
+func TestWideningBoundsAscent(t *testing.T) {
+	g := buildCFG(t, "for {\nif c {\nbreak\n}\nbump()\n}\ntail()")
+	const top = 1 << 30
+	p := Problem[int]{
+		Init: 0,
+		Transfer: func(s int, n ast.Node) int {
+			inc := false
+			ast.Inspect(n, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "bump" {
+						inc = true
+					}
+				}
+				return true
+			})
+			if inc && s < top {
+				return s + 1
+			}
+			return s
+		},
+		Join: func(a, b int) int {
+			if a > b {
+				return a
+			}
+			return b
+		},
+		Equal: func(a, b int) bool { return a == b },
+		Widen: func(old, new int) int {
+			if new > old {
+				return top
+			}
+			return old
+		},
+	}
+	r := Forward(g, p)
+	if out := r.Out(g.Exit); out != top && out > WidenAfter+2 {
+		t.Fatalf("widening did not cap the ascent: exit = %d", out)
+	}
+}
+
+func TestBranchSensitiveTransferEdge(t *testing.T) {
+	// TransferEdge clears the fact along the True edge, modeling
+	// fsyncpath's error-path exemption.
+	g := buildCFG(t, "lock()\nif err != nil {\nreturn\n}\ntail()")
+	p := flagProblem()
+	p.TransferEdge = func(s bool, e *cfg.Edge) bool {
+		if e.Kind == cfg.True {
+			return false
+		}
+		return s
+	}
+	r := Forward(g, p)
+	sawReturnState := false
+	r.ForEachNode(g, func(_ *cfg.Block, n ast.Node, before bool) {
+		if _, ok := n.(*ast.ReturnStmt); ok {
+			sawReturnState = true
+			if before {
+				t.Error("True-edge TransferEdge should have cleared the state before return")
+			}
+		}
+	})
+	if !sawReturnState {
+		t.Fatal("return node not visited")
+	}
+}

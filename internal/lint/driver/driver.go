@@ -1,13 +1,18 @@
 // Package driver is the multichecker engine behind cmd/compactlint:
 // it loads packages, runs every analyzer over every package, applies
 // //compactlint:allow suppressions, and renders diagnostics in the
-// conventional file:line:col format.
+// conventional file:line:col format. It also implements the waiver
+// audit (-waivers): the inverse report, listing every suppression in
+// the tree so the exemptions stay as reviewable as the findings.
 package driver
 
 import (
 	"fmt"
+	"go/token"
 	"io"
 	"sort"
+	"strings"
+	"time"
 
 	"compaction/internal/lint/analysis"
 	"compaction/internal/lint/lintutil"
@@ -21,6 +26,14 @@ const (
 	ExitError = 2 // the driver itself failed (load or analyzer error)
 )
 
+// Options tunes a Run beyond its analyzer set.
+type Options struct {
+	// Timing prints one per-analyzer wall-time line to errw after the
+	// run, cumulative across packages, so `make lint` shows where the
+	// suite's budget goes as analyzers accrete.
+	Timing bool
+}
+
 // finding pairs a diagnostic with its origin for sorting and display.
 type finding struct {
 	file      string
@@ -32,13 +45,19 @@ type finding struct {
 // Run applies every analyzer to every package matched by patterns
 // (resolved relative to dir), writing diagnostics to out and driver
 // errors to errw, and returns the process exit code.
-func Run(analyzers []*analysis.Analyzer, dir string, patterns []string, out, errw io.Writer) int {
+//
+// Diagnostics are emitted in a total deterministic order: position,
+// then analyzer name, then message text — two findings from one
+// analyzer on one position cannot reorder between runs, which keeps
+// CI logs diffable.
+func Run(analyzers []*analysis.Analyzer, dir string, patterns []string, out, errw io.Writer, opts Options) int {
 	pkgs, err := loader.Load(dir, patterns...)
 	if err != nil {
 		fmt.Fprintf(errw, "compactlint: %v\n", err)
 		return ExitError
 	}
 	var findings []finding
+	elapsed := make(map[string]time.Duration, len(analyzers))
 	for _, pkg := range pkgs {
 		sup := lintutil.NewSuppressor(pkg.Fset, pkg.Files)
 		for _, a := range analyzers {
@@ -59,7 +78,10 @@ func Run(analyzers []*analysis.Analyzer, dir string, patterns []string, out, err
 					message: d.Message, analyzer: a.Name,
 				})
 			}
-			if _, err := a.Run(pass); err != nil {
+			start := time.Now()
+			_, err := a.Run(pass)
+			elapsed[a.Name] += time.Since(start)
+			if err != nil {
 				fmt.Fprintf(errw, "compactlint: %s on %s: %v\n", a.Name, pkg.ImportPath, err)
 				return ExitError
 			}
@@ -76,12 +98,108 @@ func Run(analyzers []*analysis.Analyzer, dir string, patterns []string, out, err
 		if a.col != b.col {
 			return a.col < b.col
 		}
-		return a.analyzer < b.analyzer
+		if a.analyzer != b.analyzer {
+			return a.analyzer < b.analyzer
+		}
+		return a.message < b.message
 	})
 	for _, f := range findings {
 		fmt.Fprintf(out, "%s:%d:%d: %s (%s)\n", f.file, f.line, f.col, f.message, f.analyzer)
 	}
+	if opts.Timing {
+		for _, a := range analyzers {
+			fmt.Fprintf(errw, "compactlint: timing: %-12s %s\n", a.Name, elapsed[a.Name].Round(100*time.Microsecond))
+		}
+	}
 	if len(findings) > 0 {
+		return ExitDiags
+	}
+	return ExitClean
+}
+
+// Waiver is one //compactlint:allow comment found in a loaded source
+// file: the analyzer it silences and the justification it carries.
+type Waiver struct {
+	File     string
+	Line     int
+	Analyzer string
+	Reason   string
+}
+
+// CollectWaivers loads the packages matched by patterns and returns
+// every //compactlint:allow comment in their compiled (non-test)
+// sources, ordered by file then line.
+func CollectWaivers(dir string, patterns []string) ([]Waiver, error) {
+	pkgs, err := loader.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []Waiver
+	seen := make(map[token.Position]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//compactlint:allow ")
+					if !ok {
+						continue
+					}
+					name, reason, _ := strings.Cut(strings.TrimSpace(text), " ")
+					if name == "" {
+						continue
+					}
+					p := pkg.Fset.Position(c.Pos())
+					key := token.Position{Filename: p.Filename, Line: p.Line, Column: p.Column}
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					out = append(out, Waiver{
+						File: p.Filename, Line: p.Line,
+						Analyzer: name, Reason: strings.TrimSpace(reason),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out, nil
+}
+
+// RunWaivers is the -waivers audit: print every waiver with its
+// file:line and reason. A waiver with no reason, or naming an analyzer
+// that is not in the suite, is itself a finding — exemptions must
+// justify themselves — and turns the exit code to ExitDiags.
+func RunWaivers(analyzers []*analysis.Analyzer, dir string, patterns []string, out, errw io.Writer) int {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	waivers, err := CollectWaivers(dir, patterns)
+	if err != nil {
+		fmt.Fprintf(errw, "compactlint: %v\n", err)
+		return ExitError
+	}
+	bad := 0
+	for _, w := range waivers {
+		switch {
+		case !known[w.Analyzer]:
+			bad++
+			fmt.Fprintf(out, "%s:%d: allow %s: UNKNOWN ANALYZER\n", w.File, w.Line, w.Analyzer)
+		case w.Reason == "":
+			bad++
+			fmt.Fprintf(out, "%s:%d: allow %s: MISSING REASON\n", w.File, w.Line, w.Analyzer)
+		default:
+			fmt.Fprintf(out, "%s:%d: allow %s: %s\n", w.File, w.Line, w.Analyzer, w.Reason)
+		}
+	}
+	fmt.Fprintf(out, "%d waivers, %d unjustified\n", len(waivers), bad)
+	if bad > 0 {
 		return ExitDiags
 	}
 	return ExitClean

@@ -1,0 +1,83 @@
+package driver_test
+
+import (
+	"strings"
+	"testing"
+
+	"compaction/internal/lint/analysis"
+	"compaction/internal/lint/driver"
+)
+
+// TestDeterministicOrdering pins the diagnostic sort: two findings at
+// the same position from the same analyzer, reported in reverse
+// message order, must render message-sorted — the tiebreak that keeps
+// CI logs diffable when an analyzer reports twice on one node.
+func TestDeterministicOrdering(t *testing.T) {
+	noisy := &analysis.Analyzer{
+		Name: "stub",
+		Doc:  "reports two findings at one position in reverse order",
+		Run: func(pass *analysis.Pass) (any, error) {
+			pos := pass.Files[0].Package
+			pass.Reportf(pos, "zeta: reported first")
+			pass.Reportf(pos, "alpha: reported second")
+			return nil, nil
+		},
+	}
+	var out, errw strings.Builder
+	code := driver.Run([]*analysis.Analyzer{noisy}, "testdata/ordermod", []string{"."},
+		&out, &errw, driver.Options{})
+	if code != driver.ExitDiags {
+		t.Fatalf("exit = %d, want %d (stderr: %s)", code, driver.ExitDiags, errw.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), out.String())
+	}
+	if !strings.Contains(lines[0], "alpha") || !strings.Contains(lines[1], "zeta") {
+		t.Errorf("findings not message-sorted:\n%s", out.String())
+	}
+}
+
+// TestAnalyzerOrderTiebreak pins the analyzer-name tiebreak at equal
+// positions across two analyzers, regardless of registration order.
+func TestAnalyzerOrderTiebreak(t *testing.T) {
+	mk := func(name string) *analysis.Analyzer {
+		return &analysis.Analyzer{
+			Name: name,
+			Doc:  "stub",
+			Run: func(pass *analysis.Pass) (any, error) {
+				pass.Reportf(pass.Files[0].Package, "finding from %s", name)
+				return nil, nil
+			},
+		}
+	}
+	var out, errw strings.Builder
+	// Registered z-first: output must still be a-first.
+	code := driver.Run([]*analysis.Analyzer{mk("zzz"), mk("aaa")}, "testdata/ordermod",
+		[]string{"."}, &out, &errw, driver.Options{})
+	if code != driver.ExitDiags {
+		t.Fatalf("exit = %d, want %d (stderr: %s)", code, driver.ExitDiags, errw.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[0], "(aaa)") || !strings.Contains(lines[1], "(zzz)") {
+		t.Errorf("findings not analyzer-sorted at equal positions:\n%s", out.String())
+	}
+}
+
+// TestCollectWaivers pins the audit's parse: analyzer name, reason,
+// file ordering.
+func TestCollectWaivers(t *testing.T) {
+	ws, err := driver.CollectWaivers("testdata/waivermod", []string{"."})
+	if err != nil {
+		t.Fatalf("CollectWaivers: %v", err)
+	}
+	if len(ws) != 2 {
+		t.Fatalf("got %d waivers, want 2: %+v", len(ws), ws)
+	}
+	if ws[0].Analyzer != "determinism" || ws[0].Reason != "replay clock, never a result input" {
+		t.Errorf("waiver[0] = %+v", ws[0])
+	}
+	if ws[1].Analyzer != "noalloc" || ws[1].Reason != "" {
+		t.Errorf("waiver[1] = %+v, want bare noalloc waiver", ws[1])
+	}
+}

@@ -1,0 +1,3 @@
+module ordermod
+
+go 1.22

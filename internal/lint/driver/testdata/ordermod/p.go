@@ -1,0 +1,5 @@
+// Package p is a minimal loadable package for driver tests.
+package p
+
+// Anchor is the declaration driver_test's stub analyzers report on.
+var Anchor = 1

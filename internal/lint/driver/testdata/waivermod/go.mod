@@ -1,0 +1,3 @@
+module waivermod
+
+go 1.22

@@ -1,0 +1,9 @@
+// Package w exercises the waiver collector: one reasoned waiver, one
+// bare one.
+package w
+
+// A carries a reasoned waiver.
+var A = 1 //compactlint:allow determinism replay clock, never a result input
+
+// B carries a bare waiver the audit must flag.
+var B = 2 //compactlint:allow noalloc

@@ -1,0 +1,283 @@
+// Package fsyncpath is the static twin of the durability fix PR 9
+// shipped dynamically: in the packages that own crash-safe state
+// (internal/resume, internal/service), an os.Rename that commits a
+// temp file over live state must sit inside the full
+// write→fsync→rename→fsync(dir) discipline. Two path properties are
+// proven on the control-flow graph of each function:
+//
+//   - domination by File.Sync: on every path from function entry to
+//     the rename, some (*os.File).Sync ran — otherwise the renamed
+//     file's contents may still be in the page cache and a crash
+//     yields a committed name pointing at torn bytes;
+//   - parent-directory fsync on every continuation: every path from
+//     the rename to a return passes a directory-sync call (fsyncDir /
+//     SyncDir, the repo's two spellings) — otherwise the rename itself
+//     can roll back on crash even though the caller saw success.
+//     Paths that exit through an error branch (the True arm of an
+//     `err != nil` test, the False arm of `err == nil`) are exempt:
+//     the caller sees failure and must not assume the commit stuck.
+//
+// The analysis keys the dir-sync on callee name, not identity: resume
+// deliberately routes through a stubable `fsyncDir` package variable,
+// which has no *types.Func. That seam is part of the contract this
+// analyzer pins.
+package fsyncpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"compaction/internal/lint/analysis"
+	"compaction/internal/lint/cfg"
+	"compaction/internal/lint/dataflow"
+	"compaction/internal/lint/lintutil"
+)
+
+// Analyzer is the fsyncpath pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "fsyncpath",
+	Doc:  "os.Rename committing durable state must be preceded by File.Sync and followed by a parent-dir fsync on every path",
+	Run:  run,
+}
+
+var scope = []string{"internal/resume", "internal/service"}
+
+// dirSyncNames are the repo's directory-fsync spellings.
+var dirSyncNames = map[string]bool{"fsyncDir": true, "SyncDir": true}
+
+// state is the dataflow fact: has a File.Sync happened on every path
+// here (must), and which renames are still awaiting their directory
+// sync (may).
+type state struct {
+	synced  bool
+	pending map[token.Pos]bool
+}
+
+func (s state) withPending(pos token.Pos) state {
+	out := state{synced: s.synced, pending: make(map[token.Pos]bool, len(s.pending)+1)}
+	for k := range s.pending {
+		out.pending[k] = true
+	}
+	out.pending[pos] = true
+	return out
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lintutil.PathMatches(pass.Pkg.Path(), scope...) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkBody(pass, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkBody(pass, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// event is one durability-relevant call in a node subtree.
+type event struct {
+	kind eventKind
+	call *ast.CallExpr
+}
+
+type eventKind int
+
+const (
+	evRename eventKind = iota
+	evFileSync
+	evDirSync
+)
+
+// events lists the durability calls in n's subtree in source order,
+// not descending into function literals.
+func events(pass *analysis.Pass, n ast.Node) []event {
+	var out []event
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case lintutil.IsPkgFunc(pass.TypesInfo, call, "os", "Rename"):
+			out = append(out, event{evRename, call})
+		case isFileSync(pass, call):
+			out = append(out, event{evFileSync, call})
+		case isDirSync(call):
+			out = append(out, event{evDirSync, call})
+		}
+		return true
+	})
+	return out
+}
+
+// isFileSync matches (*os.File).Sync method calls.
+func isFileSync(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+	return fn != nil && fn.Name() == "Sync" && fn.Pkg() != nil && fn.Pkg().Path() == "os"
+}
+
+// isDirSync matches the directory-fsync helpers by name: the resume
+// seam is a package var of function type, invisible to CalleeFunc.
+func isDirSync(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return dirSyncNames[fun.Name]
+	case *ast.SelectorExpr:
+		return dirSyncNames[fun.Sel.Name]
+	}
+	return false
+}
+
+// apply folds one node's events into the state; onRename, when
+// non-nil, observes the state before each rename.
+func apply(pass *analysis.Pass, s state, n ast.Node, onRename func(call *ast.CallExpr, before state)) state {
+	for _, ev := range events(pass, n) {
+		switch ev.kind {
+		case evRename:
+			if onRename != nil {
+				onRename(ev.call, s)
+			}
+			s = s.withPending(ev.call.Pos())
+		case evFileSync:
+			s = state{synced: true, pending: s.pending}
+		case evDirSync:
+			s = state{synced: s.synced}
+		}
+	}
+	return s
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Fast path: nothing to prove in functions that never rename.
+	hasRename := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if call, ok := x.(*ast.CallExpr); ok && lintutil.IsPkgFunc(pass.TypesInfo, call, "os", "Rename") {
+			hasRename = true
+		}
+		return !hasRename
+	})
+	if !hasRename {
+		return
+	}
+	g := cfg.New(body)
+	p := dataflow.Problem[state]{
+		Init: state{},
+		Transfer: func(s state, n ast.Node) state {
+			return apply(pass, s, n, nil)
+		},
+		TransferEdge: func(s state, e *cfg.Edge) state {
+			if renameErrorEdge(pass, e) {
+				return state{synced: s.synced}
+			}
+			return s
+		},
+		Join: func(a, b state) state {
+			out := state{synced: a.synced && b.synced}
+			if len(a.pending)+len(b.pending) > 0 {
+				out.pending = make(map[token.Pos]bool, len(a.pending)+len(b.pending))
+				for k := range a.pending {
+					out.pending[k] = true
+				}
+				for k := range b.pending {
+					out.pending[k] = true
+				}
+			}
+			return out
+		},
+		Equal: func(a, b state) bool {
+			if a.synced != b.synced || len(a.pending) != len(b.pending) {
+				return false
+			}
+			for k := range a.pending {
+				if !b.pending[k] {
+					return false
+				}
+			}
+			return true
+		},
+	}
+	r := dataflow.Forward(g, p)
+
+	reported := make(map[token.Pos]bool)
+	flagPending := func(s state) {
+		for pos := range s.pending {
+			if !reported[pos] {
+				reported[pos] = true
+				pass.Reportf(pos,
+					"os.Rename commits durable state but no parent-directory fsync follows on every path; the rename itself can roll back on crash")
+			}
+		}
+	}
+	r.ForEachNode(g, func(_ *cfg.Block, n ast.Node, before state) {
+		after := apply(pass, before, n, func(call *ast.CallExpr, s state) {
+			if !s.synced {
+				pass.Reportf(call.Pos(),
+					"os.Rename is not dominated by a File.Sync: some path reaches it without syncing the temp file, so a crash can commit torn contents")
+			}
+		})
+		if _, ok := n.(*ast.ReturnStmt); ok {
+			flagPending(after)
+		}
+	})
+	for _, b := range g.Blocks {
+		if _, reached := r.In(b); !reached {
+			continue
+		}
+		for _, e := range b.Succs {
+			if e.To == g.Exit && e.Kind == cfg.Next {
+				flagPending(r.Out(b))
+			}
+		}
+	}
+}
+
+// renameErrorEdge reports whether the edge is the error arm of a
+// nil-test on an error value: the True edge of `err != nil` or the
+// False edge of `err == nil`. State committed before a failed rename
+// is exactly the state already durable; pending obligations die there.
+func renameErrorEdge(pass *analysis.Pass, e *cfg.Edge) bool {
+	if e.Cond == nil {
+		return false
+	}
+	be, ok := ast.Unparen(e.Cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	var other ast.Expr
+	if isNil(pass, be.X) {
+		other = be.Y
+	} else if isNil(pass, be.Y) {
+		other = be.X
+	} else {
+		return false
+	}
+	if !lintutil.IsErrorType(pass.TypesInfo.TypeOf(other)) {
+		return false
+	}
+	return (be.Op == token.NEQ && e.Kind == cfg.True) ||
+		(be.Op == token.EQL && e.Kind == cfg.False)
+}
+
+// isNil matches the predeclared nil.
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name != "nil" {
+		return false
+	}
+	_, isNilObj := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNilObj || pass.TypesInfo.Uses[id] == nil
+}

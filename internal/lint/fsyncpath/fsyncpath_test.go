@@ -1,0 +1,15 @@
+package fsyncpath_test
+
+import (
+	"testing"
+
+	"compaction/internal/lint/analysistest"
+	"compaction/internal/lint/fsyncpath"
+)
+
+func TestFsyncpath(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), fsyncpath.Analyzer,
+		"compaction/internal/resume", // the full durable-save discipline
+		"compaction/internal/plain",  // out of scope: renames unchecked
+	)
+}

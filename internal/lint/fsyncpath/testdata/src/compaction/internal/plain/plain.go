@@ -1,0 +1,9 @@
+// Package plain sits outside the fsyncpath scope: renames here are
+// not durability commits.
+package plain
+
+import "os"
+
+func shuffle(a, b string) error {
+	return os.Rename(a, b) // no want: out-of-scope package
+}

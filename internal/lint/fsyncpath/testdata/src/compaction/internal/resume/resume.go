@@ -1,0 +1,121 @@
+// Package resume is the fsyncpath fixture: the write→fsync→rename→
+// fsync(dir) discipline, whole and with each link broken.
+package resume
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// fsyncDir is the stubable seam, exactly as the real package spells it.
+var fsyncDir = func(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}
+
+// save is the canonical clean shape: sync the temp file, rename with
+// an error check, sync the parent directory.
+func save(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return fsyncDir(filepath.Dir(path))
+}
+
+// unsynced never calls File.Sync before committing.
+func unsynced(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	tmp.Close()
+	if err := os.Rename(tmp.Name(), path); err != nil { // want `not dominated by a File\.Sync`
+		return err
+	}
+	return fsyncDir(filepath.Dir(path))
+}
+
+// halfSynced syncs on only one arm; domination must fail at the merge.
+func halfSynced(path string, tmp *os.File, paranoid bool) error {
+	if paranoid {
+		if err := tmp.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil { // want `not dominated by a File\.Sync`
+		return err
+	}
+	return fsyncDir(filepath.Dir(path))
+}
+
+// nodirsync is the PR 9 bug: the rename's success path returns without
+// syncing the parent directory.
+func nodirsync(path string, tmp *os.File) error {
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path) // want `no parent-directory fsync follows on every path`
+}
+
+// lateExit leaks the obligation through one of two success returns.
+func lateExit(path string, tmp *os.File, verify func() error) error {
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil { // want `no parent-directory fsync follows on every path`
+		return err
+	}
+	if verify() == nil {
+		return nil
+	}
+	return fsyncDir(filepath.Dir(path))
+}
+
+// viaMethodName accepts the exported SyncDir spelling too.
+func viaMethodName(path string, tmp *os.File, deps struct{ SyncDir func(string) error }) error {
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return deps.SyncDir(filepath.Dir(path))
+}
+
+// waived documents a rename of scratch state that commits nothing.
+func waived(from, to string, tmp *os.File) error {
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	return os.Rename(from, to) //compactlint:allow fsyncpath scratch spill file, not durable state
+}

@@ -1,0 +1,127 @@
+// Package goroleak is the static twin of the Monitor ticker leak fixed
+// in PR 4: goroutines and tickers must have an owner that ends them.
+// Two rules, enforced in every package:
+//
+//   - every `go func(){…}()` literal must have a reachable termination
+//     path in its control-flow graph — a return, a loop that can exit
+//     (including range over a closable channel), or a select arm that
+//     escapes (ctx.Done(), a closed-channel receive). A body whose
+//     every cycle is inescapable (`for { work() }`, `select {}`
+//     without arms, a for/select with no escaping arm) runs until
+//     process exit, pinning its stack and everything it captures;
+//   - every locally-bound time.NewTicker result must be stopped in the
+//     enclosing function's extent (`defer t.Stop()`, or a Stop inside
+//     the goroutine that consumes it). An unstopped ticker keeps its
+//     channel and timer alive forever — the exact PR 4 leak.
+//
+// Documented boundaries, each the conservative side of an
+// intraprocedural analysis: `go named()` is not traced into the named
+// function, and a ticker stored into a struct field is assumed to have
+// a longer-lived owner with its own Stop discipline. A goroutine that
+// is intentionally process-lifetime (a metrics server) carries a
+// //compactlint:allow goroleak waiver naming that intent.
+package goroleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"compaction/internal/lint/analysis"
+	"compaction/internal/lint/cfg"
+	"compaction/internal/lint/lintutil"
+)
+
+// Analyzer is the goroleak pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc:  "every goroutine needs a reachable termination path and every ticker a Stop; leaks of either outlive the work they served",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkGoroutines(pass, fn.Body)
+			checkTickers(pass, fn.Body)
+		}
+	}
+	return nil, nil
+}
+
+// checkGoroutines flags `go` statements whose literal body cannot
+// terminate.
+func checkGoroutines(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			// go named(): intraprocedural boundary, not traced.
+			return true
+		}
+		if !cfg.New(lit.Body).ExitReachable() {
+			pass.Reportf(g.Pos(),
+				"goroutine body has no reachable termination path (no return, loop exit, or escaping select arm)")
+		}
+		return true
+	})
+}
+
+// checkTickers flags time.NewTicker results bound to a local that is
+// never stopped anywhere in the function's extent (closures included:
+// the goroutine consuming the ticker may own the Stop).
+func checkTickers(pass *analysis.Pass, body *ast.BlockStmt) {
+	// First index every x.Stop() receiver object in the whole body.
+	stopped := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Stop" {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				stopped[obj] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !lintutil.IsPkgFunc(pass.TypesInfo, call, "time", "NewTicker") {
+				continue
+			}
+			id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+			if !ok {
+				// Bound to a field or index: assume the longer-lived
+				// owner stops it (documented boundary).
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj != nil && stopped[obj] {
+				continue
+			}
+			pass.Reportf(call.Pos(),
+				"time.NewTicker result %s is never stopped in this function; the ticker's goroutine and channel leak (want defer %s.Stop())",
+				id.Name, id.Name)
+		}
+		return true
+	})
+}

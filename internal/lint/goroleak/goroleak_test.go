@@ -1,0 +1,13 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"compaction/internal/lint/analysistest"
+	"compaction/internal/lint/goroleak"
+)
+
+func TestGoroleak(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), goroleak.Analyzer,
+		"compaction/internal/spin")
+}

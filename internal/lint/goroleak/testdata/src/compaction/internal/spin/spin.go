@@ -1,0 +1,125 @@
+// Package spin is the goroleak fixture: goroutine bodies with and
+// without termination paths, and tickers with and without owners —
+// the shapes around the PR 4 Monitor leak.
+package spin
+
+import (
+	"context"
+	"time"
+)
+
+// pump is the canonical clean worker: ticker owned by the goroutine,
+// ctx arm escapes the loop.
+func pump(ctx context.Context, interval time.Duration, out chan<- int) {
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				out <- 1
+			}
+		}
+	}()
+}
+
+// drain terminates when the channel closes: range over a channel has a
+// loop-exit edge.
+func drain(ch <-chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// spinner is the leak: an inescapable loop.
+func spinner() {
+	go func() { // want `goroutine body has no reachable termination path`
+		for {
+			step()
+		}
+	}()
+}
+
+// deaf loops over a select with no escaping arm.
+func deaf(t *time.Ticker) {
+	go func() { // want `goroutine body has no reachable termination path`
+		for {
+			select {
+			case <-t.C:
+				step()
+			}
+		}
+	}()
+}
+
+// blocked is select{} — parks forever.
+func blocked() {
+	go func() { // want `goroutine body has no reachable termination path`
+		select {}
+	}()
+}
+
+// breaker escapes its loop with a conditional break: clean.
+func breaker(done func() bool) {
+	go func() {
+		for {
+			if done() {
+				break
+			}
+			step()
+		}
+	}()
+}
+
+// leakyTicker is the PR 4 shape: the caller creates the ticker, the
+// goroutine consumes it, nobody stops it.
+func leakyTicker(interval time.Duration, stop chan struct{}) {
+	t := time.NewTicker(interval) // want `time\.NewTicker result t is never stopped`
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				step()
+			}
+		}
+	}()
+}
+
+// goroutineStops hands the Stop to the consuming goroutine: clean.
+func goroutineStops(interval time.Duration, stop chan struct{}) {
+	t := time.NewTicker(interval)
+	go func() {
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				step()
+			}
+		}
+	}()
+}
+
+// named goroutines are an intraprocedural boundary: not traced.
+func named() {
+	go step()
+}
+
+// forever is a process-lifetime server, waived with its reason.
+func forever() {
+	//compactlint:allow goroleak metrics server runs for the process lifetime
+	go func() {
+		for {
+			step()
+		}
+	}()
+}
+
+func step() {}

@@ -8,18 +8,29 @@ package lint
 
 import (
 	"compaction/internal/lint/analysis"
+	"compaction/internal/lint/atomicguard"
 	"compaction/internal/lint/ctxflow"
 	"compaction/internal/lint/determinism"
+	"compaction/internal/lint/fsyncpath"
+	"compaction/internal/lint/goroleak"
+	"compaction/internal/lint/lockorder"
 	"compaction/internal/lint/nilguard"
 	"compaction/internal/lint/noalloc"
 	"compaction/internal/lint/wrapcheck"
 )
 
-// Analyzers returns the full compactlint suite in stable order.
+// Analyzers returns the full compactlint suite in stable order. The
+// first five are the syntactic passes PR 5 shipped; the last four ride
+// the CFG/dataflow engine and are each the static twin of a bug this
+// repo shipped and fixed dynamically (see DESIGN.md §11).
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		atomicguard.Analyzer,
 		ctxflow.Analyzer,
 		determinism.Analyzer,
+		fsyncpath.Analyzer,
+		goroleak.Analyzer,
+		lockorder.Analyzer,
 		nilguard.Analyzer,
 		noalloc.Analyzer,
 		wrapcheck.Analyzer,

@@ -1,0 +1,134 @@
+package loader_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"compaction/internal/lint/loader"
+)
+
+// TestLoadVendoredModule loads a module that resolves its one
+// dependency from vendor/ — the layout the repo itself would have
+// under `go mod vendor`, and the only layout that works with no
+// module cache and no network.
+func TestLoadVendoredModule(t *testing.T) {
+	pkgs, err := loader.Load("testdata/vendmod", ".")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1 (vendored dep must be DepOnly)", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.ImportPath != "vendmod" {
+		t.Errorf("ImportPath = %q, want %q", p.ImportPath, "vendmod")
+	}
+	// The var's type must have resolved through the vendored export
+	// data, not collapsed to invalid.
+	obj := p.Pkg.Scope().Lookup("Budget")
+	if obj == nil {
+		t.Fatal("Budget not in package scope")
+	}
+	if got := obj.Type().String(); !strings.Contains(got, "example.com/dep.Quota") {
+		t.Errorf("Budget type = %q, want example.com/dep.Quota", got)
+	}
+}
+
+// TestLoadHonorsBuildTags loads a package with one buildable file and
+// one excluded by //go:build ignore. The excluded file references an
+// undeclared identifier, so reaching the type-checker would fail the
+// test by itself.
+func TestLoadHonorsBuildTags(t *testing.T) {
+	pkgs, err := loader.Load("testdata/tagmod", ".")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if len(p.Files) != 1 {
+		t.Fatalf("got %d files, want 1 (skip.go must be excluded)", len(p.Files))
+	}
+	name := filepath.Base(p.Fset.Position(p.Files[0].Package).Filename)
+	if name != "keep.go" {
+		t.Errorf("loaded file = %q, want keep.go", name)
+	}
+}
+
+// TestLoadEmptyPackage asserts a directory whose every file is
+// excluded by build constraints is a loud error, not a silently
+// lint-clean package.
+func TestLoadEmptyPackage(t *testing.T) {
+	_, err := loader.Load("testdata/tagmod", "./empty")
+	if err == nil {
+		t.Fatal("Load succeeded on a package with no buildable files")
+	}
+	if !strings.Contains(err.Error(), "build constraints exclude all Go files") {
+		t.Errorf("error %q does not name the build-constraint cause", err)
+	}
+}
+
+// TestFixtureLoaderNoGoFiles pins the fixture loader's error for an
+// existing directory with nothing to load.
+func TestFixtureLoaderNoGoFiles(t *testing.T) {
+	src := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(src, "bare"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(src, "bare", "README.txt"), []byte("not go\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := loader.NewFixtureLoader(src).Load("bare")
+	if err == nil || !strings.Contains(err.Error(), "no Go files") {
+		t.Errorf("Load(bare) = %v, want a no-Go-files error", err)
+	}
+}
+
+// TestFixtureLoaderImportCycle asserts mutually importing fixtures
+// are diagnosed instead of recursing forever.
+func TestFixtureLoaderImportCycle(t *testing.T) {
+	src := t.TempDir()
+	write := func(pkg, body string) {
+		dir := filepath.Join(src, pkg)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, pkg+".go"), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a", "package a\n\nimport _ \"b\"\n")
+	write("b", "package b\n\nimport _ \"a\"\n")
+	_, err := loader.NewFixtureLoader(src).Load("a")
+	if err == nil || !strings.Contains(err.Error(), "import cycle") {
+		t.Errorf("Load(a) = %v, want an import-cycle error", err)
+	}
+}
+
+// TestFixtureLoaderCachesPackages asserts repeated loads return the
+// same type-checked package, which is what keeps type identity
+// consistent when several fixtures import a shared stand-in.
+func TestFixtureLoaderCachesPackages(t *testing.T) {
+	src := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(src, "ok"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(src, "ok", "ok.go"), []byte("package ok\n\nvar V = 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := loader.NewFixtureLoader(src)
+	first, err := l.Load("ok")
+	if err != nil {
+		t.Fatalf("first Load: %v", err)
+	}
+	second, err := l.Load("ok")
+	if err != nil {
+		t.Fatalf("second Load: %v", err)
+	}
+	if first != second {
+		t.Error("second Load returned a distinct package; cache miss breaks type identity")
+	}
+}

@@ -1,0 +1,6 @@
+//go:build never
+
+// Package empty has no files satisfying the default build constraints;
+// the loader must surface go list's "build constraints exclude all Go
+// files" error instead of returning an empty package.
+package empty

@@ -1,0 +1,7 @@
+// Package tagmod has one buildable file and one excluded by a build
+// constraint; the loader must honor go/build's file selection rather
+// than globbing the directory.
+package tagmod
+
+// Kept is declared in the buildable file.
+var Kept = 1

@@ -1,0 +1,7 @@
+//go:build ignore
+
+// This file must never reach the type-checker: it references an
+// undeclared identifier, so loading it would fail loudly.
+package tagmod
+
+var Skipped = undeclared

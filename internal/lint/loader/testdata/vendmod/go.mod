@@ -1,0 +1,5 @@
+module vendmod
+
+go 1.22
+
+require example.com/dep v0.0.0-00010101000000-000000000000

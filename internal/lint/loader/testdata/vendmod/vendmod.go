@@ -1,0 +1,10 @@
+// Package vendmod exercises the loader against a vendored dependency:
+// the import below must resolve from vendor/ with no module cache and
+// no network, exactly as the hermetic CI environment loads the repo.
+package vendmod
+
+import "example.com/dep"
+
+// Budget is typed through the vendored package so type-checking fails
+// loudly if vendor resolution regresses.
+var Budget dep.Quota = dep.Default

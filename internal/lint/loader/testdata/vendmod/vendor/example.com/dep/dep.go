@@ -1,0 +1,10 @@
+// Package dep is the vendored dependency for the loader's vendor-mode
+// test.
+package dep
+
+// Quota is a named type so the importing package's var declaration
+// forces real export-data resolution, not just package presence.
+type Quota int
+
+// Default is the zero-config quota.
+const Default Quota = 64

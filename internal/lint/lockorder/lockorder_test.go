@@ -1,0 +1,16 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"compaction/internal/lint/analysistest"
+	"compaction/internal/lint/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer,
+		"compaction/internal/heap/sharded", // ranked hierarchy: findings + clean shapes
+		"compaction/internal/dist",         // second in-scope package
+		"compaction/internal/plain",        // out of scope: no findings despite violations
+	)
+}

@@ -1,0 +1,22 @@
+// Package dist proves the second in-scope package is checked.
+package dist
+
+import "sync"
+
+type conn struct {
+	mu  sync.Mutex //compactlint:lockrank 10
+	seq int
+}
+
+func (c *conn) call() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	return c.seq
+}
+
+func (c *conn) stuck() {
+	c.mu.Lock()
+	c.mu.Lock() // want `re-acquires c\.mu already held`
+	c.mu.Unlock()
+}

@@ -1,0 +1,120 @@
+// Package sharded is the lockorder fixture: a miniature of the real
+// concurrent allocator's locking discipline, exercising rank order,
+// double-acquire, undeferred returns, lockheld helpers, and the
+// waiver escape hatch.
+package sharded
+
+import "sync"
+
+type shard struct {
+	mu sync.Mutex //compactlint:lockrank 1
+	n  int
+}
+
+type pool struct {
+	big sync.RWMutex //compactlint:lockrank 2
+	sh  shard
+}
+
+type naked struct {
+	mu sync.Mutex // want `has no //compactlint:lockrank directive`
+}
+
+// ordered acquires in strictly increasing rank: clean.
+func ordered(p *pool) {
+	p.sh.mu.Lock()
+	p.big.Lock()
+	p.big.Unlock()
+	p.sh.mu.Unlock()
+}
+
+// inverted acquires rank 1 while holding rank 2.
+func inverted(p *pool) {
+	p.big.Lock()
+	p.sh.mu.Lock() // want `acquires p\.sh\.mu \(rank 1\) while holding p\.big \(rank 2\)`
+	p.sh.mu.Unlock()
+	p.big.Unlock()
+}
+
+// double re-acquires a non-reentrant mutex: self-deadlock.
+func double(s *shard) {
+	s.mu.Lock()
+	s.mu.Lock() // want `re-acquires s\.mu already held`
+	s.mu.Unlock()
+}
+
+// leaky returns on one path with the lock still held and no defer.
+func leaky(s *shard, bad bool) int {
+	s.mu.Lock()
+	if bad {
+		return -1 // want `returns while s\.mu is held with no deferred unlock`
+	}
+	n := s.n
+	s.mu.Unlock()
+	return n
+}
+
+// deferred registers the unlock up front: every return path is clean.
+func deferred(s *shard, early bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if early {
+		return 0
+	}
+	return s.n
+}
+
+// loop uses the inline lock/unlock idiom the real allocator's Compact
+// loop uses; flow-sensitivity must see the balanced pairing.
+func loop(ps []*shard) {
+	for _, s := range ps {
+		s.mu.Lock()
+		s.n++
+		s.mu.Unlock()
+	}
+}
+
+// bumpLocked runs with the caller's lock held, declared by directive:
+// no acquisition, no release obligation.
+//
+//compactlint:lockheld mu
+func (s *shard) bumpLocked() {
+	s.n++
+}
+
+// badLocked re-acquires the lock its caller already holds.
+//
+//compactlint:lockheld mu
+func (s *shard) badLocked() {
+	s.mu.Lock() // want `re-acquires s\.mu already held`
+	s.mu.Unlock()
+}
+
+// escalate may acquire a higher rank on top of the held lock: clean.
+//
+//compactlint:lockheld mu
+func (s *shard) escalate(p *pool) {
+	p.big.Lock()
+	s.n++
+	p.big.Unlock()
+}
+
+// spawn hands work to a goroutine; the literal's body is its own
+// frame and starts with nothing held.
+func spawn(s *shard) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.mu.Lock()
+		s.n++
+		s.mu.Unlock()
+	}()
+}
+
+// waived documents a deliberate inversion with a reviewed reason.
+func waived(p *pool) {
+	p.big.Lock()
+	p.sh.mu.Lock() //compactlint:allow lockorder shard is private to this pool while big is held
+	p.sh.mu.Unlock()
+	p.big.Unlock()
+}

@@ -1,0 +1,16 @@
+// Package plain sits outside the lockorder scope: the same shapes
+// that are findings in sharded/dist must produce nothing here.
+package plain
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex // unranked on purpose: out of scope
+	n  int
+}
+
+func double(b *box) {
+	b.mu.Lock()
+	b.mu.Lock() // no want: out-of-scope package
+	b.mu.Unlock()
+}

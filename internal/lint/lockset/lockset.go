@@ -1,0 +1,582 @@
+// Package lockset is the shared mutex model behind the flow-sensitive
+// concurrency analyzers (lockorder, atomicguard): which struct fields
+// are sync.Mutex/RWMutex values, what //compactlint:lockrank each
+// declares, how a lock operand expression canonicalizes to a stable
+// identity, and how a dataflow state of held locks evolves through one
+// CFG node.
+//
+// Lock identity is the pair (base expression, field object): s.mu on
+// two different receivers is two locks, while s.mu named through the
+// same local is one. Identity keys embed types.Object pointers, so
+// they are stable within a run but meaningless across runs — they are
+// map keys, never diagnostics text; messages render the source
+// expression instead.
+package lockset
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// UnknownRank marks a lock with no //compactlint:lockrank declaration
+// (a local mutex, or a field outside the ranked scope).
+const UnknownRank = -1
+
+// Field describes one sync.Mutex/RWMutex struct field found in a
+// package, with its declared rank (or UnknownRank).
+type Field struct {
+	Var  *types.Var
+	Decl *ast.Field
+	Rank int
+	// HasRank distinguishes "rank 0" from "no directive".
+	HasRank bool
+	RW      bool // sync.RWMutex rather than sync.Mutex
+}
+
+// Info indexes the mutex fields of one package.
+type Info struct {
+	// Fields maps the field object to its description.
+	Fields map[*types.Var]*Field
+}
+
+// IsMutexType reports whether t is sync.Mutex or sync.RWMutex
+// (rw reports which).
+func IsMutexType(t types.Type) (rw, ok bool) {
+	n, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false, false
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return false, true
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}
+
+// Collect walks every struct type declared in files and records its
+// mutex-typed fields together with any //compactlint:lockrank <n>
+// directive on the field's doc or line comment.
+func Collect(files []*ast.File, info *types.Info) *Info {
+	out := &Info{Fields: make(map[*types.Var]*Field)}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					v, ok := info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					rw, isMu := IsMutexType(v.Type())
+					if !isMu {
+						continue
+					}
+					lf := &Field{Var: v, Decl: fld, Rank: UnknownRank, RW: rw}
+					if arg, ok := fieldDirective(fld, "lockrank"); ok {
+						if r, err := strconv.Atoi(strings.TrimSpace(arg)); err == nil {
+							lf.Rank, lf.HasRank = r, true
+						}
+					}
+					out.Fields[v] = lf
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// fieldDirective returns the argument of //compactlint:<name> on a
+// struct field's doc or trailing line comment. Field directives take a
+// single token (a rank, a field name); anything after it on the line
+// is commentary and ignored.
+func fieldDirective(f *ast.Field, name string) (string, bool) {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if text, ok := strings.CutPrefix(c.Text, "//compactlint:"); ok {
+				d, rest, _ := strings.Cut(text, " ")
+				if d != name {
+					continue
+				}
+				if toks := strings.Fields(rest); len(toks) > 0 {
+					return toks[0], true
+				}
+				return "", true
+			}
+		}
+	}
+	return "", false
+}
+
+// FieldDirective is fieldDirective exported for analyzers that parse
+// their own field annotations (atomicguard's guardedby).
+func FieldDirective(f *ast.Field, name string) (string, bool) {
+	return fieldDirective(f, name)
+}
+
+// Held is one lock in the abstract state.
+type Held struct {
+	Key        string
+	Expr       string // source rendering of the lock operand, for messages
+	Rank       int
+	Read       bool // held via RLock
+	AcquiredAt token.Pos
+	Deferred   bool // a matching defer Unlock has been registered
+}
+
+// Set is the abstract lockset state: key → held lock. Treat as
+// immutable; Step copies on write.
+type Set map[string]Held
+
+// Join unions two maybe-held locksets. A lock present in both keeps
+// the earlier acquisition site and is Deferred only if both paths
+// deferred its release (must-semantics for the release obligation).
+func Join(a, b Set) Set {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make(Set, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		if prev, ok := out[k]; ok {
+			m := prev
+			m.Deferred = prev.Deferred && v.Deferred
+			if v.AcquiredAt < m.AcquiredAt {
+				m.AcquiredAt = v.AcquiredAt
+			}
+			out[k] = m
+		} else {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Equal compares two locksets by key and release obligation.
+func Equal(a, b Set) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		w, ok := b[k]
+		if !ok || v.Deferred != w.Deferred {
+			return false
+		}
+	}
+	return true
+}
+
+// Sorted returns the held locks ordered by acquisition position, the
+// deterministic order diagnostics enumerate them in.
+func (s Set) Sorted() []Held {
+	out := make([]Held, 0, len(s))
+	for _, h := range s {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].AcquiredAt != out[j].AcquiredAt {
+			return out[i].AcquiredAt < out[j].AcquiredAt
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Op is one mutex operation found in a node subtree.
+type Op struct {
+	Call    *ast.CallExpr
+	Operand ast.Expr // the lock expression, e.g. s.mu
+	Key     string
+	Field   *types.Var // nil for locals/embedded receivers
+	Acquire bool       // Lock/RLock (false: Unlock/RUnlock)
+	Read    bool       // RLock/RUnlock
+	Defer   bool       // the op is the call of a defer statement
+}
+
+var mutexMethods = map[string]struct{ acquire, read bool }{
+	"Lock":    {true, false},
+	"RLock":   {true, true},
+	"Unlock":  {false, false},
+	"RUnlock": {false, true},
+}
+
+// Scan returns the mutex operations in n's subtree in source order,
+// not descending into function literals (their bodies are separate
+// functions with their own locksets).
+func Scan(info *types.Info, n ast.Node) []Op {
+	var ops []Op
+	var walk func(ast.Node, bool)
+	walk = func(n ast.Node, deferred bool) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.DeferStmt:
+				walk(x.Call, true)
+				return false
+			case *ast.CallExpr:
+				if op, ok := mutexOp(info, x, deferred); ok {
+					ops = append(ops, op)
+				}
+			}
+			return true
+		})
+	}
+	walk(n, false)
+	return ops
+}
+
+// mutexOp decodes a call as a mutex method invocation.
+func mutexOp(info *types.Info, call *ast.CallExpr, deferred bool) (Op, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return Op{}, false
+	}
+	m, ok := mutexMethods[sel.Sel.Name]
+	if !ok {
+		return Op{}, false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return Op{}, false
+	}
+	operand := ast.Unparen(sel.X)
+	key, ok := ExprKey(info, operand)
+	if !ok {
+		return Op{}, false
+	}
+	op := Op{
+		Call: call, Operand: operand, Key: key,
+		Acquire: m.acquire, Read: m.read, Defer: deferred,
+	}
+	if s, ok := operand.(*ast.SelectorExpr); ok {
+		if selInfo, ok := info.Selections[s]; ok {
+			if v, ok := selInfo.Obj().(*types.Var); ok && v.IsField() {
+				op.Field = v
+			}
+		}
+	}
+	return op, true
+}
+
+// ExprKey canonicalizes a reference expression (ident, selector chain,
+// index) to an identity string. Two syntactically distinct mentions of
+// the same variable/field path get the same key; expressions the
+// analysis cannot canonicalize (call results, channel receives) report
+// ok=false and are skipped rather than guessed at.
+func ExprKey(info *types.Info, e ast.Expr) (string, bool) {
+	return exprKey(info, nil, e)
+}
+
+func exprKey(info *types.Info, a Aliases, e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if obj == nil {
+			return "", false
+		}
+		if k, ok := a[obj]; ok {
+			return k, true
+		}
+		return fmt.Sprintf("v%p", obj), true
+	case *ast.SelectorExpr:
+		base, ok := exprKey(info, a, e.X)
+		if !ok {
+			return "", false
+		}
+		if selInfo, ok := info.Selections[e]; ok {
+			return fmt.Sprintf("%s.f%p", base, selInfo.Obj()), true
+		}
+		// Qualified identifier (pkg.Var).
+		if obj := info.Uses[e.Sel]; obj != nil {
+			return fmt.Sprintf("%s.o%p", base, obj), true
+		}
+		return "", false
+	case *ast.IndexExpr:
+		base, ok := exprKey(info, a, e.X)
+		if !ok {
+			return "", false
+		}
+		// Index by literal or canonical expression; a computed index
+		// still keys deterministically by its own canonical form when
+		// it has one (s.shards[i] inside one function: same i, same
+		// lock as far as a flow-sensitive intraprocedural view goes).
+		if lit, ok := ast.Unparen(e.Index).(*ast.BasicLit); ok {
+			return base + "[" + lit.Value + "]", true
+		}
+		if idx, ok := exprKey(info, a, e.Index); ok {
+			return base + "[" + idx + "]", true
+		}
+		return "", false
+	case *ast.StarExpr:
+		base, ok := exprKey(info, a, e.X)
+		return "*" + base, ok
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			base, ok := exprKey(info, a, e.X)
+			return "&" + base, ok
+		}
+	}
+	return "", false
+}
+
+// FieldKey builds the identity a lock acquisition on baseExpr.field
+// would have: the key atomicguard uses to ask "is base.mu held?"
+// given an access base expression and the guarding field object.
+func FieldKey(info *types.Info, base ast.Expr, field *types.Var) (string, bool) {
+	bk, ok := ExprKey(info, base)
+	if !ok {
+		return "", false
+	}
+	return fmt.Sprintf("%s.f%p", bk, field), true
+}
+
+// Aliases maps a local variable's object to the canonical key of the
+// one reference expression it was initialized from: after `s := m.s`,
+// s keys as m.s does. Only single-assignment locals bound to a
+// canonicalizable expression alias; anything reassigned, range-bound,
+// or bound from a call keeps its own identity.
+type Aliases map[types.Object]string
+
+// FieldKeyAliased is FieldKey with alias expansion at identifier
+// leaves: the key a lockheld-seeded entry built from the receiver path
+// carries, even when the body reaches the lock through a local copy of
+// the path prefix.
+func FieldKeyAliased(info *types.Info, a Aliases, base ast.Expr, field *types.Var) (string, bool) {
+	bk, ok := exprKey(info, a, base)
+	if !ok {
+		return "", false
+	}
+	return fmt.Sprintf("%s.f%p", bk, field), true
+}
+
+// CollectAliases scans a function body — including nested function
+// literals, whose captured locals resolve against the enclosing frame
+// — and records every local bound exactly once to a canonicalizable
+// reference expression. Multi-value assignments and range bindings
+// poison the local: its value is not a stable name for anything.
+func CollectAliases(info *types.Info, body *ast.BlockStmt) Aliases {
+	sources := make(map[types.Object][]ast.Expr)
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		sources[obj] = append(sources[obj], rhs)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			} else {
+				for _, l := range n.Lhs {
+					record(l, nil)
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Key != nil {
+				record(n.Key, nil)
+			}
+			if n.Value != nil {
+				record(n.Value, nil)
+			}
+		}
+		return true
+	})
+	out := make(Aliases)
+	for obj, exprs := range sources {
+		if len(exprs) != 1 || exprs[0] == nil {
+			continue
+		}
+		if key, ok := ExprKey(info, exprs[0]); ok && key != fmt.Sprintf("v%p", obj) {
+			out[obj] = key
+		}
+	}
+	return out
+}
+
+// RankOf returns the declared rank of the mutex field behind op, or
+// UnknownRank when the operand is not a ranked field.
+func (i *Info) RankOf(v *types.Var) int {
+	if i == nil || v == nil {
+		return UnknownRank
+	}
+	if f, ok := i.Fields[v]; ok && f.HasRank {
+		return f.Rank
+	}
+	return UnknownRank
+}
+
+// Step folds one CFG node into the lockset: acquisitions insert,
+// releases remove, deferred releases mark the obligation met. The
+// input set is never mutated; fields (which may be nil) supplies
+// declared ranks for the inserted entries. onAcquire, when non-nil, is
+// invoked for every acquisition with the set held at that instant
+// (before insertion) — the hook lockorder's replay pass uses to check
+// rank order and double-acquire without re-implementing the fold.
+func Step(info *types.Info, fields *Info, s Set, n ast.Node, onAcquire func(op Op, heldNow Set)) Set {
+	ops := Scan(info, n)
+	if len(ops) == 0 {
+		return s
+	}
+	out := make(Set, len(s)+1)
+	for k, v := range s {
+		out[k] = v
+	}
+	for _, op := range ops {
+		switch {
+		case op.Acquire:
+			if onAcquire != nil {
+				onAcquire(op, out)
+			}
+			if _, ok := out[op.Key]; ok {
+				continue
+			}
+			out[op.Key] = Held{
+				Key:        op.Key,
+				Expr:       types.ExprString(op.Operand),
+				Rank:       fields.RankOf(op.Field),
+				Read:       op.Read,
+				AcquiredAt: op.Call.Pos(),
+			}
+		case op.Defer: // deferred release: obligation met, still held
+			if prev, ok := out[op.Key]; ok {
+				prev.Deferred = true
+				out[op.Key] = prev
+			}
+		default: // immediate release
+			delete(out, op.Key)
+		}
+	}
+	return out
+}
+
+// InitForFunc builds the entry lockset of a function carrying a
+// //compactlint:lockheld <path> doc directive: the named mutex,
+// reached by a dot-separated field path from the method's receiver
+// (`mu`, or `s.mu` for a view struct holding a pointer to the locked
+// owner), is held on entry — with its release owed to the caller, so
+// the exit check does not fire. Functions without the directive,
+// without a receiver, or naming a path that does not end at a mutex
+// field get the empty set.
+func InitForFunc(info *types.Info, fields *Info, fn *ast.FuncDecl) Set {
+	names := funcDirectiveArgs(fn, "lockheld")
+	if len(names) == 0 || fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	recvIdent := fn.Recv.List[0].Names[0]
+	recvObj := info.Defs[recvIdent]
+	if recvObj == nil {
+		return nil
+	}
+	out := make(Set, len(names))
+	for _, name := range names {
+		key := fmt.Sprintf("v%p", recvObj)
+		st := structOf(recvObj.Type())
+		var fv *types.Var
+		for _, part := range strings.Split(name, ".") {
+			if st == nil {
+				fv = nil
+				break
+			}
+			fv = nil
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i).Name() == part {
+					fv = st.Field(i)
+					break
+				}
+			}
+			if fv == nil {
+				break
+			}
+			key += fmt.Sprintf(".f%p", fv)
+			st = structOf(fv.Type())
+		}
+		if fv == nil {
+			continue
+		}
+		if _, ok := IsMutexType(fv.Type()); !ok {
+			continue
+		}
+		out[key] = Held{
+			Key:        key,
+			Expr:       recvIdent.Name + "." + name,
+			Rank:       fields.RankOf(fv),
+			AcquiredAt: fn.Pos(),
+			Deferred:   true, // released by the caller, not this frame
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// funcDirectiveArgs collects the arguments of every
+// //compactlint:<name> line in a function's doc comment.
+func funcDirectiveArgs(fn *ast.FuncDecl, name string) []string {
+	if fn == nil || fn.Doc == nil {
+		return nil
+	}
+	var args []string
+	for _, c := range fn.Doc.List {
+		if text, ok := strings.CutPrefix(c.Text, "//compactlint:"); ok {
+			d, rest, _ := strings.Cut(text, " ")
+			if d == name {
+				args = append(args, strings.TrimSpace(rest))
+			}
+		}
+	}
+	return args
+}
+
+// structOf unwraps pointers and named types down to a struct type.
+func structOf(t types.Type) *types.Struct {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			t = u.Underlying()
+		case *types.Struct:
+			return u
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package lockset_test
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+
+	"compaction/internal/lint/loader"
+	"compaction/internal/lint/lockset"
+)
+
+// load type-checks the locksetfix specimen once per test that needs it.
+func load(t *testing.T) *loader.Package {
+	t.Helper()
+	p, err := loader.NewFixtureLoader("testdata/src").Load("locksetfix")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	return p
+}
+
+func funcDecl(t *testing.T, p *loader.Package, name string) *ast.FuncDecl {
+	t.Helper()
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	t.Fatalf("no FuncDecl %q in fixture", name)
+	return nil
+}
+
+func TestCollectFindsRankedFields(t *testing.T) {
+	p := load(t)
+	info := lockset.Collect(p.Files, p.TypesInfo)
+	if len(info.Fields) != 2 {
+		t.Fatalf("got %d mutex fields, want 2", len(info.Fields))
+	}
+	var mu, rw *lockset.Field
+	for _, f := range info.Fields {
+		if f.RW {
+			rw = f
+		} else {
+			mu = f
+		}
+	}
+	if mu == nil || !mu.HasRank || mu.Rank != 3 {
+		t.Errorf("mu field = %+v, want rank 3", mu)
+	}
+	if rw == nil || rw.HasRank || rw.Rank != lockset.UnknownRank {
+		t.Errorf("rw field = %+v, want unranked RWMutex", rw)
+	}
+}
+
+// TestStepFoldsACycle folds cycle's body in one step: the mu
+// lock/unlock pair cancels, the deferred RUnlock leaves rw held with
+// its release obligation met.
+func TestStepFoldsACycle(t *testing.T) {
+	p := load(t)
+	fields := lockset.Collect(p.Files, p.TypesInfo)
+	fn := funcDecl(t, p, "cycle")
+
+	var acquires []string
+	out := lockset.Step(p.TypesInfo, fields, nil, fn.Body, func(op lockset.Op, held lockset.Set) {
+		acquires = append(acquires, types.ExprString(op.Operand))
+	})
+	if len(acquires) != 2 || acquires[0] != "w.mu" || acquires[1] != "w.rw" {
+		t.Errorf("acquire hook saw %v, want [w.mu w.rw]", acquires)
+	}
+	held := out.Sorted()
+	if len(held) != 1 {
+		t.Fatalf("exit set = %+v, want exactly rw held", held)
+	}
+	h := held[0]
+	if h.Expr != "w.rw" || !h.Read || !h.Deferred || h.Rank != lockset.UnknownRank {
+		t.Errorf("held = %+v, want read-held w.rw with deferred release", h)
+	}
+}
+
+// TestLockheldDottedPathMatchesAliasedAccess is the end-to-end identity
+// check atomicguard relies on: the entry lockset seeded from
+// `//compactlint:lockheld o.mu` (a dotted path through the receiver)
+// must carry the same key FieldKeyAliased computes for an access
+// through the local alias `o := v.o`.
+func TestLockheldDottedPathMatchesAliasedAccess(t *testing.T) {
+	p := load(t)
+	fields := lockset.Collect(p.Files, p.TypesInfo)
+	fn := funcDecl(t, p, "drain")
+
+	entry := lockset.InitForFunc(p.TypesInfo, fields, fn)
+	if len(entry) != 1 {
+		t.Fatalf("entry set = %+v, want exactly one lockheld entry", entry)
+	}
+	var seeded lockset.Held
+	for _, h := range entry {
+		seeded = h
+	}
+	if seeded.Expr != "v.o.mu" || seeded.Rank != 3 || !seeded.Deferred {
+		t.Errorf("seeded = %+v, want caller-owned v.o.mu at rank 3", seeded)
+	}
+
+	// The guarded access: o.data++ — base expression `o`, guard field mu.
+	var base ast.Expr
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if inc, ok := n.(*ast.IncDecStmt); ok {
+			base = inc.X.(*ast.SelectorExpr).X
+		}
+		return true
+	})
+	if base == nil {
+		t.Fatal("no o.data++ in fixture")
+	}
+	var muVar *types.Var
+	for v, f := range fields.Fields {
+		if !f.RW {
+			muVar = v
+		}
+	}
+
+	aliases := lockset.CollectAliases(p.TypesInfo, fn.Body)
+	key, ok := lockset.FieldKeyAliased(p.TypesInfo, aliases, base, muVar)
+	if !ok {
+		t.Fatal("FieldKeyAliased could not canonicalize the aliased base")
+	}
+	if key != seeded.Key {
+		t.Errorf("aliased access key %q != lockheld entry key %q", key, seeded.Key)
+	}
+
+	// Without alias expansion the local keys as itself and must NOT
+	// match — the miss that motivated FieldKeyAliased.
+	plain, ok := lockset.FieldKey(p.TypesInfo, base, muVar)
+	if ok && plain == seeded.Key {
+		t.Error("plain FieldKey matched the lockheld key; alias expansion is vacuous")
+	}
+}
+
+// TestJoinReleaseObligationIsMust pins Join's must-semantics: a lock
+// deferred on only one incoming path still owes a release.
+func TestJoinReleaseObligationIsMust(t *testing.T) {
+	a := lockset.Set{"k": {Key: "k", Deferred: true, AcquiredAt: 10}}
+	b := lockset.Set{"k": {Key: "k", Deferred: false, AcquiredAt: 5}}
+	j := lockset.Join(a, b)
+	if len(j) != 1 {
+		t.Fatalf("join = %+v, want one lock", j)
+	}
+	if h := j["k"]; h.Deferred || h.AcquiredAt != 5 {
+		t.Errorf("join[k] = %+v, want non-deferred with the earlier site", h)
+	}
+	if !lockset.Equal(a, a) || lockset.Equal(a, b) {
+		t.Error("Equal must distinguish release obligations")
+	}
+}

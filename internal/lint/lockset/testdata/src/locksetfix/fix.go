@@ -1,0 +1,32 @@
+// Package locksetfix is the type-checked specimen for lockset's unit
+// tests: a ranked mutex, an unranked RWMutex, a dotted lockheld view
+// method with a local alias, and a lock/unlock cycle.
+package locksetfix
+
+import "sync"
+
+type owner struct {
+	mu   sync.Mutex //compactlint:lockrank 3
+	rw   sync.RWMutex
+	data int
+}
+
+type view struct {
+	o *owner
+}
+
+// drain mutates guarded state through a local copy of the receiver's
+// field path — the alias shape the sharded facade's mover methods use.
+//
+//compactlint:lockheld o.mu
+func (v *view) drain() {
+	o := v.o
+	o.data++
+}
+
+func (w *owner) cycle() {
+	w.mu.Lock()
+	w.mu.Unlock()
+	w.rw.RLock()
+	defer w.rw.RUnlock()
+}

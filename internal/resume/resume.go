@@ -262,6 +262,13 @@ func (j *Journal) saveLocked() error {
 	return nil
 }
 
+// SyncDir syncs a directory's entries to stable storage: the second
+// half of the temp-file + fsync + rename + fsync(dir) commit
+// discipline. Exported so every package that renames durable state
+// into place (internal/service's job store) closes the same window
+// this package closes for its journal.
+func SyncDir(dir string) error { return fsyncDir(dir) }
+
 // fsyncDir syncs a directory's entries to stable storage. It is a
 // package variable so the durability regression tests can observe the
 // calls and inject failures.

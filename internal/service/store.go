@@ -9,6 +9,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"compaction/internal/resume"
 )
 
 // On-disk layout under the data directory:
@@ -71,7 +73,15 @@ type jobRecord struct {
 	Spec   Spec   `json:"spec"`
 }
 
-// writeFileAtomic writes data to path via temp + fsync + rename.
+// fsyncDir commits a directory's entries; a package variable so the
+// store tests can observe the calls and inject failures, same seam as
+// the resume journal's.
+var fsyncDir = resume.SyncDir
+
+// writeFileAtomic writes data to path via temp + fsync + rename +
+// fsync(dir). Without the final directory sync the rename itself can
+// roll back on crash: the caller saw success, the bytes were synced,
+// but the directory entry pointing at them was still only in memory.
 func writeFileAtomic(path string, data []byte) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
@@ -89,7 +99,10 @@ func writeFileAtomic(path string, data []byte) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return fsyncDir(filepath.Dir(path))
 }
 
 func writeJSONAtomic(path string, v any) error {

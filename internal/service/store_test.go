@@ -1,0 +1,52 @@
+package service
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWriteFileAtomicSyncsParentDir pins the durability discipline the
+// fsyncpath analyzer enforces statically: after the rename commits the
+// new bytes, the parent directory must be fsynced, or a crash can roll
+// the rename back after the caller saw success.
+func TestWriteFileAtomicSyncsParentDir(t *testing.T) {
+	dir := t.TempDir()
+	orig := fsyncDir
+	defer func() { fsyncDir = orig }()
+
+	var synced []string
+	fsyncDir = func(d string) error {
+		synced = append(synced, d)
+		return nil
+	}
+
+	path := filepath.Join(dir, "job.json")
+	if err := writeFileAtomic(path, []byte(`{"ok":true}`)); err != nil {
+		t.Fatalf("writeFileAtomic: %v", err)
+	}
+	if len(synced) != 1 || synced[0] != dir {
+		t.Fatalf("parent dir fsync calls = %v, want exactly [%q]", synced, dir)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != `{"ok":true}` {
+		t.Fatalf("committed file = %q, %v", got, err)
+	}
+}
+
+// TestWriteFileAtomicReportsDirSyncFailure: a failed directory sync
+// means the commit may not survive a crash, so the writer must see it.
+func TestWriteFileAtomicReportsDirSyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	orig := fsyncDir
+	defer func() { fsyncDir = orig }()
+
+	boom := errors.New("injected dir-sync failure")
+	fsyncDir = func(string) error { return boom }
+
+	err := writeFileAtomic(filepath.Join(dir, "status.json"), []byte("x"))
+	if !errors.Is(err, boom) {
+		t.Fatalf("writeFileAtomic error = %v, want the injected dir-sync failure", err)
+	}
+}

@@ -38,9 +38,9 @@ type Monitor struct {
 	// handlers, tickers) may be mid-Snapshot. Workers never take it:
 	// begin() happens-before the worker goroutines exist, and they
 	// only touch the atomic gauges.
-	mu      sync.Mutex
-	workers []*obs.Gauge
-	start   time.Time
+	mu      sync.Mutex   //compactlint:lockrank 1
+	workers []*obs.Gauge //compactlint:guardedby mu
+	start   time.Time    //compactlint:guardedby mu
 }
 
 // NewMonitor returns a monitor registering its gauges in reg. A nil
@@ -105,8 +105,8 @@ func (m *Monitor) cellDone(worker int, failed bool) {
 	if failed {
 		m.failed.Add(1)
 	}
-	if worker >= 0 && worker < len(m.workers) {
-		m.workers[worker].Add(1)
+	if worker >= 0 && worker < len(m.workers) { //compactlint:allow atomicguard workers is frozen by begin() before any worker goroutine exists
+		m.workers[worker].Add(1) //compactlint:allow atomicguard workers is frozen by begin() before any worker goroutine exists
 	}
 }
 
